@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures/helpers.
+
+Every bench prints the table/series of its paper figure so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation
+section row by row. EXPERIMENTS.md records paper-vs-measured.
+"""
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table
+
+
+def shutdown_raylite():
+    from repro import raylite
+    raylite.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _raylite_cleanup():
+    yield
+    shutdown_raylite()

@@ -1,0 +1,107 @@
+"""E-ablations — the design choices DESIGN.md §5 calls out:
+
+1. op-registry execution-plan caching in the Session (static backend);
+2. batched vs incremental worker post-processing (the Fig. 6 root cause,
+   measured in isolation on one worker);
+3. worker-side prioritization cost (Ape-X heuristic overhead).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.agents import ApexAgent, DQNAgent
+from repro.backend import Session
+from repro.environments import GridWorld, SequentialVectorEnv, SimPong
+from repro.execution import SingleThreadedWorker
+from repro.spaces import IntBox
+
+
+def _dqn(seed=0, **kw):
+    return DQNAgent(state_space=(16,), action_space=IntBox(4),
+                    network_spec=[{"type": "dense", "units": 64}],
+                    memory_capacity=1024, batch_size=32, backend="xgraph",
+                    seed=seed, **kw)
+
+
+def test_session_plan_cache(benchmark, table):
+    """Disabling plan caching re-plans the fetch set on every call."""
+    agent = _dqn()
+    states = np.zeros((8, 16), np.float32)
+    ts = np.asarray(0)
+
+    def act_n(n=300):
+        for _ in range(n):
+            agent.call_api("get_actions", states, ts)
+
+    act_n(20)  # warm
+    t0 = time.perf_counter()
+    act_n()
+    cached = time.perf_counter() - t0
+
+    agent.graph.session = Session(agent.graph.graph, cache_plans=False)
+    act_n(20)
+    t0 = time.perf_counter()
+    act_n()
+    uncached = time.perf_counter() - t0
+
+    benchmark.pedantic(act_n, args=(50,), rounds=1, iterations=1)
+    table("Ablation — Session execution-plan cache (300 act calls)",
+          ["variant", "seconds", "per call (us)"],
+          [["cached plans", f"{cached:.3f}", f"{cached / 300 * 1e6:.0f}"],
+           ["re-planned every call", f"{uncached:.3f}",
+            f"{uncached / 300 * 1e6:.0f}"]])
+    benchmark.extra_info.update({"cached_s": cached, "uncached_s": uncached})
+    assert uncached > cached, "plan caching must help"
+
+
+def _worker(batched, prioritized, num_envs=4):
+    agent = ApexAgent(state_space=(16,), action_space=IntBox(4),
+                      network_spec=[{"type": "dense", "units": 64}],
+                      backend="xgraph", seed=1)
+    vec = SequentialVectorEnv(
+        envs=[GridWorld(seed=i) for i in range(num_envs)])
+    return SingleThreadedWorker(agent, vec, n_step=3, discount=0.99,
+                                worker_side_prioritization=prioritized,
+                                batched_postprocessing=batched)
+
+
+def test_postprocessing_ablation(benchmark, table):
+    """Batched vs incremental post-processing on one worker, and the cost
+    of worker-side prioritization in each mode."""
+    configs = {
+        "batched, prioritized": (True, True),
+        "batched, no priorities": (True, False),
+        "incremental, prioritized": (False, True),
+        "incremental, no priorities": (False, False),
+    }
+    rates = {}
+
+    def sweep():
+        for label, (batched, prio) in configs.items():
+            worker = _worker(batched, prio)
+            worker.collect_samples(100)  # warm
+            t0 = time.perf_counter()
+            worker.collect_samples(1200)
+            rates[label] = 1200 / (time.perf_counter() - t0)
+        return rates
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table("Ablation — worker post-processing mode (samples/s)",
+          ["variant", "samples/s"],
+          [[label, f"{rate:.0f}"] for label, rate in rates.items()])
+    benchmark.extra_info.update({k: round(v) for k, v in rates.items()})
+
+    # Batched post-processing is the dominant effect (the paper's stated
+    # root cause for the Ape-X margin).
+    assert rates["batched, prioritized"] > rates["incremental, prioritized"]
+    assert (rates["batched, no priorities"]
+            > rates["incremental, no priorities"])
+    # Per-sample priority calls hurt the incremental mode far more than
+    # the single batched call hurts the batched mode.
+    batched_cost = (rates["batched, no priorities"]
+                    / rates["batched, prioritized"])
+    incremental_cost = (rates["incremental, no priorities"]
+                        / rates["incremental, prioritized"])
+    assert incremental_cost > batched_cost

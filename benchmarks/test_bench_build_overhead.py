@@ -1,0 +1,85 @@
+"""E1 — Fig. 5a: one-time build overheads.
+
+Measures component-graph trace time and main build time for (a) a single
+PrioritizedReplay component and (b) the full dueling-DQN-with-
+prioritized-replay architecture, on the static-graph (xgraph ~ TF) and
+define-by-run (xtape ~ PT) backends.
+
+Paper shape: single component < 100 ms total; full architecture ~1 s
+(TF) / ~650 ms (PT); define-by-run *build* is much cheaper than the
+static build because variables are plain arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import DQNAgent
+from repro.backend import XGRAPH, XTAPE
+from repro.components.memories import PrioritizedReplay
+from repro.spaces import BoolBox, Dict, FloatBox, IntBox
+from repro.testing import ComponentTest
+
+
+def _memory_spaces():
+    return {
+        "records": Dict(states=FloatBox(shape=(16, 16, 4)), actions=IntBox(4),
+                        rewards=FloatBox(), terminals=BoolBox(),
+                        next_states=FloatBox(shape=(16, 16, 4)),
+                        add_batch_rank=True),
+        "batch_size": IntBox(low=0, high=2**31 - 1),
+        "indices": IntBox(low=0, high=2**31 - 1, shape=(),
+                          add_batch_rank=True),
+        "update": FloatBox(add_batch_rank=True),
+    }
+
+
+def _build_memory(backend):
+    test = ComponentTest(PrioritizedReplay(capacity=512),
+                         input_spaces=_memory_spaces(), backend=backend)
+    return test.stats
+
+
+def _build_dqn_agent(backend):
+    agent = DQNAgent(
+        state_space=FloatBox(shape=(32, 32, 1)),
+        action_space=IntBox(4),
+        preprocessing_spec=[{"type": "divide", "divisor": 255.0}],
+        network_spec=[
+            {"type": "conv2d", "filters": 16, "kernel_size": 8, "stride": 4},
+            {"type": "conv2d", "filters": 32, "kernel_size": 4, "stride": 2},
+            {"type": "dense", "units": 256},
+        ],
+        dueling=True, double_q=True, prioritized_replay=True,
+        memory_capacity=2048, backend=backend, seed=0)
+    return agent.build_stats
+
+
+ROWS = []
+
+
+@pytest.mark.parametrize("backend", [XGRAPH, XTAPE])
+@pytest.mark.parametrize("arch", ["prioritized-replay", "dqn"])
+def test_build_overhead(benchmark, backend, arch, table):
+    build = _build_memory if arch == "prioritized-replay" else _build_dqn_agent
+    stats = benchmark.pedantic(build, args=(backend,), rounds=3, iterations=1)
+    benchmark.extra_info.update(stats.as_dict())
+
+    ROWS.append([arch, backend, f"{stats.trace_time * 1e3:.1f}",
+                 f"{stats.build_overhead * 1e3:.1f}",
+                 f"{stats.var_creation_time * 1e3:.1f}",
+                 stats.num_components, stats.num_graph_fn_nodes])
+
+    # Paper shape assertions. The paper's "overhead" excludes variable
+    # creation ("time spent on top of creating variables and operations").
+    if arch == "prioritized-replay":
+        assert stats.trace_time + stats.build_overhead < 0.5, \
+            "single-component build overhead must be small (paper: < 100 ms)"
+    else:
+        assert stats.num_components >= 20, \
+            "full architecture should be tens of components (paper: 43)"
+        assert stats.trace_time + stats.build_overhead < 5.0
+
+    if len(ROWS) == 4:
+        table("Fig. 5a — build overheads (ms)",
+              ["architecture", "backend", "trace_ms", "overhead_ms",
+               "variables_ms", "components", "graph_fns"], ROWS)

@@ -1,0 +1,116 @@
+"""E5 — Fig. 7b: training-time comparison, RLgraph vs RLlib-like Ape-X.
+
+The paper trains Pong to reward 21 in ~hours on a GPU cluster; at laptop
+scale we substitute GridWorld (mean episode return in [-1, 1], solved
+around +0.9) and train both executors for the same wall-clock budget.
+The reproduced shape: at equal wall time the RLgraph executor has pushed
+more samples and updates through the learner and reaches a higher mean
+worker reward.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import ApexAgent
+from repro.baselines import RLlibLikeApexExecutor
+from repro.environments import GridWorld
+from repro.execution.ray import ApexExecutor
+from repro.spaces import IntBox
+
+DURATION_SEGMENTS = 6
+SEGMENT_SECONDS = 2.0
+
+
+def _env_factory(seed):
+    return GridWorld("4x4", max_steps=30, seed=seed)
+
+
+NUM_WORKERS = 2
+
+
+def _agent_factory(worker_index=None):
+    # Workers get Ape-X constant per-worker epsilons; the learner
+    # (worker_index None) acts greedily apart from a small epsilon.
+    from repro.execution.ray.actors import apex_worker_epsilon
+    if worker_index is None:
+        eps = 0.01
+    else:
+        eps = apex_worker_epsilon(worker_index, NUM_WORKERS, base=0.4,
+                                  alpha=3.0)
+    return ApexAgent(
+        state_space=(16,), action_space=IntBox(4),
+        network_spec=[{"type": "dense", "units": 64, "activation": "relu"}],
+        dueling=True, n_step=3, discount=0.95,
+        optimizer_spec={"type": "adam", "learning_rate": 1e-3},
+        epsilon_spec={"type": "constant", "value": eps},
+        sync_interval=25, backend="xgraph",
+        seed=3 + 101 * (worker_index if worker_index is not None else 0))
+
+
+def _train(executor_cls):
+    executor = executor_cls(
+        learner_agent=_agent_factory(), agent_factory=_agent_factory,
+        env_factory=_env_factory, num_workers=NUM_WORKERS, envs_per_worker=2,
+        num_replay_shards=2, task_size=80, batch_size=64,
+        replay_capacity=20_000, learning_starts=300, weight_sync_steps=5)
+    timeline = []
+    total_updates = 0
+    total_frames = 0
+    for seg in range(DURATION_SEGMENTS):
+        result = executor.execute_workload(duration=SEGMENT_SECONDS)
+        total_updates += result.learner_updates
+        total_frames += result.env_frames
+        reward = executor.reward_snapshot()
+        timeline.append(((seg + 1) * SEGMENT_SECONDS,
+                         reward if reward is not None else float("nan")))
+    from repro import raylite
+    raylite.shutdown()
+    return timeline, total_updates, total_frames
+
+
+def test_learning_curves(benchmark, table):
+    outcome = {}
+
+    def run_both():
+        outcome["rlgraph"] = _train(ApexExecutor)
+        outcome["rllib_like"] = _train(RLlibLikeApexExecutor)
+        return outcome
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rg_tl, rg_updates, rg_frames = outcome["rlgraph"]
+    rl_tl, rl_updates, rl_frames = outcome["rllib_like"]
+    rows = []
+    for (t, rg_reward), (_, rl_reward) in zip(rg_tl, rl_tl):
+        rows.append([f"{t:.0f}s", f"{rg_reward:+.2f}", f"{rl_reward:+.2f}"])
+    table("Fig. 7b — mean worker reward vs wall time (GridWorld proxy)",
+          ["time", "RLgraph", "RLlib-like"], rows)
+    print(f"  RLgraph:    {rg_frames} frames, {rg_updates} updates")
+    print(f"  RLlib-like: {rl_frames} frames, {rl_updates} updates")
+    benchmark.extra_info.update({
+        "rlgraph_final_reward": rg_tl[-1][1],
+        "rllib_like_final_reward": rl_tl[-1][1],
+        "rlgraph_updates": rg_updates, "rllib_like_updates": rl_updates,
+    })
+
+    # Paper shape 1: same wall clock, more data + updates through RLgraph.
+    assert rg_frames > rl_frames * 1.2
+    # Paper shape 2: RLgraph crosses a reward threshold earlier in wall
+    # time ("learns to solve substantially faster") — time-to-threshold
+    # is the figure's shape and is far more stable than comparing single
+    # end-of-run snapshots.
+    threshold = 0.3
+
+    def time_to(timeline):
+        for t, reward in timeline:
+            if reward == reward and reward >= threshold:  # skip NaN
+                return t
+        return float("inf")
+
+    t_rg, t_rl = time_to(rg_tl), time_to(rl_tl)
+    print(f"  time to mean reward {threshold}: RLgraph {t_rg}s, "
+          f"RLlib-like {t_rl}s")
+    assert t_rg < t_rl, (t_rg, t_rl)
+    # Paper shape 3: RLgraph actually learns (peak >> start).
+    assert max(r for _, r in rg_tl if r == r) > rg_tl[0][1] + 0.3 \
+        or max(r for _, r in rg_tl if r == r) > 0.5

@@ -1,0 +1,114 @@
+"""E6 — Fig. 8: synchronous multi-GPU device strategy.
+
+The strategy (paper §4.1): the update batch is split into one sub-batch
+per (simulated) device, per-tower losses/gradients are computed and
+averaged for one update. With D devices, a real system trains on a D x
+larger batch at roughly the wall time of one shard, so convergence per
+wall-second improves — Fig. 8's observation.
+
+On simulated devices (one core) the towers run sequentially, so we plot
+reward against *simulated* time: per update, one tower's measured
+compute plus a fixed sync overhead (documented substitution,
+DESIGN.md §2). The mechanism — batch splitting and gradient averaging —
+runs for real and is additionally verified against single-batch
+gradients in tests.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.agents import DQNAgent
+from repro.environments import GridWorld
+from repro.spaces import IntBox
+
+SYNC_OVERHEAD = 0.05  # fraction of tower time spent averaging/sync
+
+
+def _make_agent(num_devices, batch_size, seed=5):
+    return DQNAgent(
+        state_space=(16,), action_space=IntBox(4),
+        network_spec=[{"type": "dense", "units": 64, "activation": "relu"}],
+        double_q=True, discount=0.95, num_devices=num_devices,
+        batch_size=batch_size, memory_capacity=4000, sync_interval=25,
+        optimizer_spec={"type": "adam", "learning_rate": 2e-3},
+        epsilon_spec={"type": "linear", "from_": 1.0, "to_": 0.05,
+                      "num_timesteps": 2000},
+        backend="xgraph", seed=seed)
+
+
+def _train(num_devices, per_device_batch=32, budget_updates=900):
+    env = GridWorld("4x4", max_steps=30, seed=0)
+    batch = per_device_batch * num_devices
+    agent = _make_agent(num_devices, batch)
+    rng = np.random.default_rng(0)
+
+    state = env.reset()
+    returns = []
+    timeline = []  # (simulated seconds, mean recent return)
+    sim_time = 0.0
+    updates = 0
+    step = 0
+    while updates < budget_updates:
+        action, pre = agent.get_actions(state)
+        next_state, reward, terminal, _ = env.step(action)
+        agent.observe(state, action, reward, terminal, next_state)
+        if terminal:
+            returns.append(env.episode_return)  # before reset clears it
+            state = env.reset()
+        else:
+            state = next_state
+        step += 1
+        if step > 200 and step % 2 == 0:
+            t0 = time.perf_counter()
+            agent.update()
+            wall = time.perf_counter() - t0
+            # Towers would run in parallel on D devices: simulated cost is
+            # one tower's share plus sync overhead.
+            sim_time += wall / num_devices * (1.0 + SYNC_OVERHEAD
+                                              * (num_devices - 1))
+            updates += 1
+            if updates % 50 == 0:
+                recent = np.mean(returns[-30:]) if returns else -0.3
+                timeline.append((sim_time, float(recent)))
+    return timeline
+
+
+def _time_to_threshold(timeline, threshold=0.5):
+    for t, reward in timeline:
+        if reward >= threshold:
+            return t
+    return float("inf")
+
+
+def test_multi_device_strategy(benchmark, table):
+    outcome = {}
+
+    def run_both():
+        outcome[1] = _train(num_devices=1)
+        outcome[2] = _train(num_devices=2)
+        return outcome
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for (t1, r1), (t2, r2) in zip(outcome[1], outcome[2]):
+        rows.append([f"{t1:.2f}s / {t2:.2f}s", f"{r1:+.2f}", f"{r2:+.2f}"])
+    table("Fig. 8 — mean reward vs simulated wall time",
+          ["sim time (1dev / 2dev)", "single device", "2-device sync"], rows)
+
+    t1 = _time_to_threshold(outcome[1])
+    t2 = _time_to_threshold(outcome[2])
+    print(f"  simulated time to reward 0.5: 1 device {t1:.2f}s, "
+          f"2 devices {t2:.2f}s")
+    benchmark.extra_info.update({"time_to_0.5_1dev": t1,
+                                 "time_to_0.5_2dev": t2})
+
+    # Paper shape: the 2-device strategy converges at least as fast in
+    # simulated wall time (it trains on 2x data per update).
+    assert np.isfinite(t2), "2-device run never reached the threshold"
+    assert t2 <= t1 * 1.15
+    # Both must actually learn.
+    assert outcome[1][-1][1] > 0.3
+    assert outcome[2][-1][1] > 0.3

@@ -1,0 +1,90 @@
+"""E4 — Fig. 7a: single-worker task throughput vs task size and
+environment-vector size.
+
+One RLgraph RayWorker vs one RLlib-like policy evaluator, sweeping the
+requested task size (num samples) and the number of sequential envs.
+
+Paper shape: RLgraph is faster at every task size, and its advantage
+*grows* with vectorization (faster accounting across envs/episodes);
+both implementations improve with larger tasks (per-task overhead
+amortizes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import ApexAgent
+from repro.environments import SequentialVectorEnv, SimPong
+from repro.execution import SingleThreadedWorker
+
+FRAME = 16
+FRAME_SKIP = 4
+TASK_SIZES = [200, 400, 800, 1600, 3200]
+ENV_COUNTS = [1, 4, 8]
+
+
+def _make_worker(num_envs, batched):
+    probe = SimPong(size=FRAME, frame_skip=FRAME_SKIP, seed=0)
+    agent = ApexAgent(
+        state_space=probe.state_space, action_space=probe.action_space,
+        preprocessing_spec=[{"type": "divide", "divisor": 255.0},
+                            {"type": "flatten"}],
+        network_spec=[{"type": "dense", "units": 64, "activation": "relu"}],
+        dueling=True, backend="xgraph", seed=5)
+    vec = SequentialVectorEnv(
+        envs=[SimPong(size=FRAME, frame_skip=FRAME_SKIP, seed=i)
+              for i in range(num_envs)])
+    return SingleThreadedWorker(agent, vec, n_step=3, discount=0.99,
+                                worker_side_prioritization=True,
+                                batched_postprocessing=batched)
+
+
+def _throughput(worker, task_size) -> float:
+    import time
+    t0 = time.perf_counter()
+    worker.collect_samples(task_size)
+    return task_size * FRAME_SKIP / (time.perf_counter() - t0)
+
+
+def test_task_throughput(benchmark, table):
+    results = {}
+
+    def sweep():
+        for num_envs in ENV_COUNTS:
+            for batched, label in [(True, "rlgraph"), (False, "rllib_like")]:
+                worker = _make_worker(num_envs, batched)
+                worker.collect_samples(64)  # warm-up
+                for task in TASK_SIZES:
+                    results[(label, num_envs, task)] = _throughput(worker,
+                                                                   task)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for task in TASK_SIZES:
+        row = [task]
+        for num_envs in ENV_COUNTS:
+            rg = results[("rlgraph", num_envs, task)]
+            rl = results[("rllib_like", num_envs, task)]
+            row += [f"{rg:.0f}", f"{rl:.0f}"]
+        rows.append(row)
+    headers = ["task size"]
+    for num_envs in ENV_COUNTS:
+        headers += [f"RLgraph {num_envs}env", f"RLlib {num_envs}env"]
+    table("Fig. 7a — single worker env frames/s by task size", headers, rows)
+    benchmark.extra_info["results"] = {
+        f"{k[0]}-envs{k[1]}-task{k[2]}": round(v) for k, v in results.items()}
+
+    # Paper shape 1: RLgraph beats the evaluator at every configuration.
+    for num_envs in ENV_COUNTS:
+        for task in TASK_SIZES:
+            rg = results[("rlgraph", num_envs, task)]
+            rl = results[("rllib_like", num_envs, task)]
+            assert rg > rl, (num_envs, task, rg, rl)
+    # Paper shape 2: the advantage grows with vectorization.
+    def advantage(num_envs):
+        return np.mean([results[("rlgraph", num_envs, t)]
+                        / results[("rllib_like", num_envs, t)]
+                        for t in TASK_SIZES])
+    assert advantage(ENV_COUNTS[-1]) > advantage(ENV_COUNTS[0])

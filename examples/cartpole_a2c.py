@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Actor-critic (A2C) on CartPole with on-policy rollout batches.
+
+Run:  python examples/cartpole_a2c.py [xgraph|xtape]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.agents import ActorCriticAgent
+from repro.agents.actor_critic_agent import discounted_returns
+from repro.environments import CartPole
+
+
+def main(backend: str = "xgraph"):
+    env = CartPole(max_steps=200, seed=0)
+    agent = ActorCriticAgent(
+        state_space=env.state_space,
+        action_space=env.action_space,
+        network_spec=[{"type": "dense", "units": 64, "activation": "tanh"}],
+        entropy_coeff=0.01,
+        optimizer_spec={"type": "adam", "learning_rate": 3e-3},
+        backend=backend, seed=1)
+
+    t0 = time.perf_counter()
+    state = env.reset()
+    returns = []
+    for iteration in range(120):
+        traj = {"states": [], "actions": [], "rewards": [], "terminals": []}
+        for _ in range(128):
+            action, preprocessed = agent.get_actions(state)
+            next_state, reward, terminal, _ = env.step(action)
+            traj["states"].append(preprocessed)
+            traj["actions"].append(action)
+            traj["rewards"].append(reward)
+            traj["terminals"].append(terminal)
+            if terminal:
+                returns.append(env.episode_return)
+                state = env.reset()
+            else:
+                state = next_state
+        rets = discounted_returns(traj["rewards"], traj["terminals"],
+                                  agent.discount)
+        total, policy_loss, value_loss = agent.update({
+            "states": np.asarray(traj["states"]),
+            "actions": np.asarray(traj["actions"]),
+            "returns": rets})
+        if iteration % 20 == 19:
+            recent = np.mean(returns[-10:]) if returns else 0.0
+            print(f"  iter {iteration + 1:3d}  mean return (last 10) "
+                  f"{recent:6.1f}  loss {total:+.3f}")
+    print(f"Done in {time.perf_counter() - t0:.1f}s on '{backend}'. "
+          f"Final mean return: {np.mean(returns[-10:]):.1f} (200 = solved)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "xgraph")

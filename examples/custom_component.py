@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Writing a custom component and testing it as a sub-graph.
+
+This is the paper's Listing 1 workflow: define a component whose only
+backend code lives in graph functions, then build and probe it from
+input spaces on either backend — no manual tensor plumbing.
+
+Run:  python examples/custom_component.py
+"""
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.components.policies import Policy
+from repro.spaces import Dict, FloatBox, IntBox
+from repro.testing import ComponentTest
+
+
+class RunningMeanBaseline(Component):
+    """A custom component: exponential running mean of returns.
+
+    Demonstrates (a) variables created from input spaces, (b) stateful
+    graph functions working identically on both backends.
+    """
+
+    def __init__(self, decay=0.99, scope="running-baseline", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.decay = decay
+
+    def create_variables(self, input_spaces):
+        self.mean = self.get_variable("mean", shape=(), trainable=False)
+
+    @rlgraph_api
+    def advantage(self, returns):
+        return self._graph_fn_advantage(returns)
+
+    @graph_fn
+    def _graph_fn_advantage(self, returns):
+        batch_mean = F.reduce_mean(returns)
+        new_mean = F.add(F.mul(self.decay, self.mean.read()),
+                         F.mul(1.0 - self.decay, batch_mean))
+        update = self.mean.assign(new_mean)
+        adv = F.sub(returns, self.mean.read())
+        return F.with_deps(adv, update) if update is not None else adv
+
+
+def main():
+    print("=== Custom component, built from spaces on both backends ===")
+    for backend in ("xgraph", "xtape"):
+        test = ComponentTest(
+            RunningMeanBaseline(decay=0.5),
+            input_spaces={"returns": FloatBox(add_batch_rank=True)},
+            backend=backend)
+        out1 = test.test("advantage", np.asarray([1.0, 3.0], np.float32))
+        out2 = test.test("advantage", np.asarray([1.0, 3.0], np.float32))
+        print(f"  [{backend}] first call advantages:  {np.asarray(out1)}")
+        print(f"  [{backend}] second call advantages: {np.asarray(out2)} "
+              f"(baseline has moved)")
+
+    print("\n=== Listing 1: testing a Policy sub-graph from spaces ===")
+    state_space = FloatBox(shape=(64,), add_batch_rank=True)
+    action_space = IntBox(4)
+    policy = Policy([{"type": "dense", "units": 32, "activation": "tanh"}],
+                    action_space=action_space)
+    test = ComponentTest(policy, input_spaces=dict(nn_input=state_space))
+    sample = state_space.sample(size=8, rng=np.random.default_rng(0))
+    actions = test.test("get_action", sample)
+    print(f"  sampled actions for a random batch: {np.asarray(actions)}")
+    q = test.test("get_logits", sample)
+    print(f"  logits shape: {np.asarray(q).shape}")
+    print(f"  build: {test.stats.num_components} components, "
+          f"{test.stats.num_graph_fn_nodes} graph functions")
+
+
+def visualize_demo():
+    """Appendix-A style visualization of a built agent graph."""
+    from repro.agents import DQNAgent
+    from repro.spaces import IntBox
+    from repro.utils.visualize import component_tree, summarize, to_dot
+
+    agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                     network_spec=[{"type": "dense", "units": 16}],
+                     backend="xgraph", seed=0)
+    print("\n=== Appendix A: component tree of a built DQN agent ===")
+    print(component_tree(agent.root))
+    print("\nGraph summary:", summarize(agent.graph))
+    dot = to_dot(agent.graph, api_name="get_actions")
+    path = "/tmp/dqn_act_graph.dot"
+    with open(path, "w") as f:
+        f.write(dot)
+    print(f"DOT graph of the act dataflow written to {path} "
+          f"(render with `dot -Tpng`)")
+
+
+if __name__ == "__main__":
+    main()
+    visualize_demo()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: train a double DQN on GridWorld in ~30 seconds.
+
+Demonstrates the core loop of the agent API (paper Listing 2):
+``get_actions`` -> ``observe`` -> ``update``, plus weight export.
+
+Run:  python examples/quickstart.py [xgraph|xtape]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.agents import DQNAgent
+from repro.environments import GridWorld
+
+
+def main(backend: str = "xgraph"):
+    env = GridWorld("4x4", max_steps=30, seed=0)
+    print(f"Environment: {env}")
+
+    agent = DQNAgent(
+        state_space=env.state_space,
+        action_space=env.action_space,
+        network_spec=[{"type": "dense", "units": 64, "activation": "relu"}],
+        double_q=True,
+        memory_capacity=2000,
+        batch_size=64,
+        discount=0.95,
+        sync_interval=25,
+        optimizer_spec={"type": "adam", "learning_rate": 3e-3},
+        epsilon_spec={"type": "linear", "from_": 1.0, "to_": 0.05,
+                      "num_timesteps": 2000},
+        observe_flush_size=8,
+        backend=backend,
+        seed=5,
+    )
+    stats = agent.build_stats
+    print(f"Built {stats.num_components} components on '{backend}' in "
+          f"{stats.trace_time * 1e3:.1f} ms (trace) + "
+          f"{stats.build_time * 1e3:.1f} ms (build)")
+
+    # -- training loop ------------------------------------------------------
+    t0 = time.perf_counter()
+    state = env.reset()
+    episode_returns = []
+    for step in range(5000):
+        action, _ = agent.get_actions(state)
+        next_state, reward, terminal, _ = env.step(action)
+        agent.observe(state, action, reward, terminal, next_state)
+        if terminal:
+            episode_returns.append(env.episode_return)
+            state = env.reset()
+        else:
+            state = next_state
+        if step > 200 and step % 2 == 0:
+            agent.update()
+        if step % 1000 == 999:
+            recent = np.mean(episode_returns[-20:]) if episode_returns else 0
+            print(f"  step {step + 1:5d}  episodes {len(episode_returns):4d}  "
+                  f"mean return (last 20) {recent:+.2f}")
+    print(f"Training took {time.perf_counter() - t0:.1f}s "
+          f"({agent.updates} updates)")
+
+    # -- greedy evaluation ----------------------------------------------------
+    wins = 0
+    for _ in range(10):
+        state = env.reset()
+        for _ in range(30):
+            action, _ = agent.get_actions(state, explore=False)
+            state, reward, terminal, _ = env.step(action)
+            if terminal:
+                break
+        wins += int(terminal and reward == 1.0)
+    print(f"Greedy evaluation: {wins}/10 episodes reach the goal")
+
+    agent.export_model("/tmp/quickstart_dqn.pkl")
+    print("Saved weights to /tmp/quickstart_dqn.pkl")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "xgraph")

@@ -1,0 +1,17 @@
+"""Agents: pre-built models configurable from declarative specs (§3.4)."""
+
+from repro.agents.agent import AGENTS, Agent
+from repro.agents.dqn_agent import ApexAgent, DQNAgent
+from repro.agents.actor_critic_agent import ActorCriticAgent
+from repro.agents.ppo_agent import PPOAgent
+from repro.agents.impala_agent import IMPALAAgent
+
+__all__ = [
+    "AGENTS",
+    "Agent",
+    "DQNAgent",
+    "ApexAgent",
+    "ActorCriticAgent",
+    "PPOAgent",
+    "IMPALAAgent",
+]

@@ -1,0 +1,170 @@
+"""The abstract agent API (paper Listing 2).
+
+Agents own a root component, build it through the GraphBuilder for the
+chosen backend, and serve the general-purpose API (get_actions / observe /
+update / weights / import / export) by dispatching to the built graph's
+op registry — one executor call per API request.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import XGRAPH
+from repro.core import BuiltGraph, Component, GraphBuilder
+from repro.spaces import Space
+from repro.spaces.space_utils import space_from_spec
+from repro.utils.errors import RLGraphError
+from repro.utils.registry import Registry
+from repro.utils.seeding import SeedStream
+
+AGENTS = Registry("agent")
+
+
+class Agent:
+    """Base agent: spaces + root component + executor plumbing.
+
+    Subclasses implement :meth:`build_root` (component composition) and
+    :meth:`input_spaces` (spaces for the root API), then expose their
+    algorithm through the generic API below.
+    """
+
+    def __init__(self, state_space, action_space, backend: str = XGRAPH,
+                 discount: float = 0.99, observe_flush_size: int = 64,
+                 seed: Optional[int] = None, auto_build: bool = True,
+                 device_map: Optional[Dict[str, str]] = None):
+        self.state_space: Space = space_from_spec(state_space)
+        self.action_space: Space = space_from_spec(action_space)
+        self.backend = backend
+        self.discount = float(discount)
+        self.observe_flush_size = int(observe_flush_size)
+        self.seeds = SeedStream(seed)
+        self.device_map = device_map
+
+        self.root: Optional[Component] = None
+        self.graph: Optional[BuiltGraph] = None
+        self.timesteps = 0
+        self.updates = 0
+
+        # Per-environment observation buffers (python-side, flushed in
+        # batches through the observe/insert API — a deliberate batching
+        # choice the paper's throughput analysis highlights).
+        self._buffers: Dict[str, Dict[str, List]] = defaultdict(
+            lambda: {"states": [], "actions": [], "rewards": [],
+                     "terminals": [], "next_states": []})
+        self._buffered = 0
+
+        if auto_build:
+            self.build()
+
+    # -- to be implemented by concrete agents --------------------------------
+    def build_root(self) -> Component:
+        raise NotImplementedError
+
+    def input_spaces(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- build ------------------------------------------------------------------
+    def build(self, options: Optional[Dict] = None) -> "Agent":
+        """Build the component graph for the configured backend."""
+        if self.graph is not None:
+            raise RLGraphError("Agent already built")
+        self.root = self.build_root()
+        builder = GraphBuilder(backend=self.backend,
+                               seed=self.seeds.spawn("graph"))
+        self.graph = builder.build(self.root, self.input_spaces(),
+                                   device_map=self.device_map)
+        return self
+
+    @property
+    def build_stats(self):
+        return self.graph.stats if self.graph else None
+
+    def call_api(self, name: str, *args):
+        if self.graph is None:
+            raise RLGraphError("Agent not built; call build() first")
+        return self.graph.execute(name, *args)
+
+    # -- generic API (Listing 2) ---------------------------------------------------
+    def get_actions(self, states, explore: bool = True,
+                    preprocess: bool = True):
+        raise NotImplementedError
+
+    def observe(self, state, action, reward, terminal, next_state,
+                env_id: str = "env0") -> None:
+        """Buffer one transition; flush to the memory in batches."""
+        buf = self._buffers[env_id]
+        buf["states"].append(state)
+        buf["actions"].append(action)
+        buf["rewards"].append(reward)
+        buf["terminals"].append(terminal)
+        buf["next_states"].append(next_state)
+        self._buffered += 1
+        if self._buffered >= self.observe_flush_size:
+            self.flush_observations()
+
+    def observe_batch(self, states, actions, rewards, terminals,
+                      next_states) -> None:
+        """Insert a ready-made batch directly (vectorized workers)."""
+        self._insert_records({
+            "states": np.asarray(states),
+            "actions": np.asarray(actions),
+            "rewards": np.asarray(rewards, dtype=np.float32),
+            "terminals": np.asarray(terminals, dtype=bool),
+            "next_states": np.asarray(next_states),
+        })
+
+    def flush_observations(self) -> None:
+        if self._buffered == 0:
+            return
+        merged = {k: [] for k in ["states", "actions", "rewards", "terminals",
+                                  "next_states"]}
+        for buf in self._buffers.values():
+            for key in merged:
+                merged[key].extend(buf[key])
+            for key in buf:
+                buf[key].clear()
+        self._buffered = 0
+        self._insert_records({
+            "states": np.asarray(merged["states"]),
+            "actions": np.asarray(merged["actions"]),
+            "rewards": np.asarray(merged["rewards"], dtype=np.float32),
+            "terminals": np.asarray(merged["terminals"], dtype=bool),
+            "next_states": np.asarray(merged["next_states"]),
+        })
+
+    def _insert_records(self, records: Dict[str, np.ndarray]) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no memory to observe into")
+
+    def update(self, batch: Optional[Dict] = None):
+        raise NotImplementedError
+
+    # -- weights -----------------------------------------------------------------
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        return self.root.get_weights()
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        self.root.set_weights(weights)
+
+    def export_model(self, path: str) -> None:
+        """Serialize weights (+ counters) to ``path``."""
+        payload = {"weights": self.get_weights(),
+                   "timesteps": self.timesteps, "updates": self.updates}
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+
+    def import_model(self, path: str) -> None:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+        self.set_weights(payload["weights"])
+        self.timesteps = payload.get("timesteps", 0)
+        self.updates = payload.get("updates", 0)
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(backend={self.backend}, "
+                f"t={self.timesteps}, updates={self.updates})")

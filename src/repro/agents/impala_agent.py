@@ -1,0 +1,188 @@
+"""IMPALA agent (Espeholt et al. 2018; paper §5.1, Fig. 9).
+
+Actors run the policy and enqueue fixed-length rollouts with behaviour
+log-probs; the learner dequeues time-major (T, B, ...) batches, computes
+v-trace corrected targets and applies one optimizer step. The shared
+FIFO queue and the staging area live in the execution layer
+(:mod:`repro.execution.impala_runner`); this module is the model graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.agents.agent import AGENTS, Agent
+from repro.backend import functional as F
+from repro.backend.ops import handle_shape
+from repro.components.loss_functions import IMPALALoss
+from repro.components.optimizers import OPTIMIZERS
+from repro.components.policies import Policy
+from repro.components.preprocessing import PreprocessorStack
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces import BoolBox, FloatBox, IntBox
+from repro.utils.errors import RLGraphError
+
+_UINT31 = 2**31 - 1
+
+
+class IMPALARoot(Component):
+    def __init__(self, agent: "IMPALAAgent", scope="impala-agent", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        cfg = agent.config
+        self.preprocessor = PreprocessorStack(cfg["preprocessing_spec"],
+                                              scope="preprocessor")
+        self.policy = Policy(cfg["network_spec"], agent.action_space,
+                             value_head=True, scope="policy")
+        self.loss = IMPALALoss(
+            discount=agent.discount, value_coeff=cfg["value_coeff"],
+            entropy_coeff=cfg["entropy_coeff"],
+            clip_rho_threshold=cfg["clip_rho_threshold"],
+            clip_pg_rho_threshold=cfg["clip_pg_rho_threshold"], scope="loss")
+        self.optimizer = OPTIMIZERS.from_spec(cfg["optimizer_spec"])
+        self.optimizer.set_variables_provider(
+            lambda: list(self.policy.variable_registry().values()))
+        self.optimizer.build_dependencies = [self.policy]
+        self.add_components(self.preprocessor, self.policy, self.loss,
+                            self.optimizer)
+
+    # -- actor side ------------------------------------------------------------
+    @rlgraph_api
+    def act_with_log_probs(self, states, time_step):
+        preprocessed = self.preprocessor.preprocess(states)
+        actions = self.policy.get_action(preprocessed)
+        log_probs = self.policy.get_action_log_probs(preprocessed, actions)
+        return actions, log_probs, preprocessed
+
+    @rlgraph_api
+    def get_greedy_actions(self, states, time_step):
+        preprocessed = self.preprocessor.preprocess(states)
+        actions = self.policy.get_deterministic_action(preprocessed)
+        return actions, preprocessed
+
+    # -- learner side -------------------------------------------------------------
+    @rlgraph_api
+    def update_from_rollout(self, rollout_states, rollout_actions,
+                            behaviour_log_probs, rewards, terminals,
+                            bootstrap_states):
+        """One v-trace update from a time-major rollout batch."""
+        flat_states, flat_actions = self._graph_fn_fold_time(
+            rollout_states, rollout_actions)
+        log_probs_flat = self.policy.get_action_log_probs(flat_states,
+                                                          flat_actions)
+        values_flat = self.policy.get_state_values(flat_states)
+        entropies_flat = self.policy.get_entropy(flat_states)
+        bootstrap_values = self.policy.get_state_values(bootstrap_states)
+        log_probs, values, entropies = self._graph_fn_unfold_time(
+            log_probs_flat, values_flat, entropies_flat, rewards)
+        total, policy_loss, value_loss = self.loss.get_loss(
+            log_probs, behaviour_log_probs, values, bootstrap_values,
+            rewards, terminals, entropies)
+        step_op = self.optimizer.step(total)
+        return self._graph_fn_result(total, policy_loss, value_loss, step_op)
+
+    @graph_fn(returns=2, requires_variables=False)
+    def _graph_fn_fold_time(self, states, actions):
+        """(T, B, ...) -> (T*B, ...) for batched network evaluation."""
+        shape = handle_shape(states)
+        if shape is None or any(d is None for d in shape[2:]):
+            raise RLGraphError("fold_time needs known feature dims")
+        flat_states = F.reshape(states, (-1,) + tuple(shape[2:]))
+        flat_actions = F.reshape(actions, (-1,))
+        return flat_states, flat_actions
+
+    @graph_fn(returns=3, requires_variables=False)
+    def _graph_fn_unfold_time(self, log_probs, values, entropies, ref):
+        return (F.reshape_like(log_probs, ref), F.reshape_like(values, ref),
+                F.reshape_like(entropies, ref))
+
+    @graph_fn(returns=3, requires_variables=False)
+    def _graph_fn_result(self, total, policy_loss, value_loss, step_op):
+        if step_op is not None:
+            total = F.with_deps(total, step_op)
+        return total, policy_loss, value_loss
+
+
+@AGENTS.register("impala")
+class IMPALAAgent(Agent):
+    """Importance-weighted actor-learner agent."""
+
+    def __init__(self, state_space, action_space, **kwargs):
+        config = {
+            "network_spec": [{"type": "dense", "units": 128,
+                              "activation": "relu"}],
+            "preprocessing_spec": [],
+            "value_coeff": 0.5,
+            "entropy_coeff": 0.01,
+            "clip_rho_threshold": 1.0,
+            "clip_pg_rho_threshold": 1.0,
+            "rollout_length": 20,
+            "optimizer_spec": {"type": "rmsprop", "learning_rate": 1e-3},
+        }
+        agent_kwargs = {}
+        for key in ("backend", "discount", "observe_flush_size", "seed",
+                    "auto_build", "device_map"):
+            if key in kwargs:
+                agent_kwargs[key] = kwargs.pop(key)
+        unknown = set(kwargs) - set(config)
+        if unknown:
+            raise RLGraphError(f"Unknown IMPALA config keys: {sorted(unknown)}")
+        config.update(kwargs)
+        self.config = config
+        super().__init__(state_space, action_space, **agent_kwargs)
+
+    def build_root(self) -> Component:
+        return IMPALARoot(self)
+
+    def preprocessed_space(self):
+        stack = PreprocessorStack(self.config["preprocessing_spec"])
+        return stack.transformed_space(self.state_space)
+
+    def input_spaces(self) -> Dict[str, Any]:
+        preprocessed = self.preprocessed_space()
+        tm = dict(add_batch_rank=True, add_time_rank=True, time_major=True)
+        return {
+            "states": self.state_space.with_batch_rank(),
+            "time_step": IntBox(low=0, high=_UINT31),
+            "rollout_states": preprocessed.strip_ranks().with_extra_ranks(**tm),
+            "rollout_actions": self.action_space.strip_ranks()
+                                                .with_extra_ranks(**tm),
+            "behaviour_log_probs": FloatBox(**tm),
+            "rewards": FloatBox(**tm),
+            "terminals": BoolBox(**tm),
+            "bootstrap_states": preprocessed.with_batch_rank(),
+        }
+
+    def get_actions(self, states, explore: bool = True, preprocess: bool = True):
+        """Returns (actions, log_probs, preprocessed)."""
+        states = np.asarray(states)
+        single = states.shape == self.state_space.shape
+        if single:
+            states = states[None]
+        if explore:
+            out = self.call_api("act_with_log_probs", states,
+                                np.asarray(self.timesteps))
+        else:
+            actions, preprocessed = self.call_api(
+                "get_greedy_actions", states, np.asarray(self.timesteps))
+            out = (actions, np.zeros(len(states), np.float32), preprocessed)
+        self.timesteps += len(states)
+        return out
+
+    def update(self, batch: Optional[Dict] = None):
+        """V-trace update from a time-major rollout dict:
+        states (T,B,...), actions (T,B), behaviour_log_probs (T,B),
+        rewards (T,B), terminals (T,B), bootstrap_states (B,...)."""
+        if batch is None:
+            raise RLGraphError("IMPALA updates require a rollout batch")
+        total, policy_loss, value_loss = self.call_api(
+            "update_from_rollout", np.asarray(batch["states"]),
+            np.asarray(batch["actions"]),
+            np.asarray(batch["behaviour_log_probs"], np.float32),
+            np.asarray(batch["rewards"], np.float32),
+            np.asarray(batch["terminals"], bool),
+            np.asarray(batch["bootstrap_states"]))
+        self.updates += 1
+        return (float(np.asarray(total)), float(np.asarray(policy_loss)),
+                float(np.asarray(value_loss)))

@@ -1,0 +1,173 @@
+"""PPO agent: clipped-surrogate updates with multiple epochs per batch."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.agents.agent import AGENTS, Agent
+from repro.agents.actor_critic_agent import discounted_returns
+from repro.backend import functional as F
+from repro.components.loss_functions import PPOLoss
+from repro.components.optimizers import OPTIMIZERS
+from repro.components.policies import Policy
+from repro.components.preprocessing import PreprocessorStack
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces import FloatBox, IntBox
+from repro.utils.errors import RLGraphError
+
+_UINT31 = 2**31 - 1
+
+
+class PPORoot(Component):
+    def __init__(self, agent: "PPOAgent", scope="ppo-agent", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        cfg = agent.config
+        self.preprocessor = PreprocessorStack(cfg["preprocessing_spec"],
+                                              scope="preprocessor")
+        self.policy = Policy(cfg["network_spec"], agent.action_space,
+                             value_head=True, scope="policy")
+        self.loss = PPOLoss(clip_ratio=cfg["clip_ratio"],
+                            value_coeff=cfg["value_coeff"],
+                            entropy_coeff=cfg["entropy_coeff"], scope="loss")
+        self.optimizer = OPTIMIZERS.from_spec(cfg["optimizer_spec"])
+        self.optimizer.set_variables_provider(
+            lambda: list(self.policy.variable_registry().values()))
+        self.optimizer.build_dependencies = [self.policy]
+        self.add_components(self.preprocessor, self.policy, self.loss,
+                            self.optimizer)
+
+    @rlgraph_api
+    def act_with_log_probs(self, states, time_step):
+        """Returns (actions, log_probs, values, preprocessed) for rollout
+        collection — PPO needs behaviour log-probs for the ratio."""
+        preprocessed = self.preprocessor.preprocess(states)
+        actions = self.policy.get_action(preprocessed)
+        log_probs = self.policy.get_action_log_probs(preprocessed, actions)
+        values = self.policy.get_state_values(preprocessed)
+        return actions, log_probs, values, preprocessed
+
+    @rlgraph_api
+    def get_greedy_actions(self, states, time_step):
+        preprocessed = self.preprocessor.preprocess(states)
+        actions = self.policy.get_deterministic_action(preprocessed)
+        return actions, preprocessed
+
+    @rlgraph_api
+    def update_from_batch(self, next_states, actions, old_log_probs,
+                          advantages, returns):
+        log_probs = self.policy.get_action_log_probs(next_states, actions)
+        values = self.policy.get_state_values(next_states)
+        entropies = self.policy.get_entropy(next_states)
+        total, policy_loss = self.loss.get_loss(
+            log_probs, old_log_probs, advantages, values, returns, entropies)
+        step_op = self.optimizer.step(total)
+        return self._graph_fn_result(total, policy_loss, step_op)
+
+    @graph_fn(returns=2, requires_variables=False)
+    def _graph_fn_result(self, total, policy_loss, step_op):
+        if step_op is not None:
+            total = F.with_deps(total, step_op)
+        return total, policy_loss
+
+
+@AGENTS.register("ppo")
+class PPOAgent(Agent):
+    """PPO (Schulman et al. 2017) with multi-epoch minibatch updates."""
+
+    def __init__(self, state_space, action_space, **kwargs):
+        config = {
+            "network_spec": [{"type": "dense", "units": 128,
+                              "activation": "tanh"}],
+            "preprocessing_spec": [],
+            "clip_ratio": 0.2,
+            "value_coeff": 0.5,
+            "entropy_coeff": 0.01,
+            "epochs": 4,
+            "minibatch_size": 64,
+            "optimizer_spec": {"type": "adam", "learning_rate": 3e-4},
+        }
+        agent_kwargs = {}
+        for key in ("backend", "discount", "observe_flush_size", "seed",
+                    "auto_build", "device_map"):
+            if key in kwargs:
+                agent_kwargs[key] = kwargs.pop(key)
+        unknown = set(kwargs) - set(config)
+        if unknown:
+            raise RLGraphError(f"Unknown PPO config keys: {sorted(unknown)}")
+        config.update(kwargs)
+        self.config = config
+        super().__init__(state_space, action_space, **agent_kwargs)
+
+    def build_root(self) -> Component:
+        return PPORoot(self)
+
+    def preprocessed_space(self):
+        stack = PreprocessorStack(self.config["preprocessing_spec"])
+        return stack.transformed_space(self.state_space)
+
+    def input_spaces(self) -> Dict[str, Any]:
+        return {
+            "states": self.state_space.with_batch_rank(),
+            "time_step": IntBox(low=0, high=_UINT31),
+            "next_states": self.preprocessed_space().with_batch_rank(),
+            "actions": self.action_space.with_batch_rank(),
+            "old_log_probs": FloatBox(add_batch_rank=True),
+            "advantages": FloatBox(add_batch_rank=True),
+            "returns": FloatBox(add_batch_rank=True),
+        }
+
+    def get_actions(self, states, explore: bool = True, preprocess: bool = True):
+        """Returns (actions, log_probs, values, preprocessed)."""
+        states = np.asarray(states)
+        single = states.shape == self.state_space.shape
+        if single:
+            states = states[None]
+        if explore:
+            out = self.call_api("act_with_log_probs", states,
+                                np.asarray(self.timesteps))
+        else:
+            actions, preprocessed = self.call_api(
+                "get_greedy_actions", states, np.asarray(self.timesteps))
+            out = (actions, np.zeros(len(states), np.float32),
+                   np.zeros(len(states), np.float32), preprocessed)
+        self.timesteps += len(states)
+        return out
+
+    def update(self, batch: Optional[Dict] = None):
+        """Multi-epoch minibatch PPO update.
+
+        ``batch``: states (preprocessed), actions, old_log_probs, rewards,
+        terminals (or precomputed returns/advantages), values.
+        """
+        if batch is None:
+            raise RLGraphError("PPO is on-policy; pass a rollout batch")
+        states = np.asarray(batch["states"])
+        actions = np.asarray(batch["actions"])
+        old_log_probs = np.asarray(batch["old_log_probs"], np.float32)
+        if "returns" in batch:
+            returns = np.asarray(batch["returns"], np.float32)
+        else:
+            returns = discounted_returns(batch["rewards"], batch["terminals"],
+                                          self.discount)
+        if "advantages" in batch:
+            advantages = np.asarray(batch["advantages"], np.float32)
+        else:
+            advantages = returns - np.asarray(batch["values"], np.float32)
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        n = len(states)
+        mb = min(self.config["minibatch_size"], n)
+        rng = self.seeds.rng("ppo-minibatch", self.updates)
+        losses = []
+        for _ in range(self.config["epochs"]):
+            order = rng.permutation(n)
+            for start in range(0, n, mb):
+                idx = order[start:start + mb]
+                total, _ = self.call_api(
+                    "update_from_batch", states[idx], actions[idx],
+                    old_log_probs[idx], advantages[idx], returns[idx])
+                losses.append(float(np.asarray(total)))
+        self.updates += 1
+        return float(np.mean(losses))

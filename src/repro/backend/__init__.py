@@ -1,0 +1,73 @@
+"""Dual-mode execution backend.
+
+``repro.backend`` provides the two local backends the paper targets
+(static graph and define-by-run) behind one functional API:
+
+* ``functional`` (``F``) — ops usable from graph functions in either mode;
+* ``graph`` / ``session`` / ``gradients`` — the static-graph substrate
+  (TensorFlow stand-in);
+* ``eager`` — the define-by-run tape (PyTorch stand-in);
+* ``variables`` — mutable state shared by both modes.
+
+The *library-level* backend choice ("xgraph" vs "xtape") is stored here
+and consulted by the graph builder and executors.
+"""
+
+from repro.backend import context
+from repro.backend import functional
+from repro.backend.context import (
+    device,
+    eager_mode,
+    get_mode,
+    is_symbolic,
+    no_grad,
+    symbolic_mode,
+)
+from repro.backend.eager import ETensor, backward, collect_leaf_grads, raw
+from repro.backend.gradients import gradients
+from repro.backend.graph import Graph, Node, Placeholder
+from repro.backend.session import Session
+from repro.backend.variables import Variable
+from repro.utils.errors import RLGraphError
+
+XGRAPH = "xgraph"  # static-graph backend (TensorFlow stand-in)
+XTAPE = "xtape"    # define-by-run backend (PyTorch stand-in)
+
+_default_backend = XGRAPH
+
+
+def set_default_backend(name: str) -> None:
+    global _default_backend
+    if name not in (XGRAPH, XTAPE):
+        raise RLGraphError(f"Unknown backend {name!r}; use 'xgraph' or 'xtape'")
+    _default_backend = name
+
+
+def get_default_backend() -> str:
+    return _default_backend
+
+
+__all__ = [
+    "context",
+    "functional",
+    "device",
+    "eager_mode",
+    "symbolic_mode",
+    "get_mode",
+    "is_symbolic",
+    "no_grad",
+    "ETensor",
+    "backward",
+    "collect_leaf_grads",
+    "raw",
+    "gradients",
+    "Graph",
+    "Node",
+    "Placeholder",
+    "Session",
+    "Variable",
+    "XGRAPH",
+    "XTAPE",
+    "set_default_backend",
+    "get_default_backend",
+]

@@ -1,0 +1,186 @@
+"""Define-by-run tensors with a reverse-mode gradient tape.
+
+This is the PyTorch-style backend: ops compute immediately on NumPy
+arrays; if an input requires gradients, the output :class:`ETensor`
+remembers its parents and op spec so :func:`backward` can replay the
+shared gradient rules from :mod:`repro.backend.ops`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend import context
+
+_ids = itertools.count()
+
+
+class ETensor:
+    """An eager tensor that can participate in autodiff."""
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_spec", "_attrs",
+                 "id")
+
+    def __init__(self, data, requires_grad: bool = False, parents=None,
+                 spec=None, attrs=None):
+        self.data = np.asarray(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Sequence[Any] = parents or ()
+        self._spec = spec
+        self._attrs: Dict[str, Any] = attrs or {}
+        self.id = next(_ids)
+
+    # -- numpy-ish surface ------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self):
+        return self.data.item()
+
+    def zero_grad(self):
+        self.grad = None
+
+    def detach(self) -> "ETensor":
+        return ETensor(self.data, requires_grad=False)
+
+    def __repr__(self):
+        flag = ", grad" if self.requires_grad else ""
+        return f"<ETensor shape={self.data.shape} dtype={self.data.dtype}{flag}>"
+
+    def __len__(self):
+        return len(self.data)
+
+    # Operator sugar mirrors Node's.
+    def __add__(self, other):
+        from repro.backend import functional as F
+        return F.add(self, other)
+
+    def __radd__(self, other):
+        from repro.backend import functional as F
+        return F.add(other, self)
+
+    def __sub__(self, other):
+        from repro.backend import functional as F
+        return F.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.backend import functional as F
+        return F.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.backend import functional as F
+        return F.mul(self, other)
+
+    def __rmul__(self, other):
+        from repro.backend import functional as F
+        return F.mul(other, self)
+
+    def __truediv__(self, other):
+        from repro.backend import functional as F
+        return F.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.backend import functional as F
+        return F.div(other, self)
+
+    def __neg__(self):
+        from repro.backend import functional as F
+        return F.neg(self)
+
+    def __getitem__(self, item):
+        from repro.backend import functional as F
+        return F.getitem(self, item)
+
+
+def raw(handle) -> np.ndarray:
+    """The NumPy value behind an eager handle (ETensor or array-like)."""
+    if isinstance(handle, ETensor):
+        return handle.data
+    return handle
+
+
+def _needs_grad(handle) -> bool:
+    return isinstance(handle, ETensor) and (handle.requires_grad
+                                            or handle._parents)
+
+
+def backward(output: ETensor, grad: Optional[np.ndarray] = None) -> None:
+    """Reverse-mode accumulation of ``output`` gradients into leaf
+    ``.grad`` fields.
+
+    Gradient rules are evaluated under ``no_grad`` (no second-order
+    support, matching the library's needs).
+    """
+    if grad is None:
+        grad = np.ones_like(output.data, dtype=np.float32)
+    # Topological sort over the autodiff DAG.
+    topo: List[ETensor] = []
+    seen = set()
+
+    def visit(t):
+        if not isinstance(t, ETensor) or t.id in seen or not _needs_grad(t):
+            return
+        seen.add(t.id)
+        for p in t._parents:
+            visit(p)
+        topo.append(t)
+
+    visit(output)
+    grads: Dict[int, np.ndarray] = {output.id: np.asarray(grad)}
+
+    with context.no_grad():
+        for t in reversed(topo):
+            g = grads.pop(t.id, None)
+            if g is None:
+                continue
+            if t.requires_grad and t._spec is None:
+                # Leaf: accumulate.
+                t.grad = g if t.grad is None else t.grad + g
+                continue
+            if t._spec is None:
+                continue
+            input_grads = t._spec.grad(t._parents, t, g, t._attrs)
+            if t.requires_grad:
+                # Non-leaf that also wants its grad retained.
+                t.grad = g if t.grad is None else t.grad + g
+            for parent, pg in zip(t._parents, input_grads):
+                if pg is None or not isinstance(parent, ETensor):
+                    continue
+                if not _needs_grad(parent):
+                    continue
+                pg_val = raw(pg)
+                if parent.id in grads:
+                    grads[parent.id] = grads[parent.id] + pg_val
+                else:
+                    grads[parent.id] = pg_val
+
+
+def collect_leaf_grads(output: ETensor, leaves: Sequence[ETensor],
+                       grad: Optional[np.ndarray] = None):
+    """Run backward and return grads for ``leaves`` (zeros when untouched)."""
+    for leaf in leaves:
+        leaf.zero_grad()
+    backward(output, grad)
+    out = []
+    for leaf in leaves:
+        if leaf.grad is None:
+            out.append(np.zeros_like(leaf.data, dtype=np.float32))
+        else:
+            out.append(leaf.grad)
+    return out

@@ -1,0 +1,146 @@
+"""Reverse-mode autodiff over the symbolic graph.
+
+``gradients(ys, xs)`` constructs *new graph nodes* computing d(sum ys)/dx
+for each x, by replaying each op's shared gradient rule in symbolic mode.
+This is what optimizer components call during the build phase to create
+their update operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend import context
+from repro.backend import functional as F
+from repro.backend.graph import Node
+from repro.backend.ops import OPS
+from repro.utils.errors import RLGraphError
+
+
+def _ancestors(roots: Sequence[Node]):
+    """All nodes reachable from ``roots`` through data inputs."""
+    seen = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen[node.id] = node
+        stack.extend(node.inputs)
+    return seen
+
+
+def _topo_order(roots: Sequence[Node]) -> List[Node]:
+    order: List[Node] = []
+    visited = set()
+
+    def visit(node: Node):
+        if node.id in visited:
+            return
+        visited.add(node.id)
+        for inp in node.inputs:
+            visit(inp)
+        order.append(node)
+
+    for r in roots:
+        visit(r)
+    return order
+
+
+def gradients(ys, xs, grad_ys=None) -> List[Optional[Node]]:
+    """Symbolic gradients of ``sum(ys)`` with respect to each x in ``xs``.
+
+    Args:
+        ys: output node or list of output nodes (typically a scalar loss).
+        xs: nodes to differentiate against (typically variable reads).
+        grad_ys: optional incoming gradients per y (defaults to ones).
+
+    Returns:
+        One node (or ``None`` if unreachable) per x.
+    """
+    if not context.is_symbolic():
+        raise RLGraphError("gradients() requires symbolic mode")
+    ys = [ys] if isinstance(ys, Node) else list(ys)
+    xs = list(xs)
+    if grad_ys is None:
+        grad_ys = [None] * len(ys)
+
+    # Restrict the backward sweep to nodes that actually connect ys to xs.
+    on_y_path = _ancestors(ys)
+    x_ids = {x.id for x in xs}
+
+    reaches_x: Dict[int, bool] = {}
+
+    def _reaches(node: Node) -> bool:
+        cached = reaches_x.get(node.id)
+        if cached is not None:
+            return cached
+        reaches_x[node.id] = False  # cycle guard (graphs are acyclic anyway)
+        result = node.id in x_ids or any(_reaches(i) for i in node.inputs)
+        reaches_x[node.id] = result
+        return result
+
+    grads: Dict[int, Node] = {}
+    for y, gy in zip(ys, grad_ys):
+        if gy is None:
+            shape = y.shape
+            if shape is not None and None not in shape:
+                gy = context.current_graph().constant(
+                    np.ones(shape, dtype=np.float32))
+            else:
+                gy = F.broadcast_like(1.0, y)
+        if y.id in grads:
+            grads[y.id] = F.add(grads[y.id], gy)
+        else:
+            grads[y.id] = gy
+
+    order = _topo_order(ys)
+    for node in reversed(order):
+        g = grads.get(node.id)
+        if g is None or node.id in x_ids:
+            continue
+        spec = OPS.get(node.op)
+        if spec is None or spec.grad is None:
+            continue
+        if not _reaches(node):
+            continue
+        input_grads = spec.grad(node.inputs, node, g, node.attrs)
+        for inp, ig in zip(node.inputs, input_grads):
+            if ig is None or inp.id not in on_y_path and inp.id not in x_ids:
+                if ig is None:
+                    continue
+            if not _reaches(inp):
+                continue
+            if inp.id in grads:
+                grads[inp.id] = F.add(grads[inp.id], ig)
+            else:
+                grads[inp.id] = ig if isinstance(ig, Node) else F.identity(ig)
+
+    return [grads.get(x.id) for x in xs]
+
+
+def grads_of(loss, variables):
+    """Mode-agnostic gradients of ``loss`` w.r.t. Variable objects.
+
+    In symbolic mode this builds gradient nodes (zeros constants for
+    unreachable variables); in eager mode it runs a backward pass and
+    returns NumPy arrays. Written for use inside optimizer graph
+    functions, which therefore work unchanged on both backends.
+    """
+    from repro.backend.eager import ETensor, collect_leaf_grads
+
+    if context.is_symbolic():
+        reads = [v.read() for v in variables]
+        grads = gradients(loss, reads)
+        graph = context.current_graph()
+        return [
+            g if g is not None else graph.constant(
+                np.zeros(v.shape, dtype=np.float32))
+            for g, v in zip(grads, variables)
+        ]
+    leaves = [v.read() for v in variables]
+    if not isinstance(loss, ETensor):
+        return [np.zeros(v.shape, dtype=np.float32) for v in variables]
+    return collect_leaf_grads(loss, leaves)

@@ -1,0 +1,186 @@
+"""Symbolic computation graph: nodes, placeholders, constants.
+
+This is the static-graph substrate standing in for TensorFlow: the
+component-graph build (paper §3.3 phase 3) creates these nodes inside
+graph functions, and a :class:`~repro.backend.session.Session` later
+executes fetches with placeholder feeds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import context
+from repro.utils.errors import RLGraphError
+from repro.utils.seeding import SeedStream
+
+
+class Node:
+    """One operation (or placeholder/constant/variable-read) in the graph.
+
+    Nodes are single-output. ``shape`` may contain ``None`` for unknown
+    (batch/time) dims or be ``None`` entirely when inference gave up —
+    shape is advisory; authoritative typing lives in Space objects.
+    """
+
+    __slots__ = ("graph", "id", "op", "inputs", "attrs", "shape", "dtype",
+                 "control_inputs", "device", "name", "stateful")
+
+    def __init__(self, graph: "Graph", op: str, inputs: Sequence["Node"],
+                 attrs: Optional[Dict[str, Any]] = None, shape=None, dtype=None,
+                 name: str = "", stateful: bool = False):
+        self.graph = graph
+        self.id = graph._next_id()
+        self.op = op
+        self.inputs = list(inputs)
+        self.attrs = attrs or {}
+        self.shape = shape
+        self.dtype = dtype
+        self.control_inputs: List[Node] = []
+        self.device = context.current_device()
+        self.name = name or f"{op}_{self.id}"
+        self.stateful = stateful
+        graph.nodes.append(self)
+
+    def with_deps(self, *deps: "Node") -> "Node":
+        """Add control dependencies (must execute before this node)."""
+        self.control_inputs.extend(d for d in deps if d is not None)
+        return self
+
+    @property
+    def batch_dim_unknown(self) -> bool:
+        return self.shape is not None and len(self.shape) > 0 and self.shape[0] is None
+
+    def __repr__(self):
+        return f"<Node {self.name} op={self.op} shape={self.shape} dev={self.device}>"
+
+    # Allow natural operator syntax inside graph functions.
+    def __add__(self, other):
+        from repro.backend import functional as F
+        return F.add(self, other)
+
+    def __radd__(self, other):
+        from repro.backend import functional as F
+        return F.add(other, self)
+
+    def __sub__(self, other):
+        from repro.backend import functional as F
+        return F.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.backend import functional as F
+        return F.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.backend import functional as F
+        return F.mul(self, other)
+
+    def __rmul__(self, other):
+        from repro.backend import functional as F
+        return F.mul(other, self)
+
+    def __truediv__(self, other):
+        from repro.backend import functional as F
+        return F.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.backend import functional as F
+        return F.div(other, self)
+
+    def __neg__(self):
+        from repro.backend import functional as F
+        return F.neg(self)
+
+    def __getitem__(self, item):
+        from repro.backend import functional as F
+        return F.getitem(self, item)
+
+
+class Placeholder(Node):
+    """Graph input fed at session-run time."""
+
+    def __init__(self, graph, shape, dtype, name=""):
+        super().__init__(graph, "placeholder", [], shape=tuple(shape),
+                         dtype=np.dtype(dtype), name=name or f"ph_{graph._id_counter}")
+        graph.placeholders[self.name] = self
+
+
+class Graph:
+    """A container of nodes plus per-graph variable and seed state."""
+
+    _graph_counter = itertools.count()
+
+    def __init__(self, name: str = "", seed: Optional[int] = None):
+        self.name = name or f"graph_{next(Graph._graph_counter)}"
+        self.nodes: List[Node] = []
+        self.placeholders: Dict[str, Placeholder] = {}
+        self.variables: Dict[str, "Variable"] = {}
+        self.seed_stream = SeedStream(seed)
+        self._ids = itertools.count()
+        self._id_counter = 0
+        self._const_cache: Dict[Tuple, Node] = {}
+
+    def _next_id(self) -> int:
+        self._id_counter = next(self._ids)
+        return self._id_counter
+
+    def next_op_seed(self) -> int:
+        """A distinct deterministic seed per random op. Sharing one seed
+        would correlate e.g. an epsilon-mask draw with the random-action
+        draw, silently truncating exploration."""
+        self._op_seed_counter = getattr(self, "_op_seed_counter", 0) + 1
+        return self.seed_stream.spawn("op", self._op_seed_counter)
+
+    # -- factories -----------------------------------------------------
+    def placeholder(self, shape, dtype=np.float32, name="") -> Placeholder:
+        return Placeholder(self, shape, dtype, name=name)
+
+    def constant(self, value, dtype=None, name="") -> Node:
+        arr = np.asarray(value, dtype=dtype)
+        if arr.dtype == np.float64:
+            arr = arr.astype(np.float32)
+        key = None
+        if arr.size <= 64:
+            key = (arr.tobytes(), str(arr.dtype), arr.shape)
+            cached = self._const_cache.get(key)
+            if cached is not None:
+                return cached
+        node = Node(self, "const", [], attrs={"value": arr}, shape=arr.shape,
+                    dtype=arr.dtype, name=name)
+        if key is not None:
+            self._const_cache[key] = node
+        return node
+
+    def register_variable(self, var) -> None:
+        if var.name in self.variables:
+            raise RLGraphError(f"Duplicate variable name {var.name!r} in graph")
+        self.variables[var.name] = var
+
+    def as_default(self):
+        """Context manager making this the current build graph."""
+        graph = self
+
+        class _Ctx:
+            def __enter__(self):
+                context.push_graph(graph)
+                return graph
+
+            def __exit__(self, *exc):
+                context.pop_graph()
+                return False
+
+        return _Ctx()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "num_nodes": len(self.nodes),
+            "num_placeholders": len(self.placeholders),
+            "num_variables": len(self.variables),
+        }
+
+    def __repr__(self):
+        return (f"Graph({self.name}, nodes={len(self.nodes)}, "
+                f"vars={len(self.variables)})")

@@ -1,0 +1,195 @@
+"""Pure-NumPy forward kernels shared by both backends.
+
+Only kernels that need nontrivial implementations live here (convolution,
+LSTM, one-hot). Elementwise and reduction ops call NumPy directly from the
+op table in :mod:`repro.backend.ops`.
+
+Layout conventions follow TensorFlow: images are NHWC, conv filters are
+(KH, KW, Cin, Cout), LSTM inputs are time-major (T, B, D) to match the
+paper's time-major space option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Convolution (NHWC, via im2col)
+# ---------------------------------------------------------------------------
+def conv2d_output_size(in_size: int, k: int, stride: int, padding: str) -> int:
+    if padding == "SAME":
+        return -(-in_size // stride)  # ceil division
+    return (in_size - k) // stride + 1
+
+
+def _same_pad_amounts(in_size: int, k: int, stride: int):
+    out = conv2d_output_size(in_size, k, stride, "SAME")
+    total = max((out - 1) * stride + k - in_size, 0)
+    return total // 2, total - total // 2
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: str) -> np.ndarray:
+    """(N, H, W, C) -> (N, OH, OW, KH*KW*C) patch matrix."""
+    n, h, w, c = x.shape
+    if padding == "SAME":
+        ph0, ph1 = _same_pad_amounts(h, kh, stride)
+        pw0, pw1 = _same_pad_amounts(w, kw, stride)
+        x = np.pad(x, ((0, 0), (ph0, ph1), (pw0, pw1), (0, 0)))
+        h, w = x.shape[1], x.shape[2]
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+        writeable=False,
+    )
+    return np.ascontiguousarray(patches).reshape(n, oh, ow, kh * kw * c)
+
+
+def col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int,
+           padding: str) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter patch grads back onto the image."""
+    n, h, w, c = x_shape
+    if padding == "SAME":
+        ph0, ph1 = _same_pad_amounts(h, kh, stride)
+        pw0, pw1 = _same_pad_amounts(w, kw, stride)
+    else:
+        ph0 = ph1 = pw0 = pw1 = 0
+    hp, wp = h + ph0 + ph1, w + pw0 + pw1
+    out = np.zeros((n, hp, wp, c), dtype=cols.dtype)
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    cols6 = cols.reshape(n, oh, ow, kh, kw, c)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, i:i + stride * oh:stride, j:j + stride * ow:stride, :] += (
+                cols6[:, :, :, i, j, :]
+            )
+    return out[:, ph0:hp - ph1 if ph1 else hp, pw0:wp - pw1 if pw1 else wp, :]
+
+
+def conv2d_forward(x: np.ndarray, filters: np.ndarray, stride: int,
+                   padding: str) -> np.ndarray:
+    """NHWC conv. ``filters``: (KH, KW, Cin, Cout)."""
+    kh, kw, cin, cout = filters.shape
+    assert x.shape[-1] == cin, (x.shape, filters.shape)
+    cols = im2col(x, kh, kw, stride, padding)  # (N, OH, OW, KH*KW*Cin)
+    out = cols @ filters.reshape(-1, cout)
+    return out
+
+
+def conv2d_backward(grad: np.ndarray, x: np.ndarray, filters: np.ndarray,
+                    stride: int, padding: str):
+    kh, kw, cin, cout = filters.shape
+    cols = im2col(x, kh, kw, stride, padding)
+    n, oh, ow, _ = cols.shape
+    grad2 = grad.reshape(-1, cout)
+    dfilters = (cols.reshape(-1, kh * kw * cin).T @ grad2).reshape(filters.shape)
+    dcols = (grad2 @ filters.reshape(-1, cout).T).reshape(n, oh, ow, kh * kw * cin)
+    dx = col2im(dcols, x.shape, kh, kw, stride, padding)
+    return dx, dfilters
+
+
+# ---------------------------------------------------------------------------
+# Fused LSTM (time-major) with manual BPTT
+# ---------------------------------------------------------------------------
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def lstm_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray,
+                 h0: np.ndarray, c0: np.ndarray):
+    """Run an LSTM over a time-major sequence.
+
+    Args:
+        x: (T, B, D) inputs.
+        w: (D + H, 4H) stacked kernel, gate order [i, f, g, o].
+        b: (4H,) bias.
+        h0, c0: (B, H) initial states.
+
+    Returns:
+        outputs (T, B, H), final (h, c), and a cache for backward.
+    """
+    t_steps, batch, _ = x.shape
+    hidden = h0.shape[-1]
+    outs = np.empty((t_steps, batch, hidden), dtype=np.float32)
+    cache = []
+    h, c = h0.astype(np.float32), c0.astype(np.float32)
+    for t in range(t_steps):
+        xh = np.concatenate([x[t], h], axis=1)
+        gates = xh @ w + b
+        i = _sigmoid(gates[:, :hidden])
+        f = _sigmoid(gates[:, hidden:2 * hidden] + 1.0)  # forget bias 1.0
+        g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden:])
+        c_new = f * c + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        cache.append((xh, i, f, g, o, c, tanh_c))
+        h, c = h_new, c_new
+        outs[t] = h
+    return outs, h, c, cache
+
+
+def lstm_backward(grad_outs: np.ndarray, grad_h_final: np.ndarray,
+                  grad_c_final: np.ndarray, x: np.ndarray, w: np.ndarray,
+                  cache):
+    """BPTT through :func:`lstm_forward`.
+
+    Returns dx (T,B,D), dw, db, dh0, dc0.
+    """
+    t_steps, batch, dim = x.shape
+    hidden = grad_outs.shape[-1]
+    dw = np.zeros_like(w)
+    db = np.zeros(4 * hidden, dtype=np.float32)
+    dx = np.empty_like(x, dtype=np.float32)
+    dh = grad_h_final.astype(np.float32).copy()
+    dc = grad_c_final.astype(np.float32).copy()
+    for t in range(t_steps - 1, -1, -1):
+        xh, i, f, g, o, c_prev, tanh_c = cache[t]
+        dh = dh + grad_outs[t]
+        do = dh * tanh_c
+        dc = dc + dh * o * (1.0 - tanh_c ** 2)
+        di = dc * g
+        dg = dc * i
+        df = dc * c_prev
+        dc = dc * f
+        dgates = np.concatenate(
+            [di * i * (1 - i), df * f * (1 - f), dg * (1 - g ** 2),
+             do * o * (1 - o)], axis=1)
+        dw += xh.T @ dgates
+        db += dgates.sum(axis=0)
+        dxh = dgates @ w.T
+        dx[t] = dxh[:, :dim]
+        dh = dxh[:, dim:]
+    return dx, dw, db, dh, dc
+
+
+# ---------------------------------------------------------------------------
+# Misc kernels
+# ---------------------------------------------------------------------------
+def one_hot(indices: np.ndarray, depth: int, dtype=np.float32) -> np.ndarray:
+    flat = np.asarray(indices).reshape(-1).astype(np.int64)
+    out = np.zeros((flat.size, depth), dtype=dtype)
+    valid = (flat >= 0) & (flat < depth)
+    out[np.arange(flat.size)[valid], flat[valid]] = 1
+    return out.reshape(np.asarray(indices).shape + (depth,))
+
+
+def unbroadcast(grad: np.ndarray, target_shape) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``target_shape`` (reverse of
+    NumPy broadcasting)."""
+    grad = np.asarray(grad)
+    if grad.shape == tuple(target_shape):
+        return grad
+    # Sum out prepended dims.
+    while grad.ndim > len(target_shape):
+        grad = grad.sum(axis=0)
+    # Sum along broadcast (size-1) dims.
+    for axis, size in enumerate(target_shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad

@@ -1,0 +1,150 @@
+"""Session: executes symbolic-graph fetches with placeholder feeds.
+
+The Session is the runtime half of the static-graph backend. It computes
+and caches a topological *execution plan* per fetch-set (the paper's graph
+executor batches "all relevant operations into a single session call", §1),
+then evaluates the plan with a per-run value table. Control dependencies
+order side-effecting nodes (assigns, scatters) relative to reads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.graph import Graph, Node, Placeholder
+from repro.backend.ops import OPS
+from repro.utils.errors import RLGraphError
+
+
+class SessionStats:
+    """Lightweight profiling counters (run calls, wall time, plan cache)."""
+
+    def __init__(self):
+        self.run_calls = 0
+        self.total_time = 0.0
+        self.plan_builds = 0
+        self.nodes_executed = 0
+
+    def as_dict(self):
+        return {
+            "run_calls": self.run_calls,
+            "total_time": self.total_time,
+            "plan_builds": self.plan_builds,
+            "nodes_executed": self.nodes_executed,
+        }
+
+    def reset(self):
+        self.__init__()
+
+
+class Session:
+    """Evaluates fetches against a :class:`~repro.backend.graph.Graph`.
+
+    Args:
+        graph: the graph to execute.
+        cache_plans: keep the topological plan per fetch-set. Disabling
+            this is the E-ablation showing per-call planning cost.
+    """
+
+    def __init__(self, graph: Graph, cache_plans: bool = True):
+        self.graph = graph
+        self.cache_plans = cache_plans
+        self._plans: Dict[Tuple[int, ...], List[Node]] = {}
+        self.stats = SessionStats()
+
+    # -- plan construction --------------------------------------------------
+    def _build_plan(self, fetches: Sequence[Node]) -> List[Node]:
+        """Topological order over data + control dependencies."""
+        order: List[Node] = []
+        state: Dict[int, int] = {}  # 0=visiting, 1=done
+
+        def visit(node: Node):
+            st = state.get(node.id)
+            if st == 1:
+                return
+            if st == 0:
+                raise RLGraphError(f"Cycle detected at node {node.name}")
+            state[node.id] = 0
+            for dep in node.inputs:
+                visit(dep)
+            for dep in node.control_inputs:
+                visit(dep)
+            state[node.id] = 1
+            order.append(node)
+
+        for f in fetches:
+            visit(f)
+        self.stats.plan_builds += 1
+        return order
+
+    def _get_plan(self, fetches: Sequence[Node]) -> List[Node]:
+        if not self.cache_plans:
+            return self._build_plan(fetches)
+        key = tuple(f.id for f in fetches)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._build_plan(fetches)
+            self._plans[key] = plan
+        return plan
+
+    # -- execution ------------------------------------------------------------
+    def run(self, fetches, feed_dict: Optional[Dict[Node, Any]] = None):
+        """Evaluate ``fetches`` (a Node or a list/tuple of Nodes).
+
+        Returns a single value for a single fetch, else a list of values.
+        """
+        t0 = time.perf_counter()
+        single = isinstance(fetches, Node)
+        fetch_list: List[Node] = [fetches] if single else list(fetches)
+        for f in fetch_list:
+            if not isinstance(f, Node):
+                raise RLGraphError(f"Fetch {f!r} is not a graph Node")
+
+        values: Dict[int, Any] = {}
+        if feed_dict:
+            for ph, val in feed_dict.items():
+                if not isinstance(ph, Placeholder):
+                    raise RLGraphError(f"feed_dict key {ph!r} is not a Placeholder")
+                arr = np.asarray(val)
+                if ph.dtype is not None and arr.dtype != ph.dtype:
+                    arr = arr.astype(ph.dtype)
+                values[ph.id] = arr
+
+        plan = self._get_plan(fetch_list)
+        for node in plan:
+            if node.id in values:
+                continue
+            self._execute_node(node, values)
+
+        self.stats.run_calls += 1
+        self.stats.nodes_executed += len(plan)
+        self.stats.total_time += time.perf_counter() - t0
+        results = [values[f.id] for f in fetch_list]
+        return results[0] if single else results
+
+    def _execute_node(self, node: Node, values: Dict[int, Any]):
+        op = node.op
+        if op == "placeholder":
+            raise RLGraphError(
+                f"Placeholder {node.name} was not fed (shape {node.shape})")
+        if op == "const":
+            values[node.id] = node.attrs["value"]
+            return
+        spec = OPS.get(op)
+        if spec is None:
+            raise RLGraphError(f"Unknown op {op!r} for node {node.name}")
+        args = [values[i.id] for i in node.inputs]
+        values[node.id] = spec.forward(args, node.attrs)
+
+    # -- convenience -------------------------------------------------------------
+    def warm_up(self, fetches, feed_dict=None):
+        """Build (and cache) the plan without counting it as a run."""
+        self._get_plan([fetches] if isinstance(fetches, Node) else list(fetches))
+
+    def plan_size(self, fetches) -> int:
+        plan = self._get_plan([fetches] if isinstance(fetches, Node)
+                              else list(fetches))
+        return len(plan)

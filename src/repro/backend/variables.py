@@ -1,0 +1,177 @@
+"""Variables: named, mutable state usable from both backends.
+
+In symbolic mode a variable is read via a ``read_var`` node and mutated
+through side-effecting ``assign``/``scatter`` nodes that the Session
+executes in control-dependency order — the TensorFlow-style semantics
+RLgraph's memory components rely on (paper Fig. 2). In eager mode the
+same Variable mutates its NumPy storage immediately and reads return a
+grad-tracked :class:`~repro.backend.eager.ETensor` (for trainables) or
+the raw array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import context
+from repro.backend.eager import ETensor
+from repro.backend.graph import Node
+from repro.backend.ops import OPS, apply_op, register_op
+from repro.utils.errors import RLGraphError
+
+
+# -- stateful op specs -------------------------------------------------------
+def _read_var_fwd(i, a):
+    return a["var"].value
+
+
+def _assign_fwd(i, a):
+    a["var"].set(i[0])
+    return a["var"].value
+
+
+def _assign_add_fwd(i, a):
+    var = a["var"]
+    var.value += np.asarray(i[0], dtype=var.value.dtype)
+    return var.value
+
+
+def _scatter_update_fwd(i, a):
+    idx, values = i
+    var = a["var"]
+    var.value[np.asarray(idx).astype(np.int64)] = values
+    return np.asarray(np.size(idx), dtype=np.int64)
+
+
+def _scatter_add_fwd(i, a):
+    idx, values = i
+    var = a["var"]
+    np.add.at(var.value, np.asarray(idx).astype(np.int64), values)
+    return np.asarray(np.size(idx), dtype=np.int64)
+
+
+register_op("read_var", _read_var_fwd, None,
+            shape_fn=lambda shapes, a: a["var"].shape,
+            dtype_fn=lambda dtypes, a: a["var"].dtype, stateful=True)
+register_op("assign", _assign_fwd, None,
+            shape_fn=lambda shapes, a: a["var"].shape,
+            dtype_fn=lambda dtypes, a: a["var"].dtype, stateful=True)
+register_op("assign_add", _assign_add_fwd, None,
+            shape_fn=lambda shapes, a: a["var"].shape,
+            dtype_fn=lambda dtypes, a: a["var"].dtype, stateful=True)
+register_op("scatter_update", _scatter_update_fwd, None,
+            shape_fn=lambda shapes, a: (), stateful=True)
+register_op("scatter_add", _scatter_add_fwd, None,
+            shape_fn=lambda shapes, a: (), stateful=True)
+
+
+class Variable:
+    """Named mutable array with a fixed shape and dtype."""
+
+    def __init__(self, name: str, initial_value, trainable: bool = True,
+                 dtype=None, graph=None, device: Optional[str] = None):
+        value = np.array(initial_value, dtype=dtype)
+        if value.dtype == np.float64:
+            value = value.astype(np.float32)
+        self.name = name
+        self.value = value
+        self.trainable = bool(trainable)
+        self.device = device or context.current_device()
+        self.graph = graph
+        self._eager_tensor: Optional[ETensor] = None
+        self._read_nodes = {}
+        if graph is not None:
+            graph.register_variable(self)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def dtype(self):
+        return self.value.dtype
+
+    # -- raw access ------------------------------------------------------------
+    def numpy(self) -> np.ndarray:
+        return self.value
+
+    def set(self, new_value) -> None:
+        """Overwrite in place (shape must match; dtype is cast)."""
+        arr = np.asarray(new_value, dtype=self.value.dtype)
+        if arr.shape != self.value.shape:
+            raise RLGraphError(
+                f"Variable {self.name}: shape {arr.shape} != {self.value.shape}")
+        self.value[...] = arr
+        # _eager_tensor wraps the same buffer, so it stays current.
+
+    # -- handles -----------------------------------------------------------------
+    def read(self):
+        """Handle for use inside graph functions.
+
+        Symbolic mode -> a ``read_var`` node (one per graph, cached);
+        eager mode -> a shared grad-leaf ETensor for trainables, or the raw
+        array for non-trainables (cheaper, no tape interaction).
+        """
+        if context.is_symbolic():
+            graph = context.current_graph()
+            node = self._read_nodes.get(id(graph))
+            if node is None:
+                node = apply_op(OPS["read_var"], [], {"var": self})
+                node.name = f"read/{self.name}"
+                self._read_nodes[id(graph)] = node
+            return node
+        if not self.trainable:
+            return self.value
+        if self._eager_tensor is None or self._eager_tensor.data is not self.value:
+            self._eager_tensor = ETensor(self.value, requires_grad=True)
+        return self._eager_tensor
+
+    def assign(self, value):
+        """Assign op (symbolic) or immediate in-place write (eager)."""
+        if context.is_symbolic():
+            return apply_op(OPS["assign"], [value], {"var": self})
+        from repro.backend.eager import raw
+        self.set(raw(value))
+        return None
+
+    def assign_add(self, delta):
+        if context.is_symbolic():
+            return apply_op(OPS["assign_add"], [delta], {"var": self})
+        from repro.backend.eager import raw
+        self.value += np.asarray(raw(delta), dtype=self.value.dtype)
+        return None
+
+    def scatter_update(self, indices, values):
+        """Row-wise write: ``value[indices] = values``."""
+        if context.is_symbolic():
+            return apply_op(OPS["scatter_update"], [indices, values],
+                            {"var": self})
+        from repro.backend.eager import raw
+        self.value[np.asarray(raw(indices)).astype(np.int64)] = raw(values)
+        return None
+
+    def scatter_add(self, indices, values):
+        if context.is_symbolic():
+            return apply_op(OPS["scatter_add"], [indices, values], {"var": self})
+        from repro.backend.eager import raw
+        np.add.at(self.value, np.asarray(raw(indices)).astype(np.int64),
+                  raw(values))
+        return None
+
+    def grad(self) -> Optional[np.ndarray]:
+        """Eager-mode gradient accumulated by the last backward pass."""
+        if self._eager_tensor is None:
+            return None
+        return self._eager_tensor.grad
+
+    def zero_grad(self):
+        if self._eager_tensor is not None:
+            self._eager_tensor.zero_grad()
+
+    def __repr__(self):
+        kind = "trainable" if self.trainable else "state"
+        return (f"Variable({self.name}, shape={self.value.shape}, "
+                f"dtype={self.value.dtype}, {kind})")

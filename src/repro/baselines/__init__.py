@@ -1,0 +1,15 @@
+"""Baseline implementations the paper compares against (DESIGN.md §2):
+
+* ``rllib_like`` — Ape-X with RLlib v0.5.2's incremental post-processing
+  pattern (Figs. 6, 7a, 7b);
+* ``dm_impala`` — the DeepMind IMPALA reference actor with its redundant
+  per-step variable assignments (Figs. 9 + §5.1's 20 % single-worker
+  observation);
+* ``handtuned`` — a bare-bones NumPy actor for the Fig. 5b comparison.
+"""
+
+from repro.baselines.rllib_like import RLlibLikeApexExecutor
+from repro.baselines.dm_impala import DMReferenceIMPALARunner
+from repro.baselines.handtuned import HandTunedActor
+
+__all__ = ["RLlibLikeApexExecutor", "DMReferenceIMPALARunner", "HandTunedActor"]

@@ -1,0 +1,83 @@
+"""Hand-tuned bare-bones actor (Fig. 5b's "PT hand-tuned").
+
+A direct NumPy forward pass of the same conv + dueling architecture with
+zero framework dispatch: no components, no API decorators, no tape. This
+is the lower bound that isolates RLgraph's define-by-run per-call
+overhead in the act-throughput benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.backend import kernels
+from repro.utils.errors import RLGraphError
+
+
+class HandTunedActor:
+    """Inference-only actor mirroring an agent's policy weights.
+
+    Build it from a built DQN-family agent via :meth:`from_agent`; its
+    ``act`` runs raw kernel calls on the preprocessed frames.
+    """
+
+    def __init__(self, conv_layers: List[Dict], dense_layers: List[Dict],
+                 dueling: Dict = None, divide: float = 255.0):
+        self.conv_layers = conv_layers      # [{w, b, stride, padding}]
+        self.dense_layers = dense_layers    # [{w, b, activation}]
+        self.dueling = dueling              # {v_hidden, v_out, a_hidden, a_out}
+        self.divide = float(divide)
+
+    @classmethod
+    def from_agent(cls, agent, divide: float = 255.0) -> "HandTunedActor":
+        policy = agent.root.policy
+        conv_layers, dense_layers = [], []
+        for layer in policy.network.layers:
+            name = type(layer).__name__
+            if name == "Conv2DLayer":
+                conv_layers.append({
+                    "w": layer.kernel.value, "b": layer.bias.value,
+                    "stride": layer.stride, "padding": layer.padding})
+            elif name == "DenseLayer":
+                dense_layers.append({
+                    "w": layer.kernel.value, "b": layer.bias.value,
+                    "activation": layer.activation})
+            elif name == "FlattenLayer":
+                continue
+            else:
+                raise RLGraphError(f"HandTunedActor cannot mirror {name}")
+        dueling = None
+        if getattr(policy, "dueling", False):
+            head = policy.dueling_head
+            dueling = {"v_hidden": head.v_hidden.value,
+                       "v_out": head.v_out.value,
+                       "a_hidden": head.a_hidden.value,
+                       "a_out": head.a_out.value}
+        else:
+            adapter = policy.action_adapter
+            dense_layers.append({"w": adapter.kernel.value,
+                                 "b": adapter.bias.value, "activation": None})
+        return cls(conv_layers, dense_layers, dueling, divide=divide)
+
+    def act(self, frames: np.ndarray) -> np.ndarray:
+        """Greedy actions for a batch of raw frames."""
+        x = np.asarray(frames, dtype=np.float32) / self.divide
+        for layer in self.conv_layers:
+            x = kernels.conv2d_forward(x, layer["w"], layer["stride"],
+                                       layer["padding"]) + layer["b"]
+            np.maximum(x, 0.0, out=x)
+        x = x.reshape(len(x), -1)
+        for layer in self.dense_layers:
+            x = x @ layer["w"] + layer["b"]
+            if layer["activation"] == "relu":
+                np.maximum(x, 0.0, out=x)
+            elif layer["activation"] == "tanh":
+                np.tanh(x, out=x)
+        if self.dueling is not None:
+            d = self.dueling
+            v = np.maximum(x @ d["v_hidden"], 0.0) @ d["v_out"]
+            a = np.maximum(x @ d["a_hidden"], 0.0) @ d["a_out"]
+            x = v + a - a.mean(axis=1, keepdims=True)
+        return x.argmax(axis=1)

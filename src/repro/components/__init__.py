@@ -1,0 +1,2 @@
+"""Off-the-shelf RLgraph components (paper §3.3: buffers, optimizers,
+neural networks, splitters/mergers, preprocessors, ...)."""

@@ -1,0 +1,16 @@
+"""Common plumbing components: container split/merge, sync, queues."""
+
+from repro.components.common.splitters import ContainerSplitter, ContainerMerger
+from repro.components.common.synchronizer import Synchronizer
+from repro.components.common.fifo_queue import FIFOQueue
+from repro.components.common.staging_area import StagingArea
+from repro.components.common.batch_splitter import BatchSplitter
+
+__all__ = [
+    "ContainerSplitter",
+    "ContainerMerger",
+    "Synchronizer",
+    "FIFOQueue",
+    "StagingArea",
+    "BatchSplitter",
+]

@@ -1,0 +1,60 @@
+"""BatchSplitter: splits an input batch into per-device sub-batches.
+
+This is the generic input-space splitter the graph executor inserts when
+expanding the component graph for the synchronous multi-GPU strategy
+(paper §4.1): each replica trains on one shard, gradients are averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+class BatchSplitter(Component):
+    """Splits the leading batch dim into ``num_shards`` equal slices.
+
+    Container records are split leaf-wise, preserving structure per shard.
+    The batch size must be divisible by ``num_shards`` (the executor pads
+    or trims update batches to guarantee this).
+    """
+
+    def __init__(self, num_shards: int, scope: str = "batch-splitter", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if num_shards < 1:
+            raise RLGraphError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+
+    def __new__(cls, num_shards, **kwargs):
+        instance = super().__new__(cls)
+
+        @graph_fn(returns=num_shards, requires_variables=False)
+        def _graph_fn_split(self, records):
+            from repro.spaces.space_utils import flatten_value, unflatten_value
+
+            is_container = isinstance(records, (dict, tuple))
+            flat = flatten_value(records) if is_container else {"": records}
+            first = next(iter(flat.values()))
+            batch = F.getitem(F.shape_of(first), 0)
+            shard = F.cast(F.div(F.cast(batch, np.float32),
+                                 float(self.num_shards)), np.int64)
+            shards = []
+            for i in range(self.num_shards):
+                idx = F.add(F.dyn_arange(shard), F.mul(shard, i))
+                piece = {k: F.gather(v, idx) for k, v in flat.items()}
+                shards.append(unflatten_value(piece) if is_container
+                              else piece[""])
+            return tuple(shards) if self.num_shards > 1 else shards[0]
+
+        instance._graph_fn_split = _graph_fn_split.__get__(instance, cls)
+        return instance
+
+    @rlgraph_api
+    def split(self, records):
+        return self._graph_fn_split(records)
+
+    def _graph_fn_split(self, records):
+        raise NotImplementedError  # replaced per-instance in __new__

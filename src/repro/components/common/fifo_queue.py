@@ -1,0 +1,108 @@
+"""FIFOQueue component: the globally shared blocking queue IMPALA uses
+(paper §5.1: actors enqueue rollouts, the learner dequeues them).
+
+The queue itself is host-side Python state; enqueue/dequeue appear in the
+computation graph as stateful ``py_func`` ops, mirroring TF's queue ops.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphQueueError
+
+
+class FIFOQueue(Component):
+    """Bounded, thread-safe FIFO of record batches.
+
+    ``dequeue`` blocks until data is available (with an optional timeout,
+    after which it raises), which is exactly the back-pressure behaviour
+    the IMPALA learner relies on.
+    """
+
+    def __init__(self, capacity: int = 64, timeout: Optional[float] = 10.0,
+                 scope: str = "fifo-queue", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.capacity = int(capacity)
+        self.timeout = timeout
+        self._queue: _queue.Queue = _queue.Queue(maxsize=self.capacity)
+        self._closed = threading.Event()
+
+    # -- host-side primitives (shared by both backends via py_func) -------
+    def put(self, item) -> int:
+        if self._closed.is_set():
+            raise RLGraphQueueError(f"Queue {self.scope} is closed")
+        try:
+            self._queue.put(item, timeout=self.timeout)
+        except _queue.Full:
+            raise RLGraphQueueError(
+                f"Queue {self.scope} full after {self.timeout}s") from None
+        return self._queue.qsize()
+
+    def get(self):
+        import time
+        deadline = (None if self.timeout is None
+                    else time.monotonic() + self.timeout)
+        while True:
+            if self._closed.is_set() and self._queue.empty():
+                raise RLGraphQueueError(f"Queue {self.scope} is closed")
+            try:
+                return self._queue.get(timeout=0.05)
+            except _queue.Empty:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RLGraphQueueError(
+                        f"Queue {self.scope} empty after {self.timeout}s"
+                    ) from None
+
+    def close(self):
+        self._closed.set()
+
+    def size(self) -> int:
+        return self._queue.qsize()
+
+    # -- component API ------------------------------------------------------
+    @rlgraph_api
+    def enqueue(self, records):
+        return self._graph_fn_enqueue(records)
+
+    @rlgraph_api
+    def dequeue(self, token):
+        # ``token`` is a dummy tensor input so the op has a feedable
+        # anchor in static-graph mode; its value is ignored.
+        return self._graph_fn_dequeue(token)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_enqueue(self, records):
+        from repro.spaces.space_utils import flatten_value, unflatten_value
+
+        flat = flatten_value(records) if isinstance(records, (dict, tuple)) \
+            else {"": records}
+        keys = list(flat.keys())
+
+        def _put(*leaves):
+            self.put({k: np.asarray(v) for k, v in zip(keys, leaves)})
+            return np.asarray(0, dtype=np.int64)
+
+        return F.py_func(_put, list(flat.values()), shape=(), dtype=np.int64)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_dequeue(self, token):
+        def _get(_):
+            item = self.get()
+            # Stash structured item; py_func returns a ticket the caller
+            # redeems via `last_dequeued`.
+            self._last = item
+            return np.asarray(len(item), dtype=np.int64)
+
+        return F.py_func(_get, [token], shape=(), dtype=np.int64)
+
+    def last_dequeued(self):
+        """The flat dict captured by the most recent dequeue op run."""
+        from repro.spaces.space_utils import unflatten_value
+        return unflatten_value(self._last)

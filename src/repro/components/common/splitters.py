@@ -1,0 +1,92 @@
+"""Container split/merge components (paper Fig. 3, line 5).
+
+RLgraph records routinely bundle (states, actions, rewards, next states,
+terminals) into one Dict space; the splitter takes such a record apart
+into individually connectable streams, and the merger is its inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces import Dict as DictSpace, Tuple as TupleSpace
+from repro.utils.errors import RLGraphError
+
+
+class ContainerSplitter(Component):
+    """Splits a Dict (or Tuple) record into its sub-values.
+
+    Args:
+        *output_order: for Dict inputs, the key order of the returned
+            tuple. For Tuple inputs pass indices (or nothing for all, in
+            order).
+    """
+
+    def __init__(self, *output_order, scope: str = "splitter", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.output_order: Sequence = output_order
+        if not output_order:
+            raise RLGraphError(
+                "ContainerSplitter needs an explicit output order (the "
+                "number of outputs must be known at assembly time)")
+
+    @rlgraph_api
+    def split(self, inputs):
+        return self._graph_fn_split(inputs)
+
+    # Dynamically declared number of outputs: override the decorator's
+    # static `returns` by constructing per-instance.
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+
+    def _graph_fn_split(self, inputs):
+        raise NotImplementedError  # replaced per-instance in __new__
+
+    def __new__(cls, *output_order, **kwargs):
+        # Each instance gets a graph_fn with the right number of returns.
+        instance = super().__new__(cls)
+
+        @graph_fn(returns=len(output_order) if output_order else 1,
+                  requires_variables=False)
+        def _graph_fn_split(self, inputs):
+            parts = []
+            for key in self.output_order:
+                if isinstance(inputs, dict):
+                    if key not in inputs:
+                        raise RLGraphError(
+                            f"Splitter key {key!r} not in record keys "
+                            f"{sorted(inputs)}")
+                    parts.append(inputs[key])
+                elif isinstance(inputs, (tuple, list)):
+                    parts.append(inputs[int(key)])
+                else:
+                    raise RLGraphError(
+                        f"ContainerSplitter got non-container input "
+                        f"{type(inputs).__name__}")
+            return tuple(parts) if len(parts) > 1 else parts[0]
+
+        instance._graph_fn_split = _graph_fn_split.__get__(instance, cls)
+        return instance
+
+
+class ContainerMerger(Component):
+    """Merges individual streams back into a Dict record."""
+
+    def __init__(self, *keys, scope: str = "merger", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if not keys:
+            raise RLGraphError("ContainerMerger needs the output keys")
+        self.keys = list(keys)
+
+    @rlgraph_api
+    def merge(self, *values):
+        return self._graph_fn_merge(*values)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_merge(self, *values):
+        if len(values) != len(self.keys):
+            raise RLGraphError(
+                f"ContainerMerger expects {len(self.keys)} values "
+                f"({self.keys}), got {len(values)}")
+        return {key: value for key, value in zip(self.keys, values)}

@@ -1,0 +1,64 @@
+"""StagingArea: a one-slot device buffer used to hide transfer latency.
+
+IMPALA's learner stages the next batch while training on the previous one
+(paper §5.1). On our simulated devices the latency-hiding effect is a
+single-slot double buffer; ``stage`` deposits a batch and returns the
+previously staged one (or the same batch on the first call).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+
+
+class StagingArea(Component):
+    """Single-slot staging buffer (get-then-put semantics)."""
+
+    def __init__(self, scope: str = "staging-area", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self._slot = None
+        self.stage_count = 0
+
+    @rlgraph_api
+    def stage(self, records):
+        return self._graph_fn_stage(records)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_stage(self, records):
+        from repro.spaces.space_utils import flatten_value, unflatten_value
+
+        flat = flatten_value(records) if isinstance(records, (dict, tuple)) \
+            else {"": records}
+        keys = list(flat.keys())
+
+        def _swap(*leaves):
+            incoming = {k: np.asarray(v) for k, v in zip(keys, leaves)}
+            previous = self._slot if self._slot is not None else incoming
+            self._slot = incoming
+            self.stage_count += 1
+            return tuple(previous[k] for k in keys)
+
+        outs = []
+        for i, key in enumerate(keys):
+            # One py_func per leaf would re-run the swap; instead run the
+            # swap once and read cached leaves for the remaining keys.
+            if i == 0:
+                def _first(*leaves):
+                    self._last_out = _swap(*leaves)
+                    return self._last_out[0]
+
+                outs.append(F.py_func(_first, list(flat.values())))
+            else:
+                def _rest(_anchor, idx=i):
+                    return self._last_out[idx]
+
+                outs.append(F.py_func(_rest, [outs[0]]))
+        flat_out = dict(zip(keys, outs))
+        if keys == [""]:
+            return flat_out[""]
+        return unflatten_value(flat_out)

@@ -1,0 +1,69 @@
+"""Synchronizer: copies variables from a source to a target component.
+
+Used for DQN target networks and for worker <- learner weight pulls in
+the distributed executors. Pairing is by variable name suffix (the part
+below each component's scope), so structurally identical components sync
+regardless of where they sit in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+def _relative_names(component):
+    prefix = component.global_scope + "/"
+    registry = component.variable_registry(trainable_only=True)
+    out = {}
+    for name, var in registry.items():
+        if not name.startswith(prefix):
+            raise RLGraphError(f"Variable {name} outside scope {prefix}")
+        out[name[len(prefix):]] = var
+    return out
+
+
+class Synchronizer(Component):
+    """Assigns every trainable variable of ``source`` onto ``target``.
+
+    Optionally performs a soft (Polyak) update with rate ``tau``.
+    """
+
+    def __init__(self, source: Component, target: Component,
+                 tau: Optional[float] = None, scope: str = "synchronizer",
+                 **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.source = source
+        self.target = target
+        self.tau = tau
+        # Both components' variables must exist before our sync ops build.
+        self.build_dependencies = [source, target]
+
+    @rlgraph_api
+    def sync(self):
+        return self._graph_fn_sync()
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_sync(self):
+        src = _relative_names(self.source)
+        dst = _relative_names(self.target)
+        if set(src) != set(dst):
+            raise RLGraphError(
+                f"Synchronizer: variable structure mismatch "
+                f"{sorted(src)} vs {sorted(dst)}")
+        ops = []
+        for key in sorted(src):
+            if src[key].shape != dst[key].shape:
+                raise RLGraphError(
+                    f"Synchronizer: shape mismatch for {key}: "
+                    f"{src[key].shape} vs {dst[key].shape}")
+            if self.tau is None:
+                ops.append(dst[key].assign(src[key].read()))
+            else:
+                blended = F.add(F.mul(self.tau, src[key].read()),
+                                F.mul(1.0 - self.tau, dst[key].read()))
+                ops.append(dst[key].assign(blended))
+        return F.group(*ops)

@@ -1,0 +1,6 @@
+"""Exploration components."""
+
+from repro.components.explorations.epsilon_greedy import EpsilonGreedy
+from repro.components.explorations.noise import GaussianNoise
+
+__all__ = ["EpsilonGreedy", "GaussianNoise"]

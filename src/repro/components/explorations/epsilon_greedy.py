@@ -1,0 +1,66 @@
+"""Epsilon-greedy exploration with in-graph decay schedules.
+
+The epsilon schedule is evaluated from the global time-step *inside* the
+graph, so a single session call covers action selection + exploration —
+one of the call-batching choices behind the paper's throughput numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+from repro.utils.schedules import Constant, ExponentialDecay, LinearDecay, Schedule
+from repro.utils.schedules import from_spec as schedule_from_spec
+
+
+def schedule_ops(schedule: Schedule, step):
+    """Evaluate a decay schedule on a (tensor) time-step with F ops."""
+    step_f = F.cast(step, np.float32)
+    if isinstance(schedule, Constant):
+        return F.add(F.mul(step_f, 0.0), schedule.constant_value)
+    if isinstance(schedule, LinearDecay):
+        frac = F.clip(F.div(F.sub(step_f, float(schedule.start_timestep)),
+                            float(schedule.num_timesteps)), 0.0, 1.0)
+        return F.add(schedule.from_,
+                     F.mul(frac, schedule.to_ - schedule.from_))
+    if isinstance(schedule, ExponentialDecay):
+        raw = F.mul(schedule.from_,
+                    F.exp(F.mul(F.div(step_f, float(schedule.half_life)),
+                                float(np.log(schedule.decay_rate)))))
+        return F.maximum(raw, schedule.to_)
+    raise RLGraphError(f"Schedule {schedule!r} has no in-graph form")
+
+
+class EpsilonGreedy(Component):
+    """Picks uniform random actions with (decaying) probability epsilon."""
+
+    def __init__(self, num_actions: int, epsilon_spec=None,
+                 scope: str = "epsilon-greedy", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.num_actions = int(num_actions)
+        self.schedule = schedule_from_spec(
+            epsilon_spec if epsilon_spec is not None
+            else {"type": "linear", "from_": 1.0, "to_": 0.05,
+                  "num_timesteps": 10000})
+
+    @rlgraph_api
+    def get_action(self, greedy_actions, time_step):
+        return self._graph_fn_explore(greedy_actions, time_step)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_explore(self, greedy_actions, time_step):
+        eps = schedule_ops(self.schedule, time_step)
+        u = F.random_uniform(like=F.cast(greedy_actions, np.float32))
+        random_actions = F.cast(
+            F.mul(F.random_uniform(like=F.cast(greedy_actions, np.float32)),
+                  float(self.num_actions)), np.int64)
+        explore = F.less(u, eps)
+        return F.where(explore, random_actions,
+                       F.cast(greedy_actions, np.int64))
+
+    def epsilon_at(self, step: int) -> float:
+        """Host-side schedule value (for logging)."""
+        return self.schedule.value(step)

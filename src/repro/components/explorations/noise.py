@@ -1,0 +1,31 @@
+"""Additive Gaussian action noise for continuous control."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.components.explorations.epsilon_greedy import schedule_ops
+from repro.utils.schedules import from_spec as schedule_from_spec
+
+
+class GaussianNoise(Component):
+    """Adds N(0, sigma(t)) noise to continuous actions, with clipping."""
+
+    def __init__(self, sigma_spec=0.1, low: float = -1.0, high: float = 1.0,
+                 scope: str = "gaussian-noise", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.schedule = schedule_from_spec(sigma_spec)
+        self.low = float(low)
+        self.high = float(high)
+
+    @rlgraph_api
+    def get_action(self, actions, time_step):
+        return self._graph_fn_noise(actions, time_step)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_noise(self, actions, time_step):
+        sigma = schedule_ops(self.schedule, time_step)
+        noise = F.mul(F.random_normal(like=actions), sigma)
+        return F.clip(F.add(actions, noise), self.low, self.high)

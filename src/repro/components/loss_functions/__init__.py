@@ -1,0 +1,8 @@
+"""Loss-function components."""
+
+from repro.components.loss_functions.dqn_loss import DQNLoss
+from repro.components.loss_functions.actor_critic_loss import ActorCriticLoss
+from repro.components.loss_functions.ppo_loss import PPOLoss
+from repro.components.loss_functions.impala_loss import IMPALALoss
+
+__all__ = ["DQNLoss", "ActorCriticLoss", "PPOLoss", "IMPALALoss"]

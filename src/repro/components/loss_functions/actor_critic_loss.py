@@ -1,0 +1,36 @@
+"""Advantage actor-critic loss (A2C-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+
+
+class ActorCriticLoss(Component):
+    """Policy-gradient + value + entropy loss over a batch.
+
+    ``get_loss`` inputs: log_probs (B,), values (B,), returns (B,),
+    entropies (B,). Advantages = returns - stop_grad(values).
+    """
+
+    def __init__(self, value_coeff: float = 0.5, entropy_coeff: float = 0.01,
+                 scope: str = "actor-critic-loss", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.value_coeff = float(value_coeff)
+        self.entropy_coeff = float(entropy_coeff)
+
+    @rlgraph_api
+    def get_loss(self, log_probs, values, returns, entropies):
+        return self._graph_fn_loss(log_probs, values, returns, entropies)
+
+    @graph_fn(returns=3, requires_variables=False)
+    def _graph_fn_loss(self, log_probs, values, returns, entropies):
+        advantages = F.stop_gradient(F.sub(returns, values))
+        policy_loss = F.neg(F.reduce_mean(F.mul(log_probs, advantages)))
+        value_loss = F.reduce_mean(F.square(F.sub(values, returns)))
+        entropy = F.reduce_mean(entropies)
+        total = F.sub(F.add(policy_loss, F.mul(self.value_coeff, value_loss)),
+                      F.mul(self.entropy_coeff, entropy))
+        return total, policy_loss, value_loss

@@ -1,0 +1,72 @@
+"""DQN loss (Mnih et al. 2015) with double-Q (van Hasselt 2016), n-step
+targets and importance-sampling weights — the loss behind the paper's
+dueling-DQN/Ape-X experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+class DQNLoss(Component):
+    """TD loss over a batch of transitions.
+
+    ``get_loss`` inputs:
+        q_values:        online Q(s, ·), (B, A)
+        actions:         (B,) int
+        rewards:         (B,) float (already n-step accumulated if n > 1)
+        terminals:       (B,) bool
+        q_next:          online Q(s', ·) — used for double-Q argmax
+        q_next_target:   target-net Q(s', ·)
+        importance_weights: (B,) float (ones when not prioritized)
+
+    Returns (scalar loss, per-item |td| for priority updates).
+    """
+
+    def __init__(self, num_actions: int, discount: float = 0.99,
+                 double_q: bool = True, huber_delta: float = 1.0,
+                 n_step: int = 1, scope: str = "dqn-loss", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if not 0.0 <= discount <= 1.0:
+            raise RLGraphError(f"discount must be in [0, 1], got {discount}")
+        self.num_actions = int(num_actions)
+        self.discount = float(discount)
+        self.double_q = bool(double_q)
+        self.huber_delta = huber_delta
+        self.n_step = int(n_step)
+
+    @rlgraph_api
+    def get_loss(self, q_values, actions, rewards, terminals, q_next,
+                 q_next_target, importance_weights):
+        return self._graph_fn_loss(q_values, actions, rewards, terminals,
+                                   q_next, q_next_target, importance_weights)
+
+    @graph_fn(returns=2, requires_variables=False)
+    def _graph_fn_loss(self, q_values, actions, rewards, terminals, q_next,
+                       q_next_target, importance_weights):
+        onehot = F.one_hot(actions, self.num_actions)
+        q_sa = F.reduce_sum(F.mul(q_values, onehot), axis=-1)
+
+        if self.double_q:
+            best_next = F.argmax(q_next, axis=-1)
+            next_onehot = F.one_hot(best_next, self.num_actions)
+            q_next_best = F.reduce_sum(F.mul(q_next_target, next_onehot),
+                                       axis=-1)
+        else:
+            q_next_best = F.reduce_max(q_next_target, axis=-1)
+
+        not_done = F.sub(1.0, F.cast(terminals, np.float32))
+        gamma_n = self.discount ** self.n_step
+        target = F.add(rewards, F.mul(gamma_n, F.mul(not_done, q_next_best)))
+        td = F.sub(q_sa, F.stop_gradient(target))
+
+        if self.huber_delta is not None:
+            per_item = F.huber_loss(td, delta=self.huber_delta)
+        else:
+            per_item = F.mul(0.5, F.square(td))
+        weighted = F.mul(per_item, importance_weights)
+        loss = F.reduce_mean(weighted)
+        return loss, F.abs(F.stop_gradient(td))

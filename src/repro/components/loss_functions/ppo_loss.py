@@ -1,0 +1,46 @@
+"""PPO clipped-surrogate loss (Schulman et al. 2017)."""
+
+from __future__ import annotations
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+class PPOLoss(Component):
+    """Clipped surrogate objective.
+
+    ``get_loss`` inputs: log_probs (new policy), old_log_probs (behaviour,
+    stop-gradient), advantages, values, returns, entropies — all (B,).
+    """
+
+    def __init__(self, clip_ratio: float = 0.2, value_coeff: float = 0.5,
+                 entropy_coeff: float = 0.01, scope: str = "ppo-loss",
+                 **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if clip_ratio <= 0:
+            raise RLGraphError("clip_ratio must be positive")
+        self.clip_ratio = float(clip_ratio)
+        self.value_coeff = float(value_coeff)
+        self.entropy_coeff = float(entropy_coeff)
+
+    @rlgraph_api
+    def get_loss(self, log_probs, old_log_probs, advantages, values, returns,
+                 entropies):
+        return self._graph_fn_loss(log_probs, old_log_probs, advantages,
+                                   values, returns, entropies)
+
+    @graph_fn(returns=2, requires_variables=False)
+    def _graph_fn_loss(self, log_probs, old_log_probs, advantages, values,
+                       returns, entropies):
+        ratio = F.exp(F.sub(log_probs, F.stop_gradient(old_log_probs)))
+        adv = F.stop_gradient(advantages)
+        unclipped = F.mul(ratio, adv)
+        clipped = F.mul(F.clip(ratio, 1.0 - self.clip_ratio,
+                               1.0 + self.clip_ratio), adv)
+        policy_loss = F.neg(F.reduce_mean(F.minimum(unclipped, clipped)))
+        value_loss = F.reduce_mean(F.square(F.sub(values, returns)))
+        entropy = F.reduce_mean(entropies)
+        total = F.sub(F.add(policy_loss, F.mul(self.value_coeff, value_loss)),
+                      F.mul(self.entropy_coeff, entropy))
+        return total, policy_loss

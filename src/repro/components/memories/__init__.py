@@ -1,0 +1,25 @@
+"""Memory components: ring buffers, uniform and prioritized replay."""
+
+from repro.components.memories.segment_tree import (
+    MinSegmentTree,
+    SegmentTree,
+    SumSegmentTree,
+)
+from repro.components.memories.python_memory import (
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+)
+from repro.components.memories.memory import Memory
+from repro.components.memories.replay_memory import ReplayMemory
+from repro.components.memories.prioritized_replay import PrioritizedReplay
+
+__all__ = [
+    "SegmentTree",
+    "SumSegmentTree",
+    "MinSegmentTree",
+    "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "Memory",
+    "ReplayMemory",
+    "PrioritizedReplay",
+]

@@ -1,0 +1,114 @@
+"""Base Memory component (paper Fig. 2).
+
+Memories hold experience records as *variables* keyed by the flattened
+record space, so the same component builds as static-graph state
+(scatter/gather ops) or as define-by-run NumPy arrays. Variable shapes are
+derived from the ``records`` input space when the component becomes
+input-complete — the canonical example of the build barrier in §3.3.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict as TypingDict
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component
+from repro.spaces import Space
+from repro.spaces.containers import ContainerSpace
+from repro.spaces.space_utils import flatten_space, sanity_check_space
+from repro.utils.errors import RLGraphError
+
+
+class Memory(Component):
+    """Common state/variable handling for replay memories."""
+
+    def __init__(self, capacity: int = 1000, scope: str = "memory", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if capacity <= 0:
+            raise RLGraphError("Memory capacity must be positive")
+        self.capacity = int(capacity)
+        # Only the record space gates variable creation — `update_records`
+        # consumes this memory's own sampling outputs (paper §3.2).
+        self.variable_creation_args = {"records", "batch_size"}
+        self.record_space: Space = None
+        self.flat_record_spaces = None
+        self.buffers: "OrderedDict[str, object]" = OrderedDict()
+
+    def check_input_spaces(self, input_spaces):
+        space = input_spaces.get("records")
+        if space is not None:
+            if not space.has_batch_rank:
+                raise RLGraphError(
+                    f"Memory {self.global_scope}: records space must have a "
+                    f"batch rank, got {space!r}")
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["records"]
+        self.record_space = space
+        self.flat_record_spaces = flatten_space(space)
+        for key, sub in self.flat_record_spaces.items():
+            var_name = f"buffer/{key}" if key else "buffer"
+            self.buffers[key] = self.get_variable(
+                var_name, from_space=sub.strip_ranks(),
+                add_batch_dim=self.capacity, trainable=False,
+                initializer="zeros")
+        self.index_var = self.get_variable("index", shape=(), dtype=np.int64,
+                                           trainable=False)
+        self.size_var = self.get_variable("size", shape=(), dtype=np.int64,
+                                          trainable=False)
+
+    # -- shared graph-fn helpers -----------------------------------------------
+    def _flat_handles(self, records):
+        """Flatten a (possibly nested) record handle structure by the same
+        keys as the record space."""
+        from repro.spaces.space_utils import flatten_value
+
+        if isinstance(records, (dict, tuple)):
+            return flatten_value(records)
+        return OrderedDict({"": records})
+
+    def _insert_ops(self, records):
+        """Write a record batch at the ring index; returns (ops, indices)."""
+        flat = self._flat_handles(records)
+        first = next(iter(flat.values()))
+        n = F.getitem(F.shape_of(first), 0)
+        idx = F.mod(F.add(F.dyn_arange(n), self.index_var.read()),
+                    self.capacity)
+        writes = []
+        for key, handle in flat.items():
+            if key not in self.buffers:
+                raise RLGraphError(
+                    f"Memory {self.global_scope}: unexpected record key "
+                    f"{key!r}; buffers are {list(self.buffers)}")
+            writes.append(self.buffers[key].scatter_update(idx, handle))
+        new_index = F.mod(F.add(self.index_var.read(), n), self.capacity)
+        adv = self.index_var.assign(new_index)
+        new_size = F.minimum(F.add(self.size_var.read(), n),
+                             np.int64(self.capacity))
+        grow = self.size_var.assign(new_size)
+        for op in (adv, grow):
+            if op is not None:
+                op.with_deps(*[w for w in writes if w is not None])
+        ops = [w for w in writes if w is not None]
+        ops += [op for op in (adv, grow) if op is not None]
+        return ops, idx
+
+    def _read_records(self, idx):
+        """Gather rows at ``idx`` for every buffer, re-nesting structure."""
+        from repro.spaces.space_utils import unflatten_value
+
+        flat = OrderedDict(
+            (key, F.gather(buf.read(), idx))
+            for key, buf in self.buffers.items())
+        if list(flat.keys()) == [""]:
+            return flat[""]
+        return unflatten_value(flat)
+
+    def _uniform_indices(self, batch_size):
+        """Random in-range row indices (uniform over current size)."""
+        u = F.random_uniform(like=F.cast(F.dyn_arange(batch_size), np.float32))
+        size_f = F.maximum(F.cast(self.size_var.read(), np.float32), 1.0)
+        return F.cast(F.mul(u, size_f), np.int64)

@@ -1,0 +1,94 @@
+"""PrioritizedReplay component (paper Fig. 2; Schaul et al. 2016).
+
+Priorities are held in a graph variable; sampling uses a vectorized
+inverse-CDF (cumsum + searchsorted) over p^alpha, which is the dense
+equivalent of the segment-tree walk (the pure-Python segment-tree twin in
+``python_memory`` is cross-checked against this component in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.components.memories.memory import Memory
+from repro.core import graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+class PrioritizedReplay(Memory):
+    """Proportional prioritized replay with importance-sampling weights."""
+
+    def __init__(self, capacity: int = 1000, alpha: float = 0.6,
+                 beta: float = 0.4, scope: str = "prioritized-replay",
+                 **kwargs):
+        super().__init__(capacity=capacity, scope=scope, **kwargs)
+        if alpha < 0.0:
+            raise RLGraphError("alpha must be >= 0")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def create_variables(self, input_spaces):
+        super().create_variables(input_spaces)
+        self.priority_var = self.get_variable(
+            "priorities", shape=(self.capacity,), dtype=np.float32,
+            trainable=False, initializer="zeros")
+        self.max_priority_var = self.get_variable(
+            "max-priority", shape=(), dtype=np.float32, trainable=False,
+            initializer=1.0)
+
+    # ------------------------------------------------------------------
+    @rlgraph_api
+    def insert_records(self, records):
+        return self._graph_fn_insert(records)
+
+    @rlgraph_api
+    def get_records(self, batch_size):
+        return self._graph_fn_sample(batch_size)
+
+    @rlgraph_api
+    def update_records(self, indices, update):
+        return self._graph_fn_update(indices, update)
+
+    # ------------------------------------------------------------------
+    @graph_fn
+    def _graph_fn_insert(self, records):
+        ops, idx = self._insert_ops(records)
+        # New records enter at max priority so they are seen at least once.
+        maxp = self.max_priority_var.read()
+        pvals = F.add(F.mul(F.cast(idx, np.float32), 0.0), maxp)
+        pw = self.priority_var.scatter_update(idx, pvals)
+        if pw is not None:
+            ops.append(pw)
+        return F.group(*ops)
+
+    @graph_fn(returns=3)
+    def _graph_fn_sample(self, batch_size):
+        size = self.size_var.read()
+        size_f = F.maximum(F.cast(size, np.float32), 1.0)
+        positions = F.dyn_arange(np.int64(self.capacity))
+        valid = F.less(F.cast(positions, np.float32), size_f)
+        p_alpha = F.where(valid, F.power(self.priority_var.read(), self.alpha),
+                          0.0)
+        csum = F.cumsum(p_alpha, axis=0)
+        total = F.maximum(F.getitem(csum, -1), 1e-8)
+        u = F.mul(F.random_uniform(
+            like=F.cast(F.dyn_arange(batch_size), np.float32)), total)
+        idx = F.searchsorted(csum, u, side="left")
+        idx = F.minimum(idx, F.maximum(F.cast(size, np.int64) - np.int64(1),
+                                       np.int64(0)))
+        probs = F.div(F.maximum(F.gather(p_alpha, idx), 1e-12), total)
+        weights = F.power(F.mul(probs, size_f), -self.beta)
+        weights = F.div(weights, F.maximum(F.reduce_max(weights), 1e-12))
+        records = self._read_records(idx)
+        return records, idx, weights
+
+    @graph_fn
+    def _graph_fn_update(self, indices, update):
+        new_p = F.add(F.abs(update), 1e-8)
+        write = self.priority_var.scatter_update(indices,
+                                                 F.cast(new_p, np.float32))
+        new_max = F.maximum(self.max_priority_var.read(),
+                            F.cast(F.reduce_max(new_p), np.float32))
+        bump = self.max_priority_var.assign(new_max)
+        return F.group(write, bump)

@@ -1,0 +1,124 @@
+"""Pure-Python replay buffers.
+
+These are the host-side memories used by distributed replay-shard actors
+(Ape-X keeps its buffers in dedicated processes, not in the learner's
+graph) and by the RLlib-like baseline. They share sampling semantics with
+the in-graph memory components, which the test-suite cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.components.memories.segment_tree import (
+    MinSegmentTree,
+    SumSegmentTree,
+)
+from repro.utils.errors import RLGraphError
+
+
+def _next_power_of_two(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+class ReplayBuffer:
+    """Uniform ring-buffer replay over dicts of equally sized arrays."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None):
+        if capacity <= 0:
+            raise RLGraphError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.rng = np.random.default_rng(seed)
+        self._storage: Dict[str, np.ndarray] = {}
+        self.index = 0
+        self.size = 0
+
+    def _ensure_storage(self, records: Dict[str, np.ndarray]):
+        if self._storage:
+            return
+        for key, value in records.items():
+            value = np.asarray(value)
+            self._storage[key] = np.zeros((self.capacity,) + value.shape[1:],
+                                          dtype=value.dtype)
+
+    def insert(self, records: Dict[str, np.ndarray]) -> np.ndarray:
+        """Insert a batch (dict of (N, ...) arrays); returns row indices."""
+        self._ensure_storage(records)
+        n = len(next(iter(records.values())))
+        idx = (self.index + np.arange(n)) % self.capacity
+        for key, value in records.items():
+            self._storage[key][idx] = np.asarray(value)
+        self.index = int((self.index + n) % self.capacity)
+        self.size = int(min(self.size + n, self.capacity))
+        return idx
+
+    def sample(self, batch_size: int) -> Dict[str, np.ndarray]:
+        if self.size == 0:
+            raise RLGraphError("Cannot sample from an empty buffer")
+        idx = self.rng.integers(0, self.size, size=batch_size)
+        return {key: arr[idx] for key, arr in self._storage.items()}
+
+    def __len__(self):
+        return self.size
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Proportional prioritized replay with segment trees."""
+
+    def __init__(self, capacity: int, alpha: float = 0.6, beta: float = 0.4,
+                 seed: Optional[int] = None):
+        super().__init__(capacity, seed=seed)
+        if alpha < 0:
+            raise RLGraphError("alpha must be >= 0")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        tree_capacity = _next_power_of_two(self.capacity)
+        self.sum_tree = SumSegmentTree(tree_capacity)
+        self.min_tree = MinSegmentTree(tree_capacity)
+        self.max_priority = 1.0
+
+    def insert(self, records: Dict[str, np.ndarray],
+               priorities: Optional[np.ndarray] = None) -> np.ndarray:
+        idx = super().insert({k: v for k, v in records.items()
+                              if k != "priorities"})
+        if priorities is None:
+            priorities = records.get("priorities")
+        if priorities is None:
+            priorities = np.full(len(idx), self.max_priority)
+        for i, p in zip(idx, np.asarray(priorities, dtype=np.float64)):
+            p = max(float(p), 1e-8)
+            self.max_priority = max(self.max_priority, p)
+            self.sum_tree[int(i)] = p ** self.alpha
+            self.min_tree[int(i)] = p ** self.alpha
+        return idx
+
+    def sample(self, batch_size: int):
+        """Returns (records, indices, importance_weights)."""
+        if self.size == 0:
+            raise RLGraphError("Cannot sample from an empty buffer")
+        total = self.sum_tree.sum(0, self.size)
+        prefixes = self.rng.uniform(0.0, total, size=batch_size)
+        idx = np.asarray([self.sum_tree.index_of_prefixsum(p) for p in prefixes],
+                         dtype=np.int64)
+        idx = np.minimum(idx, self.size - 1)
+        probs = np.asarray([self.sum_tree[int(i)] for i in idx]) / max(total, 1e-12)
+        min_prob = self.min_tree.min(0, self.size) / max(total, 1e-12)
+        max_weight = (min_prob * self.size) ** (-self.beta)
+        weights = ((probs * self.size) ** (-self.beta)) / max(max_weight, 1e-12)
+        records = {key: arr[idx] for key, arr in self._storage.items()}
+        return records, idx, weights.astype(np.float32)
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray):
+        for i, p in zip(np.asarray(indices), np.asarray(priorities,
+                                                        dtype=np.float64)):
+            p = max(float(p), 1e-8)
+            if not 0 <= int(i) < self.capacity:
+                raise RLGraphError(f"Priority index {i} out of range")
+            self.max_priority = max(self.max_priority, p)
+            self.sum_tree[int(i)] = p ** self.alpha
+            self.min_tree[int(i)] = p ** self.alpha

@@ -1,0 +1,52 @@
+"""Uniform replay memory component."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.components.memories.memory import Memory
+from repro.core import graph_fn, rlgraph_api
+
+
+class ReplayMemory(Memory):
+    """Ring-buffer replay with uniform sampling.
+
+    ``get_records`` returns (records, indices, importance_weights) with
+    unit weights, so DQN-family agents can treat uniform and prioritized
+    memories interchangeably.
+    """
+
+    def __init__(self, capacity: int = 1000, scope: str = "replay-memory",
+                 **kwargs):
+        super().__init__(capacity=capacity, scope=scope, **kwargs)
+
+    @rlgraph_api
+    def insert_records(self, records):
+        return self._graph_fn_insert(records)
+
+    @rlgraph_api
+    def get_records(self, batch_size):
+        return self._graph_fn_sample(batch_size)
+
+    @rlgraph_api
+    def get_size(self, batch_size):
+        # `batch_size` anchors the call; only the size variable is read.
+        return self._graph_fn_size(batch_size)
+
+    @graph_fn
+    def _graph_fn_insert(self, records):
+        ops, _ = self._insert_ops(records)
+        return F.group(*ops)
+
+    @graph_fn(returns=3)
+    def _graph_fn_sample(self, batch_size):
+        idx = self._uniform_indices(batch_size)
+        records = self._read_records(idx)
+        weights = F.add(F.mul(F.cast(idx, np.float32), 0.0), 1.0)
+        return records, idx, weights
+
+    @graph_fn
+    def _graph_fn_size(self, batch_size):
+        return F.add(self.size_var.read(),
+                     F.mul(F.cast(batch_size, np.int64), np.int64(0)))

@@ -1,0 +1,101 @@
+"""Segment trees for prioritized experience replay (Schaul et al. 2016).
+
+The sum tree supports O(log n) prefix-sum sampling and the min tree
+O(log 1) minimum queries for importance-weight normalization. This is the
+sub-component shown inside the PrioritizedReplay example in paper Fig. 2.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.errors import RLGraphError
+
+
+class SegmentTree:
+    """A binary-indexed segment tree over a fixed capacity.
+
+    ``capacity`` must be a power of two; internal nodes live at indices
+    [1, capacity), leaves at [capacity, 2 * capacity).
+    """
+
+    def __init__(self, capacity: int, operation: Callable = operator.add,
+                 neutral_element: float = 0.0):
+        if capacity <= 0 or capacity & (capacity - 1) != 0:
+            raise RLGraphError(
+                f"SegmentTree capacity must be a positive power of two, "
+                f"got {capacity}")
+        self.capacity = capacity
+        self.operation = operation
+        self.neutral_element = neutral_element
+        self.values = np.full(2 * capacity, neutral_element, dtype=np.float64)
+
+    def __setitem__(self, idx: int, value: float):
+        if not 0 <= idx < self.capacity:
+            raise IndexError(idx)
+        pos = idx + self.capacity
+        self.values[pos] = value
+        pos //= 2
+        while pos >= 1:
+            self.values[pos] = self.operation(self.values[2 * pos],
+                                              self.values[2 * pos + 1])
+            pos //= 2
+
+    def __getitem__(self, idx: int) -> float:
+        if not 0 <= idx < self.capacity:
+            raise IndexError(idx)
+        return float(self.values[idx + self.capacity])
+
+    def reduce(self, start: int = 0, end: int = None) -> float:
+        """Apply the operation over [start, end)."""
+        if end is None:
+            end = self.capacity
+        if end < 0:
+            end += self.capacity
+        start += self.capacity
+        end += self.capacity
+        result = self.neutral_element
+        while start < end:
+            if start & 1:
+                result = self.operation(result, self.values[start])
+                start += 1
+            if end & 1:
+                end -= 1
+                result = self.operation(result, self.values[end])
+            start //= 2
+            end //= 2
+        return float(result)
+
+
+class SumSegmentTree(SegmentTree):
+    def __init__(self, capacity: int):
+        super().__init__(capacity, operator.add, 0.0)
+
+    def sum(self, start: int = 0, end: int = None) -> float:
+        return self.reduce(start, end)
+
+    def index_of_prefixsum(self, prefixsum: float) -> int:
+        """Smallest leaf index i with sum(values[:i+1]) > prefixsum."""
+        if not 0 <= prefixsum <= self.sum() + 1e-5:
+            raise RLGraphError(f"prefixsum {prefixsum} out of range "
+                               f"[0, {self.sum()}]")
+        pos = 1
+        while pos < self.capacity:
+            left = 2 * pos
+            if self.values[left] > prefixsum:
+                pos = left
+            else:
+                prefixsum -= self.values[left]
+                pos = left + 1
+        return pos - self.capacity
+
+
+class MinSegmentTree(SegmentTree):
+    def __init__(self, capacity: int):
+        super().__init__(capacity, min, float("inf"))
+
+    def min(self, start: int = 0, end: int = None) -> float:
+        return self.reduce(start, end)

@@ -1,0 +1,25 @@
+"""Neural-network components: layers, stacks, dueling heads."""
+
+from repro.components.neural_networks.layers import (
+    LAYERS,
+    ActivationLayer,
+    Conv2DLayer,
+    DenseLayer,
+    FlattenLayer,
+    LSTMLayer,
+    Layer,
+)
+from repro.components.neural_networks.neural_network import NeuralNetwork
+from repro.components.neural_networks.dueling import DuelingHead
+
+__all__ = [
+    "LAYERS",
+    "Layer",
+    "DenseLayer",
+    "Conv2DLayer",
+    "ActivationLayer",
+    "FlattenLayer",
+    "LSTMLayer",
+    "NeuralNetwork",
+    "DuelingHead",
+]

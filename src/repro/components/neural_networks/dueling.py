@@ -1,0 +1,58 @@
+"""DuelingHead: state-value / advantage decomposition (Wang et al. 2016).
+
+Q(s, a) = V(s) + A(s, a) - mean_a A(s, a)
+
+The paper's evaluation architecture ("dueling DQN with prioritized
+replay, 43 components") and the Fig. 5b act benchmark both use this head
+after the convolutional torso.
+"""
+
+from __future__ import annotations
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+
+
+class DuelingHead(Component):
+    """Computes dueling Q-values from a feature vector."""
+
+    def __init__(self, num_actions: int, units: int = 256,
+                 scope: str = "dueling-head", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.num_actions = int(num_actions)
+        self.units = int(units)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["features"]
+        in_dim = int(space.shape[-1])
+        self.v_hidden = self.get_variable("v_hidden", shape=(in_dim, self.units),
+                                          initializer="glorot")
+        self.v_out = self.get_variable("v_out", shape=(self.units, 1),
+                                       initializer="glorot")
+        self.a_hidden = self.get_variable("a_hidden", shape=(in_dim, self.units),
+                                          initializer="glorot")
+        self.a_out = self.get_variable("a_out",
+                                       shape=(self.units, self.num_actions),
+                                       initializer="glorot")
+
+    @rlgraph_api
+    def get_q_values(self, features):
+        return self._graph_fn_q_values(features)
+
+    @rlgraph_api
+    def get_state_values(self, features):
+        return self._graph_fn_state_values(features)
+
+    @graph_fn
+    def _graph_fn_q_values(self, features):
+        v = F.matmul(F.relu(F.matmul(features, self.v_hidden.read())),
+                     self.v_out.read())                      # (B, 1)
+        a = F.matmul(F.relu(F.matmul(features, self.a_hidden.read())),
+                     self.a_out.read())                      # (B, A)
+        a_centered = F.sub(a, F.reduce_mean(a, axis=-1, keepdims=True))
+        return F.add(v, a_centered)
+
+    @graph_fn
+    def _graph_fn_state_values(self, features):
+        return F.matmul(F.relu(F.matmul(features, self.v_hidden.read())),
+                        self.v_out.read())

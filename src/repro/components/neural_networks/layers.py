@@ -1,0 +1,195 @@
+"""Layer components.
+
+Layers are ordinary components with one API method (``apply``), so they
+are individually buildable and testable from spaces, and compose into
+:class:`~repro.components.neural_networks.neural_network.NeuralNetwork`
+stacks via JSON specs (paper §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces.space_utils import sanity_check_space
+from repro.spaces.box import FloatBox, IntBox
+from repro.utils.errors import RLGraphError
+from repro.utils.registry import Registry
+
+LAYERS = Registry("layer")
+
+_ACTIVATIONS = {
+    None: lambda x: x,
+    "linear": lambda x: x,
+    "relu": F.relu,
+    "tanh": F.tanh,
+    "sigmoid": F.sigmoid,
+    "softplus": F.softplus,
+}
+
+
+def apply_activation(x, name: Optional[str]):
+    if name not in _ACTIVATIONS:
+        raise RLGraphError(f"Unknown activation {name!r}")
+    return _ACTIVATIONS[name](x)
+
+
+class Layer(Component):
+    """Base layer: one `apply` API method backed by one graph function."""
+
+    @rlgraph_api
+    def apply(self, inputs):
+        return self._graph_fn_apply(inputs)
+
+    @graph_fn
+    def _graph_fn_apply(self, inputs):
+        raise NotImplementedError
+
+
+@LAYERS.register("dense", aliases=["fc", "linear"])
+class DenseLayer(Layer):
+    """Fully connected layer on (batch, in_dim) inputs."""
+
+    def __init__(self, units: int, activation: Optional[str] = "relu",
+                 use_bias: bool = True, scope: str = "dense", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.units = int(units)
+        self.activation = activation
+        self.use_bias = use_bias
+
+    def check_input_spaces(self, input_spaces):
+        space = input_spaces.get("inputs")
+        if space is not None:
+            sanity_check_space(space, allowed_types=[FloatBox, IntBox])
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["inputs"]
+        in_dim = int(space.shape[-1]) if space.shape else 1
+        self.kernel = self.get_variable("kernel", shape=(in_dim, self.units),
+                                        initializer="glorot")
+        self.bias = (self.get_variable("bias", shape=(self.units,),
+                                       initializer="zeros")
+                     if self.use_bias else None)
+
+    @graph_fn
+    def _graph_fn_apply(self, inputs):
+        out = F.matmul(inputs, self.kernel.read())
+        if self.bias is not None:
+            out = F.add(out, self.bias.read())
+        return apply_activation(out, self.activation)
+
+
+@LAYERS.register("conv2d", aliases=["conv"])
+class Conv2DLayer(Layer):
+    """NHWC 2-D convolution."""
+
+    def __init__(self, filters: int, kernel_size: int = 3, stride: int = 1,
+                 padding: str = "VALID", activation: Optional[str] = "relu",
+                 use_bias: bool = True, scope: str = "conv2d", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = padding
+        self.activation = activation
+        self.use_bias = use_bias
+
+    def check_input_spaces(self, input_spaces):
+        space = input_spaces.get("inputs")
+        if space is not None:
+            sanity_check_space(space, allowed_types=[FloatBox], rank=3)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["inputs"]
+        in_channels = int(space.shape[-1])
+        self.kernel = self.get_variable(
+            "kernel",
+            shape=(self.kernel_size, self.kernel_size, in_channels,
+                   self.filters),
+            initializer="glorot")
+        self.bias = (self.get_variable("bias", shape=(self.filters,),
+                                       initializer="zeros")
+                     if self.use_bias else None)
+
+    @graph_fn
+    def _graph_fn_apply(self, inputs):
+        out = F.conv2d(inputs, self.kernel.read(), stride=self.stride,
+                       padding=self.padding)
+        if self.bias is not None:
+            out = F.add(out, self.bias.read())
+        return apply_activation(out, self.activation)
+
+
+@LAYERS.register("flatten")
+class FlattenLayer(Layer):
+    """Collapses all non-batch dims: (B, ...) -> (B, prod)."""
+
+    def __init__(self, scope: str = "flatten", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_apply(self, inputs):
+        return F.flatten_batch(inputs)
+
+
+@LAYERS.register("activation")
+class ActivationLayer(Layer):
+    """A standalone activation (useful for testing sub-graphs)."""
+
+    def __init__(self, activation: str = "relu", scope: str = "activation",
+                 **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.activation = activation
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_apply(self, inputs):
+        return apply_activation(inputs, self.activation)
+
+
+@LAYERS.register("lstm")
+class LSTMLayer(Layer):
+    """Time-major LSTM over (T, B, D) sequences, returning (T, B, H).
+
+    ``apply_step`` runs a single acting step on (B, D) inputs with
+    caller-provided state, returning (out, h, c).
+    """
+
+    def __init__(self, units: int, scope: str = "lstm", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.units = int(units)
+
+    def create_variables(self, input_spaces):
+        space = (input_spaces.get("inputs")
+                 or input_spaces.get("step_inputs"))
+        in_dim = int(space.shape[-1])
+        self.w = self.get_variable("w", shape=(in_dim + self.units,
+                                               4 * self.units),
+                                   initializer="glorot")
+        self.b = self.get_variable("b", shape=(4 * self.units,),
+                                   initializer="zeros")
+
+    @rlgraph_api
+    def apply(self, inputs):
+        return self._graph_fn_apply(inputs)
+
+    @rlgraph_api
+    def apply_step(self, step_inputs, h_in, c_in):
+        return self._graph_fn_step(step_inputs, h_in, c_in)
+
+    @graph_fn
+    def _graph_fn_apply(self, inputs):
+        batch = F.getitem(F.shape_of(inputs), 1)
+        h0 = F.zeros2d(batch, self.units)
+        c0 = F.zeros2d(batch, self.units)
+        return F.lstm_seq(inputs, self.w.read(), self.b.read(), h0, c0)
+
+    @graph_fn(returns=3)
+    def _graph_fn_step(self, step_inputs, h_in, c_in):
+        x = F.expand_dims(step_inputs, 0)  # (1, B, D)
+        outs = F.lstm_seq(x, self.w.read(), self.b.read(), h_in, c_in)
+        h_out = F.take_index(outs, 0, axis=0)
+        c_out = F.lstm_final_c(x, self.w.read(), self.b.read(), h_in, c_in)
+        return h_out, h_out, c_out

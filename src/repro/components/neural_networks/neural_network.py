@@ -1,0 +1,77 @@
+"""NeuralNetwork: a sequential stack of layer components.
+
+Built from declarative specs (list of layer dicts, a JSON file path, or
+layer instances), matching the paper's "network with list of layers"
+configuration style (§3.4). A Flatten layer is auto-inserted between a
+conv (rank-3) output and the first dense layer so common Atari configs
+"just work".
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.components.neural_networks.layers import (
+    LAYERS,
+    DenseLayer,
+    FlattenLayer,
+    Layer,
+)
+from repro.core import Component, rlgraph_api
+from repro.utils.config import resolve_config
+from repro.utils.errors import RLGraphError
+
+
+class NeuralNetwork(Component):
+    """Sequential network. ``call`` chains each layer's ``apply``."""
+
+    def __init__(self, layers: Any, scope: str = "neural-network", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        specs = self._resolve_layer_specs(layers)
+        self.layers: List[Layer] = []
+        used_scopes = set()
+        needs_flatten_before_dense = False
+        for i, spec in enumerate(specs):
+            layer = LAYERS.from_spec(spec) if not isinstance(spec, Layer) else spec
+            if (needs_flatten_before_dense and isinstance(layer, DenseLayer)
+                    and not any(isinstance(l, FlattenLayer) for l in self.layers[-1:])):
+                flat = FlattenLayer(scope=f"auto-flatten-{i}")
+                self.layers.append(flat)
+            if isinstance(layer, LAYERS.lookup("conv2d")):
+                needs_flatten_before_dense = True
+            elif isinstance(layer, (DenseLayer, FlattenLayer)):
+                needs_flatten_before_dense = False
+            if layer.scope in used_scopes:
+                layer.scope = f"{layer.scope}-{i}"
+            used_scopes.add(layer.scope)
+            self.layers.append(layer)
+        if not self.layers:
+            raise RLGraphError("NeuralNetwork needs at least one layer")
+        self.add_components(*self.layers)
+
+    @staticmethod
+    def _resolve_layer_specs(layers: Any) -> Sequence:
+        if isinstance(layers, str):
+            loaded = resolve_config(layers)
+            if isinstance(loaded, dict):
+                loaded = loaded.get("layers", loaded)
+            return loaded
+        if isinstance(layers, dict):
+            return layers.get("layers", [layers])
+        return list(layers)
+
+    @rlgraph_api
+    def call(self, nn_input):
+        out = nn_input
+        for layer in self.layers:
+            out = layer.apply(out)
+        return out
+
+    @property
+    def output_units(self) -> Optional[int]:
+        """Units of the last dense/LSTM layer, if determinable."""
+        for layer in reversed(self.layers):
+            units = getattr(layer, "units", None)
+            if units is not None:
+                return units
+        return None

@@ -1,0 +1,11 @@
+"""Optimizer components (SGD, Adam, RMSProp) with mode-agnostic updates."""
+
+from repro.components.optimizers.optimizer import (
+    OPTIMIZERS,
+    Adam,
+    GradientDescent,
+    Optimizer,
+    RMSProp,
+)
+
+__all__ = ["OPTIMIZERS", "Optimizer", "GradientDescent", "Adam", "RMSProp"]

@@ -1,0 +1,190 @@
+"""Optimizer components.
+
+``step(loss)`` computes gradients of ``loss`` w.r.t. a fixed variable list
+and applies an update rule. The gradient computation goes through
+:func:`repro.backend.gradients.grads_of`, so one graph-function body
+creates static update ops at build time *and* performs immediate updates
+in define-by-run mode — paper Fig. 3, line 11.
+
+Tower averaging for the synchronous multi-device strategy is exposed as
+``step_towers(*losses)`` (gradients averaged before applying).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.backend.gradients import grads_of
+from repro.backend.variables import Variable
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+from repro.utils.registry import Registry
+
+OPTIMIZERS = Registry("optimizer")
+
+
+class Optimizer(Component):
+    """Base optimizer over an explicit variable list.
+
+    The variable list is bound with :meth:`set_variables` before the
+    build (agents bind their policy's registry); slot variables are
+    created lazily the first time the update ops build.
+    """
+
+    def __init__(self, learning_rate: float = 1e-3, clip_grad_norm: Optional[float] = None,
+                 scope: str = "optimizer", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.learning_rate = float(learning_rate)
+        self.clip_grad_norm = clip_grad_norm
+        self._variables: List[Variable] = []
+        self._variables_provider = None
+        self._step_var = None
+
+    def set_variables(self, variables: Sequence[Variable]) -> None:
+        self._variables = list(variables)
+
+    def set_variables_provider(self, provider) -> None:
+        """Defer the variable list to build time (``provider`` is called
+        when the update ops are created, after the owning policy has made
+        its variables)."""
+        self._variables_provider = provider
+
+    def create_variables(self, input_spaces):
+        self._step_var = self.get_variable("step", shape=(), dtype=np.int64,
+                                           trainable=False)
+
+    # -- API ------------------------------------------------------------------
+    @rlgraph_api
+    def step(self, loss):
+        return self._graph_fn_step(loss)
+
+    @rlgraph_api
+    def step_towers(self, *losses):
+        return self._graph_fn_step(*losses)
+
+    # -- update construction ----------------------------------------------------
+    @graph_fn
+    def _graph_fn_step(self, *losses):
+        if not self._variables and self._variables_provider is not None:
+            self._variables = list(self._variables_provider())
+        if not self._variables:
+            raise RLGraphError(
+                f"Optimizer {self.global_scope}: set_variables() was never "
+                f"called")
+        tower_grads = [grads_of(loss, self._variables) for loss in losses]
+        if len(tower_grads) == 1:
+            grads = tower_grads[0]
+        else:
+            # Synchronous multi-device strategy: average tower gradients.
+            inv = 1.0 / len(tower_grads)
+            grads = [
+                F.mul(inv, _sum_handles([tg[i] for tg in tower_grads]))
+                for i in range(len(self._variables))
+            ]
+        if self.clip_grad_norm is not None:
+            grads = self._clip_by_global_norm(grads)
+        ops = []
+        # `t` derives from the pre-bump read; the bump's value depends on
+        # the same read node, so execution order is data-driven in the
+        # static graph (no read-after-write hazard).
+        step_read = self._step_var.read()
+        t = F.cast(F.add(step_read, np.int64(1)), np.float32)
+        bump = self._step_var.assign(F.add(step_read, np.int64(1)))
+        if bump is not None:
+            ops.append(bump)
+        for i, (var, grad) in enumerate(zip(self._variables, grads)):
+            update_ops = self._apply_update(i, var, grad, t)
+            ops.extend(op for op in update_ops if op is not None)
+        return F.group(*ops)
+
+    def _clip_by_global_norm(self, grads):
+        sq = [F.reduce_sum(F.square(g)) for g in grads]
+        total = _sum_handles(sq)
+        norm = F.sqrt(F.maximum(total, 1e-12))
+        scale = F.minimum(1.0, F.div(float(self.clip_grad_norm), norm))
+        return [F.mul(g, scale) for g in grads]
+
+    def _slot(self, kind: str, index: int, var: Variable) -> Variable:
+        return self.get_variable(f"{kind}-{index}", shape=var.shape,
+                                 dtype=np.float32, trainable=False,
+                                 initializer="zeros")
+
+    def _apply_update(self, index: int, var: Variable, grad, t):
+        raise NotImplementedError
+
+
+def _sum_handles(handles):
+    total = handles[0]
+    for h in handles[1:]:
+        total = F.add(total, h)
+    return total
+
+
+@OPTIMIZERS.register("sgd", aliases=["gradient_descent"])
+class GradientDescent(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-3, momentum: float = 0.0,
+                 scope: str = "sgd", **kwargs):
+        super().__init__(learning_rate=learning_rate, scope=scope, **kwargs)
+        self.momentum = float(momentum)
+
+    def _apply_update(self, index, var, grad, t):
+        if self.momentum:
+            mom = self._slot("momentum", index, var)
+            new_m = F.add(F.mul(self.momentum, mom.read()), grad)
+            op1 = mom.assign(new_m)
+            op2 = var.assign_add(F.mul(-self.learning_rate, new_m))
+            return [op1, op2]
+        return [var.assign_add(F.mul(-self.learning_rate, grad))]
+
+
+@OPTIMIZERS.register("adam")
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015)."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 scope: str = "adam", **kwargs):
+        super().__init__(learning_rate=learning_rate, scope=scope, **kwargs)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+
+    def _apply_update(self, index, var, grad, t):
+        m = self._slot("m", index, var)
+        v = self._slot("v", index, var)
+        new_m = F.add(F.mul(self.beta1, m.read()),
+                      F.mul(1.0 - self.beta1, grad))
+        new_v = F.add(F.mul(self.beta2, v.read()),
+                      F.mul(1.0 - self.beta2, F.square(grad)))
+        # beta^t via exp(t * log(beta)) — t is a runtime tensor.
+        bc1 = F.sub(1.0, F.exp(F.mul(t, float(np.log(self.beta1)))))
+        bc2 = F.sub(1.0, F.exp(F.mul(t, float(np.log(self.beta2)))))
+        m_hat = F.div(new_m, F.maximum(bc1, 1e-8))
+        v_hat = F.div(new_v, F.maximum(bc2, 1e-8))
+        delta = F.mul(-self.learning_rate,
+                      F.div(m_hat, F.add(F.sqrt(v_hat), self.epsilon)))
+        return [m.assign(new_m), v.assign(new_v), var.assign_add(delta)]
+
+
+@OPTIMIZERS.register("rmsprop")
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton 2012) — the Ape-X/IMPALA default."""
+
+    def __init__(self, learning_rate: float = 1e-3, decay: float = 0.99,
+                 epsilon: float = 1e-8, scope: str = "rmsprop", **kwargs):
+        super().__init__(learning_rate=learning_rate, scope=scope, **kwargs)
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+
+    def _apply_update(self, index, var, grad, t):
+        ms = self._slot("mean-square", index, var)
+        new_ms = F.add(F.mul(self.decay, ms.read()),
+                       F.mul(1.0 - self.decay, F.square(grad)))
+        delta = F.mul(-self.learning_rate,
+                      F.div(grad, F.add(F.sqrt(new_ms), self.epsilon)))
+        return [ms.assign(new_ms), var.assign_add(delta)]

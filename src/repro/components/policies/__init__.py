@@ -1,0 +1,21 @@
+"""Policies: distributions, action adapters, and the Policy component."""
+
+from repro.components.policies.distributions import (
+    Bernoulli,
+    Categorical,
+    Distribution,
+    Gaussian,
+    distribution_for_space,
+)
+from repro.components.policies.action_adapter import ActionAdapter
+from repro.components.policies.policy import Policy
+
+__all__ = [
+    "Distribution",
+    "Categorical",
+    "Gaussian",
+    "Bernoulli",
+    "distribution_for_space",
+    "ActionAdapter",
+    "Policy",
+]

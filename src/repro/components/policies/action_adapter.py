@@ -1,0 +1,39 @@
+"""ActionAdapter: maps network features to action-space parameters.
+
+For a discrete space the outputs double as Q-values (DQN) or logits
+(policy gradients); for continuous spaces they parameterize a Gaussian.
+"""
+
+from __future__ import annotations
+
+from repro.backend import functional as F
+from repro.components.policies.distributions import distribution_for_space
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces import Space
+from repro.spaces.space_utils import space_from_spec
+
+
+class ActionAdapter(Component):
+    """A final linear layer sized by the action space."""
+
+    def __init__(self, action_space, scope: str = "action-adapter", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.action_space: Space = space_from_spec(action_space)
+        self.distribution = distribution_for_space(self.action_space)
+        self.units = self.distribution.param_units(self.action_space)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["features"]
+        in_dim = int(space.shape[-1])
+        self.kernel = self.get_variable("kernel", shape=(in_dim, self.units),
+                                        initializer="glorot")
+        self.bias = self.get_variable("bias", shape=(self.units,),
+                                      initializer="zeros")
+
+    @rlgraph_api
+    def get_parameters(self, features):
+        return self._graph_fn_parameters(features)
+
+    @graph_fn
+    def _graph_fn_parameters(self, features):
+        return F.add(F.matmul(features, self.kernel.read()), self.bias.read())

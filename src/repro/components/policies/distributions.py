@@ -1,0 +1,138 @@
+"""Action distributions, written against the functional API so sampling,
+log-probs and entropies work in both backends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.spaces import BoolBox, FloatBox, IntBox, Space
+from repro.utils.errors import RLGraphError
+
+
+class Distribution:
+    """Stateless distribution math over parameter tensors."""
+
+    def param_units(self, space: Space) -> int:
+        """Number of adapter output units needed for ``space``."""
+        raise NotImplementedError
+
+    def sample(self, params, deterministic=False):
+        raise NotImplementedError
+
+    def log_prob(self, params, actions):
+        raise NotImplementedError
+
+    def entropy(self, params):
+        raise NotImplementedError
+
+
+class Categorical(Distribution):
+    """Discrete distribution parameterized by logits (B, A)."""
+
+    def __init__(self, num_categories: int):
+        self.num_categories = int(num_categories)
+
+    def param_units(self, space: Space) -> int:
+        return self.num_categories
+
+    def sample(self, logits, deterministic=False):
+        if deterministic:
+            return F.argmax(logits, axis=-1)
+        # Gumbel-max trick keeps sampling inside the graph.
+        u = F.random_uniform(like=logits)
+        gumbel = F.neg(F.log(F.neg(F.log(F.maximum(u, 1e-10)))))
+        return F.argmax(F.add(logits, gumbel), axis=-1)
+
+    def log_prob(self, logits, actions):
+        log_p = F.log_softmax(logits, axis=-1)
+        onehot = F.one_hot(actions, self.num_categories)
+        return F.reduce_sum(F.mul(log_p, onehot), axis=-1)
+
+    def entropy(self, logits):
+        log_p = F.log_softmax(logits, axis=-1)
+        p = F.softmax(logits, axis=-1)
+        return F.neg(F.reduce_sum(F.mul(p, log_p), axis=-1))
+
+
+class Gaussian(Distribution):
+    """Diagonal Gaussian; params (B, 2D) = [mean, log_std]."""
+
+    def __init__(self, dim: int):
+        self.dim = int(dim)
+
+    def param_units(self, space: Space) -> int:
+        return 2 * self.dim
+
+    def _split(self, params):
+        mean = F.getitem(params, (slice(None), slice(0, self.dim)))
+        log_std = F.getitem(params, (slice(None), slice(self.dim, 2 * self.dim)))
+        log_std = F.clip(log_std, -10.0, 2.0)
+        return mean, log_std
+
+    def sample(self, params, deterministic=False):
+        mean, log_std = self._split(params)
+        if deterministic:
+            return mean
+        noise = F.random_normal(like=mean)
+        return F.add(mean, F.mul(F.exp(log_std), noise))
+
+    def log_prob(self, params, actions):
+        mean, log_std = self._split(params)
+        var = F.exp(F.mul(2.0, log_std))
+        per_dim = F.add(
+            F.div(F.square(F.sub(actions, mean)), F.maximum(var, 1e-10)),
+            F.add(F.mul(2.0, log_std), float(np.log(2 * np.pi))))
+        return F.mul(-0.5, F.reduce_sum(per_dim, axis=-1))
+
+    def entropy(self, params):
+        _, log_std = self._split(params)
+        per_dim = F.add(log_std, 0.5 * float(np.log(2 * np.pi * np.e)))
+        return F.reduce_sum(per_dim, axis=-1)
+
+
+class Bernoulli(Distribution):
+    """Element-wise Bernoulli over logits (B, D)."""
+
+    def __init__(self, dim: int):
+        self.dim = int(dim)
+
+    def param_units(self, space: Space) -> int:
+        return self.dim
+
+    def sample(self, logits, deterministic=False):
+        p = F.sigmoid(logits)
+        if deterministic:
+            return F.greater_equal(p, 0.5)
+        u = F.random_uniform(like=p)
+        return F.less(u, p)
+
+    def log_prob(self, logits, actions):
+        a = F.reshape(F.cast(actions, np.float32), (-1, self.dim))
+        log_p = F.neg(F.softplus(F.neg(logits)))       # log sigmoid(x)
+        log_1mp = F.neg(F.softplus(logits))            # log (1 - sigmoid(x))
+        per_dim = F.add(F.mul(a, log_p), F.mul(F.sub(1.0, a), log_1mp))
+        return F.reduce_sum(per_dim, axis=-1)
+
+    def entropy(self, logits):
+        p = F.clip(F.sigmoid(logits), 1e-6, 1.0 - 1e-6)
+        per_dim = F.neg(F.add(F.mul(p, F.log(p)),
+                              F.mul(F.sub(1.0, p), F.log(F.sub(1.0, p)))))
+        return F.reduce_sum(per_dim, axis=-1)
+
+
+def distribution_for_space(space: Space) -> Distribution:
+    """The canonical distribution for an action space."""
+    if isinstance(space, IntBox):
+        if space.shape != ():
+            raise RLGraphError(
+                f"Only scalar IntBox action spaces supported, got {space!r}")
+        return Categorical(space.num_categories)
+    if isinstance(space, BoolBox):
+        dim = int(np.prod(space.shape)) if space.shape else 1
+        return Bernoulli(dim)
+    if isinstance(space, FloatBox):
+        dim = int(np.prod(space.shape)) if space.shape else 1
+        return Gaussian(dim)
+    raise RLGraphError(f"No distribution for space {space!r}; use a "
+                       f"ContainerSplitter + one policy head per sub-space")

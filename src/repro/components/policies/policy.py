@@ -1,0 +1,144 @@
+"""Policy component: network torso + action adapter (+ optional dueling
+head and value head).
+
+This is the Listing-1 component: build it from a state space and an
+action space and every API method becomes individually testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.components.neural_networks.dueling import DuelingHead
+from repro.components.neural_networks.neural_network import NeuralNetwork
+from repro.components.policies.action_adapter import ActionAdapter
+from repro.components.policies.distributions import distribution_for_space
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces import IntBox
+from repro.spaces.space_utils import space_from_spec
+from repro.utils.errors import RLGraphError
+
+
+class Policy(Component):
+    """A policy over an action space.
+
+    Args:
+        network_spec: layer list / JSON path / NeuralNetwork instance.
+        action_space: the action Space (spec forms accepted).
+        dueling: use a dueling Q head (discrete spaces only).
+        value_head: add a state-value output (actor-critic/IMPALA/PPO).
+    """
+
+    def __init__(self, network_spec: Any, action_space, dueling: bool = False,
+                 value_head: bool = False, scope: str = "policy", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.action_space = space_from_spec(action_space)
+        self.distribution = distribution_for_space(self.action_space)
+        self.network = (network_spec if isinstance(network_spec, NeuralNetwork)
+                        else NeuralNetwork(network_spec))
+        self.dueling = bool(dueling)
+        self.value_head = bool(value_head)
+        components = [self.network]
+        if self.dueling:
+            if not isinstance(self.action_space, IntBox):
+                raise RLGraphError("Dueling heads need a discrete action space")
+            self.dueling_head = DuelingHead(self.action_space.num_categories)
+            components.append(self.dueling_head)
+            self.action_adapter = None
+        else:
+            self.action_adapter = ActionAdapter(self.action_space)
+            components.append(self.action_adapter)
+        if self.value_head:
+            self.value_adapter = ValueHead()
+            components.append(self.value_adapter)
+        else:
+            # Without a value head this API method cannot be built.
+            self.api_methods.pop("get_state_values", None)
+        self.add_components(*components)
+
+    # -- API ------------------------------------------------------------------
+    @rlgraph_api
+    def get_nn_output(self, nn_input):
+        return self.network.call(nn_input)
+
+    @rlgraph_api
+    def get_logits(self, nn_input):
+        features = self.network.call(nn_input)
+        if self.dueling:
+            return self.dueling_head.get_q_values(features)
+        return self.action_adapter.get_parameters(features)
+
+    @rlgraph_api
+    def get_q_values(self, nn_input):
+        """Alias for get_logits, meaningful for value-based methods."""
+        features = self.network.call(nn_input)
+        if self.dueling:
+            return self.dueling_head.get_q_values(features)
+        return self.action_adapter.get_parameters(features)
+
+    @rlgraph_api
+    def get_action(self, nn_input):
+        """Stochastic action (sampled from the policy distribution)."""
+        logits = self.get_logits(nn_input)
+        return self._graph_fn_sample(logits, deterministic=False)
+
+    @rlgraph_api
+    def get_deterministic_action(self, nn_input):
+        logits = self.get_logits(nn_input)
+        return self._graph_fn_sample(logits, deterministic=True)
+
+    @rlgraph_api
+    def get_action_log_probs(self, nn_input, actions):
+        logits = self.get_logits(nn_input)
+        return self._graph_fn_log_prob(logits, actions)
+
+    @rlgraph_api
+    def get_state_values(self, nn_input):
+        if not self.value_head:
+            raise RLGraphError(f"Policy {self.scope} has no value head")
+        features = self.network.call(nn_input)
+        return self.value_adapter.get_value(features)
+
+    @rlgraph_api
+    def get_entropy(self, nn_input):
+        logits = self.get_logits(nn_input)
+        return self._graph_fn_entropy(logits)
+
+    # -- graph fns --------------------------------------------------------------
+    @graph_fn(requires_variables=False)
+    def _graph_fn_sample(self, logits, deterministic=False):
+        return self.distribution.sample(logits, deterministic=deterministic)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_log_prob(self, logits, actions):
+        return self.distribution.log_prob(logits, actions)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_entropy(self, logits):
+        return self.distribution.entropy(logits)
+
+
+class ValueHead(Component):
+    """Linear state-value output V(s) from features."""
+
+    def __init__(self, scope: str = "value-head", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["features"]
+        in_dim = int(space.shape[-1])
+        self.kernel = self.get_variable("kernel", shape=(in_dim, 1),
+                                        initializer="glorot")
+        self.bias = self.get_variable("bias", shape=(1,), initializer="zeros")
+
+    @rlgraph_api
+    def get_value(self, features):
+        return self._graph_fn_value(features)
+
+    @graph_fn
+    def _graph_fn_value(self, features):
+        out = F.add(F.matmul(features, self.kernel.read()), self.bias.read())
+        return F.squeeze(out, axis=-1)

@@ -1,0 +1,29 @@
+"""Preprocessing components — first-class citizens in RLgraph, so every
+heuristic (grayscale, rescale, frame-stacking, ...) is individually
+buildable and testable (paper §1, point 4)."""
+
+from repro.components.preprocessing.preprocessors import (
+    PREPROCESSORS,
+    Clip,
+    Divide,
+    Flatten,
+    GrayScale,
+    ImageResize,
+    Normalize,
+    Preprocessor,
+)
+from repro.components.preprocessing.sequence import Sequence
+from repro.components.preprocessing.stack import PreprocessorStack
+
+__all__ = [
+    "PREPROCESSORS",
+    "Preprocessor",
+    "GrayScale",
+    "ImageResize",
+    "Divide",
+    "Clip",
+    "Normalize",
+    "Flatten",
+    "Sequence",
+    "PreprocessorStack",
+]

@@ -1,0 +1,182 @@
+"""Stateless preprocessor components."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.spaces.box import FloatBox
+from repro.spaces.space_utils import sanity_check_space
+from repro.utils.errors import RLGraphError
+from repro.utils.registry import Registry
+
+PREPROCESSORS = Registry("preprocessor")
+
+
+class Preprocessor(Component):
+    """Base: one `preprocess` API method; stateless by default."""
+
+    @rlgraph_api
+    def preprocess(self, inputs):
+        return self._graph_fn_preprocess(inputs)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        raise NotImplementedError
+
+    def reset(self):
+        """Clear internal state (no-op for stateless preprocessors)."""
+
+    def transformed_space(self, space):
+        """Output space for a given input space (shape bookkeeping used by
+        agents to size their memories without building first)."""
+        return space
+
+
+@PREPROCESSORS.register("grayscale")
+class GrayScale(Preprocessor):
+    """Channel-weighted grayscale for (B, H, W, C) images.
+
+    ``keepdims=False`` drops the channel dim (-> (B, H, W)); the default
+    keeps a singleton channel so conv layers can follow directly.
+    """
+
+    def __init__(self, weights: Optional[TypingSequence[float]] = None,
+                 keepdims: bool = True, scope: str = "grayscale", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.weights = weights
+        self.keepdims = keepdims
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        from repro.backend.ops import handle_shape
+        shape = handle_shape(inputs)
+        channels = int(shape[-1]) if shape is not None and shape[-1] else 3
+        weights = (np.asarray(self.weights, np.float32) if self.weights
+                   else np.full(channels, 1.0 / channels, np.float32))
+        if len(weights) != channels:
+            raise RLGraphError(
+                f"GrayScale weights ({len(weights)}) != channels ({channels})")
+        out = F.reduce_sum(F.mul(inputs, weights), axis=-1,
+                           keepdims=self.keepdims)
+        return out
+
+    def transformed_space(self, space):
+        shape = space.shape[:-1] + ((1,) if self.keepdims else ())
+        return FloatBox(shape=shape, add_batch_rank=space.has_batch_rank,
+                        add_time_rank=space.has_time_rank,
+                        time_major=space.time_major)
+
+
+@PREPROCESSORS.register("image_resize", aliases=["resize"])
+class ImageResize(Preprocessor):
+    """Nearest-neighbour resize of (B, H, W[, C]) images to (height, width).
+
+    Index maps are precomputed from the input space (no per-frame
+    arithmetic), which is what makes batched preprocessing cheap.
+    """
+
+    def __init__(self, width: int, height: int, scope: str = "image-resize",
+                 **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.width = int(width)
+        self.height = int(height)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        from repro.backend.ops import handle_shape
+        shape = handle_shape(inputs)
+        if shape is None or shape[1] is None or shape[2] is None:
+            raise RLGraphError("ImageResize needs known H/W dims")
+        in_h, in_w = int(shape[1]), int(shape[2])
+        rows = np.minimum((np.arange(self.height) * in_h / self.height)
+                          .astype(np.int64), in_h - 1)
+        cols = np.minimum((np.arange(self.width) * in_w / self.width)
+                          .astype(np.int64), in_w - 1)
+        out = F.getitem(inputs, (slice(None), rows))
+        out = F.getitem(out, (slice(None), slice(None), cols))
+        return out
+
+    def transformed_space(self, space):
+        shape = (self.height, self.width) + tuple(space.shape[2:])
+        return FloatBox(shape=shape, add_batch_rank=space.has_batch_rank,
+                        add_time_rank=space.has_time_rank,
+                        time_major=space.time_major)
+
+
+@PREPROCESSORS.register("divide")
+class Divide(Preprocessor):
+    """Divides by a constant (e.g. 255 for uint8 frames)."""
+
+    def __init__(self, divisor: float = 255.0, scope: str = "divide", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if divisor == 0:
+            raise RLGraphError("divisor must be non-zero")
+        self.divisor = float(divisor)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        return F.div(F.cast(inputs, np.float32), self.divisor)
+
+    def transformed_space(self, space):
+        return FloatBox(shape=space.shape, add_batch_rank=space.has_batch_rank,
+                        add_time_rank=space.has_time_rank,
+                        time_major=space.time_major)
+
+
+@PREPROCESSORS.register("clip")
+class Clip(Preprocessor):
+    """Clips values into [low, high] (e.g. reward clipping to [-1, 1])."""
+
+    def __init__(self, low: float = -1.0, high: float = 1.0,
+                 scope: str = "clip", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if low > high:
+            raise RLGraphError(f"Clip low {low} > high {high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        return F.clip(inputs, self.low, self.high)
+
+
+@PREPROCESSORS.register("normalize")
+class Normalize(Preprocessor):
+    """Shift/scale by fixed mean/std."""
+
+    def __init__(self, mean: float = 0.0, std: float = 1.0,
+                 scope: str = "normalize", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if std == 0:
+            raise RLGraphError("std must be non-zero")
+        self.mean = float(mean)
+        self.std = float(std)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        return F.div(F.sub(F.cast(inputs, np.float32), self.mean), self.std)
+
+    def transformed_space(self, space):
+        return FloatBox(shape=space.shape, add_batch_rank=space.has_batch_rank,
+                        add_time_rank=space.has_time_rank,
+                        time_major=space.time_major)
+
+
+@PREPROCESSORS.register("flatten")
+class Flatten(Preprocessor):
+    """(B, ...) -> (B, prod)."""
+
+    def __init__(self, scope: str = "flatten-preprocessor", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_preprocess(self, inputs):
+        return F.flatten_batch(inputs)
+
+    def transformed_space(self, space):
+        return FloatBox(shape=(space.flat_dim,),
+                        add_batch_rank=space.has_batch_rank)

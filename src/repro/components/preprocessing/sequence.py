@@ -1,0 +1,71 @@
+"""Sequence (frame-stack) preprocessor: stateful across calls.
+
+Keeps the last ``sequence_length`` observations per environment slot in a
+variable and returns them stacked along a new trailing axis — the classic
+Atari 4-frame stack. Statefulness is why preprocessors must be first-class
+components: the build creates the state variable from the input space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import functional as F
+from repro.components.preprocessing.preprocessors import PREPROCESSORS, Preprocessor
+from repro.core import graph_fn, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+@PREPROCESSORS.register("sequence", aliases=["frame_stack"])
+class Sequence(Preprocessor):
+    """Stacks the last N inputs along a new last axis.
+
+    Args:
+        sequence_length: number of frames stacked (N).
+        num_slots: number of environment slots (the vector size the
+            worker acts on); the batch dim of `preprocess` inputs must
+            equal this.
+    """
+
+    def __init__(self, sequence_length: int = 4, num_slots: int = 1,
+                 scope: str = "sequence", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        if sequence_length < 1:
+            raise RLGraphError("sequence_length must be >= 1")
+        self.sequence_length = int(sequence_length)
+        self.num_slots = int(num_slots)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["inputs"]
+        self.buffer = self.get_variable(
+            "stack-buffer",
+            shape=(self.num_slots,) + tuple(space.shape)
+            + (self.sequence_length,),
+            dtype=np.float32, trainable=False, initializer="zeros")
+
+    @rlgraph_api
+    def preprocess(self, inputs):
+        return self._graph_fn_preprocess(inputs)
+
+    @graph_fn
+    def _graph_fn_preprocess(self, inputs):
+        current = self.buffer.read()
+        shifted = F.concat(
+            [F.getitem(current, (Ellipsis, slice(1, None))),
+             F.expand_dims(F.cast(inputs, np.float32), -1)],
+            axis=-1)
+        write = self.buffer.assign(shifted)
+        return F.with_deps(shifted, write) if write is not None else shifted
+
+    def reset(self):
+        if hasattr(self, "buffer"):
+            self.buffer.value[...] = 0.0
+
+    def transformed_space(self, space):
+        from repro.spaces import FloatBox
+        return FloatBox(shape=tuple(space.shape) + (self.sequence_length,),
+                        add_batch_rank=space.has_batch_rank)
+
+    def reset_slot(self, slot: int):
+        if hasattr(self, "buffer"):
+            self.buffer.value[slot] = 0.0

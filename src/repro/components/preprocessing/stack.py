@@ -1,0 +1,50 @@
+"""PreprocessorStack: sequential composition of preprocessors."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence as TypingSequence
+
+from repro.components.preprocessing.preprocessors import (
+    PREPROCESSORS,
+    Preprocessor,
+)
+from repro.core import Component, rlgraph_api
+from repro.utils.errors import RLGraphError
+
+
+class PreprocessorStack(Component):
+    """Chains preprocessors; `preprocess` applies them in order.
+
+    Specs may be Preprocessor instances or dicts like
+    ``{"type": "grayscale", "keepdims": False}``.
+    """
+
+    def __init__(self, specs: TypingSequence[Any],
+                 scope: str = "preprocessor-stack", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.preprocessors: List[Preprocessor] = []
+        for i, spec in enumerate(specs or []):
+            pre = (spec if isinstance(spec, Preprocessor)
+                   else PREPROCESSORS.from_spec(spec))
+            if not isinstance(pre, Preprocessor):
+                raise RLGraphError(f"Spec {spec!r} is not a preprocessor")
+            if pre.scope in self.sub_components:
+                pre.scope = f"{pre.scope}-{i}"
+            self.preprocessors.append(pre)
+            self.add_components(pre)
+
+    @rlgraph_api
+    def preprocess(self, inputs):
+        out = inputs
+        for pre in self.preprocessors:
+            out = pre.preprocess(out)
+        return out
+
+    def reset(self):
+        for pre in self.preprocessors:
+            pre.reset()
+
+    def transformed_space(self, space):
+        for pre in self.preprocessors:
+            space = pre.transformed_space(space)
+        return space

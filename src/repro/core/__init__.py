@@ -1,0 +1,29 @@
+"""Core component-graph machinery: Components, decorators, builder."""
+
+from repro.core.component import Component
+from repro.core.decorators import graph_fn, rlgraph_api
+from repro.core.graph_builder import (
+    APIEndpoint,
+    BuildStats,
+    BuiltGraph,
+    GraphBuilder,
+    build_graph,
+    example_from_space,
+    space_from_handle,
+)
+from repro.core.op_records import GraphFnNode, OpRec
+
+__all__ = [
+    "Component",
+    "graph_fn",
+    "rlgraph_api",
+    "APIEndpoint",
+    "BuildStats",
+    "BuiltGraph",
+    "GraphBuilder",
+    "build_graph",
+    "example_from_space",
+    "space_from_handle",
+    "GraphFnNode",
+    "OpRec",
+]

@@ -1,0 +1,327 @@
+"""The Component base class (paper §3.2).
+
+A Component encapsulates arbitrary computations behind declared API
+methods. Components nest into a tree rooted at an agent's *root
+component*; data may only flow along API-method calls; all backend
+tensors live inside graph functions. Variables are created exactly once,
+when the component becomes *input-complete* (all its API input spaces are
+known) during the build.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import context as backend_context
+from repro.backend.variables import Variable
+from repro.core.decorators import ASSEMBLY, get_phase
+from repro.core.op_records import OpRec, collect_records
+from repro.spaces import Space
+from repro.spaces.containers import ContainerSpace
+from repro.spaces.space_utils import flatten_space
+from repro.utils.errors import RLGraphBuildError, RLGraphError
+
+_build_state = threading.local()
+
+
+def set_current_build(build):
+    _build_state.current = build
+
+
+def get_current_build():
+    return getattr(_build_state, "current", None)
+
+
+def _spaces_compatible(a: Space, b: Space) -> bool:
+    """Structural compatibility: same container structure / shape / dtype.
+
+    Bounds are ignored — a space inferred from a graph node carries no
+    bound information, but shape and dtype are what variable creation
+    needs.
+    """
+    from repro.spaces.containers import ContainerSpace
+    from repro.spaces.space_utils import flatten_space
+
+    if isinstance(a, ContainerSpace) != isinstance(b, ContainerSpace):
+        return False
+    flat_a, flat_b = flatten_space(a), flatten_space(b)
+    if list(flat_a) != list(flat_b):
+        return False
+    for key in flat_a:
+        sa, sb = flat_a[key], flat_b[key]
+        if sa.shape != sb.shape:
+            return False
+        if np.issubdtype(sa.dtype, np.floating) != np.issubdtype(
+                sb.dtype, np.floating):
+            return False
+    return True
+
+
+class Component:
+    """Base class for all RLgraph components.
+
+    Args:
+        scope: this component's name segment (must be unique among
+            siblings); global scope is the '/'-joined path from the root.
+        device: optional device for this component's variables and ops
+            (entries in the agent's device map override this).
+    """
+
+    def __init__(self, scope: Optional[str] = None, device: Optional[str] = None):
+        self.scope = scope or type(self).__name__.lower()
+        self.device = device
+        self.parent: Optional[Component] = None
+        self.sub_components: "OrderedDict[str, Component]" = OrderedDict()
+
+        # Discovered API methods: name -> bound wrapper.
+        self.api_methods: Dict[str, Any] = {}
+        for attr_name in dir(type(self)):
+            attr = getattr(type(self), attr_name, None)
+            if attr is not None and getattr(attr, "_rlgraph_api", False):
+                self.api_methods[attr._api_name] = getattr(self, attr_name)
+
+        # Build-time state.
+        # Components listed here must have their variables created before
+        # any of this component's graph functions execute (used by weight
+        # synchronizers that pair up two policies' variables).
+        self.build_dependencies: List["Component"] = []
+        # If set, only these API args gate input-completeness. This covers
+        # the paper's "input spaces to one method depend on outputs of its
+        # other methods" case (§3.2): e.g. a prioritized memory's
+        # `update_records(indices, ...)` consumes its own sampling output,
+        # but variable creation only needs the `records` space.
+        self.variable_creation_args: Optional[set] = None
+        self.api_input_records: Dict[str, List[OpRec]] = {}
+        self.input_spaces: Dict[str, Space] = {}
+        self.input_complete = False
+        self.variables_created = False
+        self.variables: "OrderedDict[str, Variable]" = OrderedDict()
+        self.built = False
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def add_components(self, *components: "Component") -> None:
+        """Attach sub-components (paper: arbitrary nesting)."""
+        for comp in components:
+            if not isinstance(comp, Component):
+                raise RLGraphError(f"{comp!r} is not a Component")
+            if comp.scope in self.sub_components:
+                raise RLGraphError(
+                    f"Duplicate sub-component scope {comp.scope!r} under "
+                    f"{self.global_scope!r}")
+            if comp.parent is not None:
+                raise RLGraphError(
+                    f"Component {comp.scope!r} already has a parent")
+            comp.parent = self
+            self.sub_components[comp.scope] = comp
+
+    @property
+    def global_scope(self) -> str:
+        parts = []
+        node: Optional[Component] = self
+        while node is not None:
+            parts.append(node.scope)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def get_all_components(self, include_self: bool = True) -> List["Component"]:
+        """This component and all transitive sub-components."""
+        out = [self] if include_self else []
+        for sub in self.sub_components.values():
+            out.extend(sub.get_all_components())
+        return out
+
+    def get_sub_component(self, path: str) -> "Component":
+        """Look up a nested sub-component by '/'-joined scopes."""
+        node = self
+        for part in path.split("/"):
+            try:
+                node = node.sub_components[part]
+            except KeyError:
+                raise RLGraphError(
+                    f"No sub-component {part!r} under {node.global_scope!r}"
+                ) from None
+        return node
+
+    # ------------------------------------------------------------------
+    # Assembly bookkeeping (called by the decorators)
+    # ------------------------------------------------------------------
+    def _record_api_call(self, api_name: str, func, args, kwargs) -> None:
+        if get_phase() != ASSEMBLY:
+            return
+        import inspect
+        sig = inspect.signature(func)
+        params = [p for n, p in sig.parameters.items() if n != "self"]
+        names: List[str] = []
+        for i, _ in enumerate(args):
+            if i < len(params) and params[i].kind != inspect.Parameter.VAR_POSITIONAL:
+                names.append(params[i].name)
+            else:
+                # *args parameter: give each element its own slot name.
+                var_param = params[-1].name if params else "args"
+                names.append(f"{var_param}[{i}]")
+        bound_args = list(args) + [kwargs[k] for k in kwargs]
+        names = names + list(kwargs)
+        for arg_name, value in zip(names, bound_args):
+            recs: List[OpRec] = []
+            collect_records(value, recs)
+            if recs:
+                self.api_input_records.setdefault(arg_name, []).extend(recs)
+
+    def _register_graph_fn_node(self, node) -> None:
+        build = get_current_build()
+        if build is None:
+            raise RLGraphBuildError(
+                f"graph_fn {node.name} invoked with no active build")
+        build.register_graph_fn_node(node)
+
+    # ------------------------------------------------------------------
+    # Input-completeness / variable creation (build phase)
+    # ------------------------------------------------------------------
+    def update_input_completeness(self) -> bool:
+        """Re-derive input-completeness from recorded API input records."""
+        if self.input_complete:
+            return True
+        complete = True
+        for arg_name, recs in self.api_input_records.items():
+            spaces = {id(r): r.space for r in recs}
+            known = [s for s in spaces.values() if s is not None]
+            gating = (self.variable_creation_args is None
+                      or arg_name in self.variable_creation_args)
+            if len(known) < len(spaces):
+                if gating:
+                    complete = False
+                continue
+            first = known[0] if known else None
+            for s in known[1:]:
+                if not _spaces_compatible(first, s):
+                    raise RLGraphBuildError(
+                        f"Component {self.global_scope!r} arg {arg_name!r} "
+                        f"received conflicting spaces {first!r} vs {s!r}")
+            if first is not None:
+                self.input_spaces[arg_name] = first
+        self.input_complete = complete
+        return complete
+
+    def ensure_variables(self) -> None:
+        """Create variables once, inside the right device scope (the
+        completion function from the paper's build algorithm)."""
+        if self.variables_created:
+            return
+        device = self.resolved_device()
+        with backend_context.device(device):
+            self.check_input_spaces(self.input_spaces)
+            self.create_variables(self.input_spaces)
+        self.variables_created = True
+
+    def resolved_device(self) -> str:
+        """This component's device, inherited from ancestors if unset."""
+        node: Optional[Component] = self
+        while node is not None:
+            if node.device is not None:
+                return node.device
+            node = node.parent
+        return backend_context.current_device()
+
+    # -- hooks for subclasses -------------------------------------------------
+    def check_input_spaces(self, input_spaces: Dict[str, Space]) -> None:
+        """Validate input spaces; raise RLGraphSpaceError on mismatch."""
+
+    def create_variables(self, input_spaces: Dict[str, Space]) -> None:
+        """Create this component's internal state from known input spaces."""
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def get_variable(self, name: str, shape=None, dtype=np.float32,
+                     initializer="zeros", trainable: bool = True,
+                     from_space: Optional[Space] = None,
+                     add_batch_dim: Optional[int] = None) -> Variable:
+        """Create (or return an existing) variable owned by this component.
+
+        ``from_space`` derives shape/dtype from a Space; ``add_batch_dim``
+        prepends a fixed capacity dim (memory buffers).
+        """
+        full_name = f"{self.global_scope}/{name}"
+        if full_name in self.variables:
+            return self.variables[full_name]
+        if from_space is not None:
+            if isinstance(from_space, ContainerSpace):
+                raise RLGraphError(
+                    f"get_variable({name!r}): flatten container spaces "
+                    f"before creating variables")
+            shape = from_space.shape
+            dtype = from_space.dtype
+        if shape is None:
+            raise RLGraphError(f"get_variable({name!r}) needs shape or from_space")
+        shape = tuple(int(s) for s in shape)
+        if add_batch_dim is not None:
+            shape = (int(add_batch_dim),) + shape
+        value = self._init_value(initializer, shape, dtype, seed_key=full_name)
+        build = get_current_build()
+        graph = build.graph if build is not None else None
+        var = Variable(full_name, value, trainable=trainable, dtype=dtype,
+                       graph=graph)
+        self.variables[full_name] = var
+        return var
+
+    @staticmethod
+    def _init_value(initializer, shape, dtype, seed_key=""):
+        from repro.utils.seeding import derive_seed
+        # Seed by name *and* shape: two same-shaped layers must not start
+        # with identical weights.
+        rng = np.random.default_rng(derive_seed(seed_key, shape))
+        if isinstance(initializer, (int, float)):
+            return np.full(shape, initializer, dtype=dtype)
+        if isinstance(initializer, np.ndarray):
+            return initializer.astype(dtype)
+        if initializer == "zeros":
+            return np.zeros(shape, dtype=dtype)
+        if initializer == "ones":
+            return np.ones(shape, dtype=dtype)
+        if initializer == "glorot":
+            fan_in = shape[0] if len(shape) >= 1 else 1
+            fan_out = shape[-1] if len(shape) >= 2 else 1
+            if len(shape) == 4:  # conv filters (KH, KW, Cin, Cout)
+                receptive = shape[0] * shape[1]
+                fan_in, fan_out = receptive * shape[2], receptive * shape[3]
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=shape).astype(dtype)
+        if initializer == "normal":
+            return (rng.standard_normal(shape) * 0.05).astype(dtype)
+        raise RLGraphError(f"Unknown initializer {initializer!r}")
+
+    def variable_registry(self, trainable_only: bool = True,
+                          include_subcomponents: bool = True
+                          ) -> "OrderedDict[str, Variable]":
+        """All (transitively owned) variables keyed by global name."""
+        out: "OrderedDict[str, Variable]" = OrderedDict()
+        comps = (self.get_all_components() if include_subcomponents else [self])
+        for comp in comps:
+            for name, var in comp.variables.items():
+                if trainable_only and not var.trainable:
+                    continue
+                out[name] = var
+        return out
+
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        return {name: var.value.copy()
+                for name, var in self.variable_registry().items()}
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        registry = self.variable_registry()
+        for name, value in weights.items():
+            if name not in registry:
+                raise RLGraphError(f"No variable {name!r} under "
+                                   f"{self.global_scope!r}")
+            registry[name].set(value)
+
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return (f"{type(self).__name__}(scope={self.scope!r}, "
+                f"subs={list(self.sub_components)})")

@@ -1,0 +1,169 @@
+"""``@rlgraph_api`` and ``@graph_fn`` decorators plus the build-phase state.
+
+The decorators give one method definition three behaviours:
+
+* **assembly** — the method body runs with :class:`OpRec` placeholders;
+  graph-fn calls create meta-graph nodes instead of computing;
+* **build** — the GraphBuilder executes graph-fn nodes directly (symbolic
+  node creation, or eager shape-inference execution for define-by-run);
+* **runtime** — in define-by-run mode, API methods execute their bodies
+  on real arrays every call (the per-call overhead Fig. 5b measures);
+  in static-graph mode runtime goes through the Session instead.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from typing import Any, Callable, Optional
+
+from repro.core.op_records import GraphFnNode, OpRec, contains_records
+from repro.utils.errors import RLGraphAPIError, RLGraphError
+
+_state = threading.local()
+
+ASSEMBLY = "assembly"
+RUNTIME_EAGER = "runtime_eager"
+
+
+def _phase_stack():
+    if not hasattr(_state, "phase"):
+        _state.phase = [None]
+    return _state.phase
+
+
+def get_phase() -> Optional[str]:
+    return _phase_stack()[-1]
+
+
+class phase:
+    """Context manager setting the current build phase."""
+
+    def __init__(self, name: Optional[str]):
+        self.name = name
+
+    def __enter__(self):
+        _phase_stack().append(self.name)
+        return self
+
+    def __exit__(self, *exc):
+        _phase_stack().pop()
+        return False
+
+
+def rlgraph_api(fn: Optional[Callable] = None, *, name: Optional[str] = None,
+                must_be_complete: bool = True):
+    """Mark a component method as an API method (paper §3.2).
+
+    API methods are the only legal interaction points between components.
+    The root component's API methods define the externally visible agent
+    API and are traced once during assembly (Algorithm 1).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        api_name = name or func.__name__
+
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            current = get_phase()
+            if current == ASSEMBLY:
+                self._record_api_call(api_name, func, args, kwargs)
+                return func(self, *args, **kwargs)
+            if current == RUNTIME_EAGER:
+                return func(self, *args, **kwargs)
+            raise RLGraphAPIError(
+                f"API method {type(self).__name__}.{api_name} called outside "
+                f"a build/runtime phase. Static-graph agents must call API "
+                f"methods through their GraphExecutor.")
+
+        wrapper._rlgraph_api = True
+        wrapper._api_name = api_name
+        wrapper._must_be_complete = must_be_complete
+        wrapper._signature = inspect.signature(func)
+        wrapper._raw_fn = func
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate
+
+
+def graph_fn(fn: Optional[Callable] = None, *, returns: int = 1,
+             flatten_ops: bool = False, requires_variables: bool = True):
+    """Mark a method as a graph function (paper §3.3 phase 3).
+
+    Graph functions are the only places where backend tensors appear. The
+    body is written against :mod:`repro.backend.functional`, so it builds
+    static-graph nodes or computes eagerly depending on mode.
+
+    Args:
+        returns: number of returned tensors (needed for >1 because the
+            body is not executed during assembly).
+        flatten_ops: if True and an input is a (nested) container, the
+            body is invoked once per flat leaf and outputs are re-nested —
+            the auto split/merge utility from Fig. 3.
+        requires_variables: execute only after the owning component's
+            variables exist (the input-completeness barrier).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        fn_name = func.__name__
+
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            current = get_phase()
+            if current == ASSEMBLY:
+                node = GraphFnNode(
+                    component=self, fn=func, name=fn_name, inputs=args,
+                    literals=dict(kwargs), num_outputs=returns,
+                    flatten_ops=flatten_ops,
+                    requires_variables=requires_variables)
+                self._register_graph_fn_node(node)
+                if returns == 1:
+                    return node.outputs[0]
+                return tuple(node.outputs)
+            if current == RUNTIME_EAGER:
+                return _execute_graph_fn(func, self, args, kwargs, flatten_ops)
+            raise RLGraphError(
+                f"graph_fn {type(self).__name__}.{fn_name} called outside a "
+                f"build/runtime phase")
+
+        wrapper._rlgraph_graph_fn = True
+        wrapper._returns = returns
+        wrapper._flatten_ops = flatten_ops
+        wrapper._raw_fn = func
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate
+
+
+def _execute_graph_fn(func, component, args, kwargs, flatten_ops):
+    """Run a graph-fn body, honouring flatten_ops container handling."""
+    if not flatten_ops:
+        return func(component, *args, **kwargs)
+    from repro.spaces.space_utils import flatten_value, unflatten_value
+
+    flat_args = []
+    container_keys = None
+    for arg in args:
+        if isinstance(arg, (dict, tuple)) and not hasattr(arg, "shape"):
+            flat = flatten_value(arg)
+            flat_args.append(flat)
+            if container_keys is None:
+                container_keys = list(flat.keys())
+        else:
+            flat_args.append(None)
+    if container_keys is None or container_keys == [""]:
+        plain = [a if f is None else f[""] for a, f in zip(args, flat_args)]
+        return func(component, *plain, **kwargs)
+    results = {}
+    for key in container_keys:
+        call_args = [a if f is None else f[key] for a, f in zip(args, flat_args)]
+        results[key] = func(component, *call_args, **kwargs)
+    return unflatten_value(results)
+
+
+execute_graph_fn_body = _execute_graph_fn

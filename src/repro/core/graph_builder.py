@@ -1,0 +1,522 @@
+"""Component-graph assembly and build (paper §3.3, Algorithm 1).
+
+The builder runs the three phases:
+
+1. component composition happened already (user code);
+2. **assembly** — each root API method is called once with OpRec
+   placeholders, producing the backend-independent meta-graph;
+3. **build** — input spaces flow from the root; components become
+   input-complete, create their variables, and their graph functions
+   execute (creating symbolic nodes, or eagerly inferring shapes for the
+   define-by-run backend) in breadth-first fixpoint order.
+
+The result is a :class:`BuiltGraph`: an op/API registry plus, for the
+static backend, a Session — everything a graph executor needs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import (
+    Graph,
+    Node,
+    Session,
+    XGRAPH,
+    XTAPE,
+    eager_mode,
+    no_grad,
+    symbolic_mode,
+)
+from repro.backend import context as backend_context
+from repro.core import component as component_mod
+from repro.core.component import Component
+from repro.core.decorators import ASSEMBLY, RUNTIME_EAGER, phase
+from repro.core.op_records import GraphFnNode, OpRec, map_records
+from repro.core.decorators import execute_graph_fn_body
+from repro.spaces import (
+    BoolBox,
+    Dict as DictSpace,
+    FloatBox,
+    IntBox,
+    Space,
+    Tuple as TupleSpace,
+)
+from repro.spaces.containers import ContainerSpace
+from repro.spaces.space_utils import flatten_value, unflatten_value
+from repro.utils.errors import RLGraphBuildError, RLGraphError
+
+_EXAMPLE_BATCH = 2
+_EXAMPLE_TIME = 2
+
+
+# ---------------------------------------------------------------------------
+# Space <-> handle conversions
+# ---------------------------------------------------------------------------
+def placeholders_from_space(space: Space, graph: Graph, name: str):
+    """Create a (possibly nested) placeholder structure for ``space``."""
+    if isinstance(space, DictSpace):
+        return {k: placeholders_from_space(s, graph, f"{name}/{k}")
+                for k, s in space.sub_spaces()}
+    if isinstance(space, TupleSpace):
+        return tuple(placeholders_from_space(s, graph, f"{name}/{i}")
+                     for i, s in space.sub_spaces())
+    shape = space.get_shape(with_batch_rank=True, with_time_rank=True)
+    return graph.placeholder(shape, dtype=space.dtype, name=name)
+
+
+def example_from_space(space: Space):
+    """Zero example value used to push through define-by-run builds."""
+    if isinstance(space, DictSpace):
+        return {k: example_from_space(s) for k, s in space.sub_spaces()}
+    if isinstance(space, TupleSpace):
+        return tuple(example_from_space(s) for _, s in space.sub_spaces())
+    size = None
+    if space.has_batch_rank and space.has_time_rank:
+        size = ((_EXAMPLE_TIME, _EXAMPLE_BATCH) if space.time_major
+                else (_EXAMPLE_BATCH, _EXAMPLE_TIME))
+    elif space.has_batch_rank:
+        size = _EXAMPLE_BATCH
+    elif space.has_time_rank:
+        size = _EXAMPLE_TIME
+    value = space.zeros(size=size)
+    if isinstance(space, IntBox):
+        # Integer inputs often act as sizes/counts (e.g. batch_size); a
+        # zero example would push empty tensors through the graph, so use
+        # the smallest positive in-range value instead.
+        low = int(np.max(space.low)) if space.low is not None else 0
+        high = int(np.min(space.high)) if space.high is not None else 2
+        example = min(max(low, 0) + 1, high - 1)
+        value = np.full_like(value, max(example, low))
+    return value
+
+
+def _leaf_space_from_shape(shape, dtype) -> Optional[Space]:
+    if shape is None:
+        return None
+    leading_none = 0
+    for dim in shape:
+        if dim is None:
+            leading_none += 1
+        else:
+            break
+    rest = tuple(shape[leading_none:])
+    if any(d is None for d in rest):
+        return None
+    kwargs = dict(add_batch_rank=leading_none >= 1,
+                  add_time_rank=leading_none >= 2,
+                  time_major=leading_none >= 2)
+    if dtype is not None and np.issubdtype(dtype, np.bool_):
+        return BoolBox(shape=rest, **kwargs)
+    if dtype is not None and np.issubdtype(dtype, np.integer):
+        return IntBox(low=0, high=2, shape=rest, **kwargs)
+    return FloatBox(shape=rest, **kwargs)
+
+
+def space_from_handle(handle) -> Optional[Space]:
+    """Best-effort Space for a build-time handle (node or example value)."""
+    if isinstance(handle, dict):
+        subs = {k: space_from_handle(v) for k, v in handle.items()}
+        if any(s is None for s in subs.values()):
+            return None
+        return DictSpace(subs)
+    if isinstance(handle, tuple):
+        subs = [space_from_handle(v) for v in handle]
+        if any(s is None for s in subs):
+            return None
+        return TupleSpace(*subs)
+    if isinstance(handle, Node):
+        return _leaf_space_from_shape(handle.shape, handle.dtype)
+    arr = np.asarray(handle)
+    shape = (None,) + arr.shape[1:] if arr.ndim >= 1 else arr.shape
+    return _leaf_space_from_shape(shape, arr.dtype)
+
+
+def _unwrap_eager(structure):
+    """Convert ETensors to plain arrays at the define-by-run API boundary."""
+    from repro.backend.eager import ETensor
+
+    if isinstance(structure, ETensor):
+        return structure.data
+    if isinstance(structure, dict):
+        return {k: _unwrap_eager(v) for k, v in structure.items()}
+    if isinstance(structure, tuple):
+        return tuple(_unwrap_eager(v) for v in structure)
+    if isinstance(structure, list):
+        return [_unwrap_eager(v) for v in structure]
+    return structure
+
+
+# ---------------------------------------------------------------------------
+# Build result
+# ---------------------------------------------------------------------------
+class APIEndpoint:
+    """One externally callable API method of the built graph."""
+
+    __slots__ = ("name", "arg_names", "in_records", "out_structure")
+
+    def __init__(self, name, arg_names, in_records, out_structure):
+        self.name = name
+        self.arg_names = arg_names
+        self.in_records: List[OpRec] = in_records
+        self.out_structure = out_structure
+
+
+class BuildStats:
+    """Timings reported in Fig. 5a (trace = assembly, build = op creation)."""
+
+    def __init__(self):
+        self.trace_time = 0.0
+        self.build_time = 0.0
+        self.var_creation_time = 0.0
+        self.num_components = 0
+        self.num_graph_fn_nodes = 0
+        self.backend = None
+
+    @property
+    def build_overhead(self) -> float:
+        """Build time excluding variable creation — the paper's metric
+        ("time spent on top of creating variables and operations")."""
+        return max(self.build_time - self.var_creation_time, 0.0)
+
+    def as_dict(self):
+        return {"trace_time": self.trace_time, "build_time": self.build_time,
+                "var_creation_time": self.var_creation_time,
+                "build_overhead": self.build_overhead,
+                "num_components": self.num_components,
+                "num_graph_fn_nodes": self.num_graph_fn_nodes,
+                "backend": self.backend}
+
+
+class BuiltGraph:
+    """Executable result of a build: API registry + backend state.
+
+    For the static backend, ``execute`` looks up placeholders and output
+    ops and issues one Session call (op-registry execution). For the
+    define-by-run backend, ``execute`` calls the root API method directly
+    in eager runtime mode.
+    """
+
+    def __init__(self, root: Component, backend: str, api: Dict[str, APIEndpoint],
+                 graph: Optional[Graph], session: Optional[Session],
+                 stats: BuildStats, nodes: Optional[List[GraphFnNode]] = None):
+        self.root = root
+        self.backend = backend
+        self.api = api
+        self.graph = graph
+        self.session = session
+        self.stats = stats
+        self._nodes = nodes or []
+        # Define-by-run fast path: per-API flat graph-fn call plans that
+        # bypass component API dispatch ("edge contractions", paper §5.1).
+        self.eager_fastpath = False
+        self._fast_plans: Dict[str, List[GraphFnNode]] = {}
+
+    def execute(self, api_name: str, *args):
+        endpoint = self.api.get(api_name)
+        if endpoint is None:
+            raise RLGraphError(
+                f"Unknown API method {api_name!r}; have {sorted(self.api)}")
+        if self.backend == XGRAPH:
+            return self._execute_symbolic(endpoint, args)
+        return self._execute_eager(endpoint, args)
+
+    # -- static graph ------------------------------------------------------
+    def _execute_symbolic(self, endpoint: APIEndpoint, args):
+        if len(args) != len(endpoint.in_records):
+            raise RLGraphError(
+                f"API {endpoint.name!r} expects {len(endpoint.in_records)} "
+                f"args ({endpoint.arg_names}), got {len(args)}")
+        feed = {}
+        for rec, value in zip(endpoint.in_records, args):
+            handle_flat = flatten_value(rec.handle)
+            value_flat = flatten_value(value, rec.space)
+            for key, ph in handle_flat.items():
+                feed[ph] = value_flat[key]
+        handles = map_records(endpoint.out_structure, lambda r: r.handle)
+        if handles is None:
+            return None
+        flat = flatten_value(handles)
+        fetches = list(flat.values())
+        results = self.session.run(fetches, feed)
+        flat_out = OrderedDict(zip(flat.keys(), results))
+        return unflatten_value(flat_out)
+
+    # -- define-by-run ---------------------------------------------------------
+    def _execute_eager(self, endpoint: APIEndpoint, args):
+        if len(args) != len(endpoint.in_records):
+            raise RLGraphError(
+                f"API {endpoint.name!r} expects {len(endpoint.in_records)} "
+                f"args ({endpoint.arg_names}), got {len(args)}")
+        if self.eager_fastpath:
+            return self._execute_eager_fast(endpoint, args)
+        method = self.root.api_methods[endpoint.name]
+        with phase(RUNTIME_EAGER), eager_mode():
+            return _unwrap_eager(method(*args))
+
+    def _fast_plan(self, endpoint: APIEndpoint) -> List[GraphFnNode]:
+        """Topologically ordered graph-fn nodes feeding this endpoint."""
+        plan = self._fast_plans.get(endpoint.name)
+        if plan is not None:
+            return plan
+        needed: List[OpRec] = []
+        from repro.core.op_records import collect_records
+        collect_records(endpoint.out_structure, needed)
+        wanted = set()
+        frontier = [r.producer for r in needed if r.producer is not None]
+        while frontier:
+            node = frontier.pop()
+            if node.id in wanted:
+                continue
+            wanted.add(node.id)
+            frontier.extend(r.producer for r in node.input_records()
+                            if r.producer is not None)
+        plan = [n for n in self._nodes if n.id in wanted]
+        plan.sort(key=lambda n: n.id)
+        self._fast_plans[endpoint.name] = plan
+        return plan
+
+    def _execute_eager_fast(self, endpoint: APIEndpoint, args):
+        """Replay the meta-graph directly: one flat pass over graph-fn
+        calls, no per-component API dispatch."""
+        values: Dict[int, Any] = {}
+        for rec, value in zip(endpoint.in_records, args):
+            values[rec.id] = value
+
+        def resolve(rec: OpRec):
+            if rec.id not in values:
+                raise RLGraphError(
+                    f"fast path: record {rec.label!r} not computed (dynamic "
+                    f"control flow is not fast-path compatible)")
+            return values[rec.id]
+
+        with phase(RUNTIME_EAGER), eager_mode():
+            for node in self._fast_plan(endpoint):
+                call_args = map_records(tuple(node.inputs), resolve)
+                result = execute_graph_fn_body(
+                    node.fn, node.component, call_args, node.literals,
+                    node.flatten_ops)
+                results = (result,) if len(node.outputs) == 1 else result
+                for rec, value in zip(node.outputs, results):
+                    values[rec.id] = value
+            out = map_records(endpoint.out_structure, resolve)
+        return _unwrap_eager(out)
+
+    def variables(self, trainable_only: bool = True):
+        return self.root.variable_registry(trainable_only=trainable_only)
+
+
+# ---------------------------------------------------------------------------
+# The builder
+# ---------------------------------------------------------------------------
+class GraphBuilder:
+    """Builds a root component into a :class:`BuiltGraph`."""
+
+    def __init__(self, backend: str = XGRAPH, seed: Optional[int] = None):
+        if backend not in (XGRAPH, XTAPE):
+            raise RLGraphError(f"Unknown backend {backend!r}")
+        self.backend = backend
+        self.seed = seed
+        self.graph: Optional[Graph] = None
+        self.nodes: List[GraphFnNode] = []
+        self.stats = BuildStats()
+
+    # Called by Component._register_graph_fn_node via the build context.
+    def register_graph_fn_node(self, node: GraphFnNode) -> None:
+        self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+    def build(self, root: Component, input_spaces: Dict[str, Any],
+              device_map: Optional[Dict[str, str]] = None) -> BuiltGraph:
+        from repro.spaces.space_utils import space_from_spec
+
+        input_spaces = {k: space_from_spec(v) for k, v in input_spaces.items()}
+        if device_map:
+            for scope_path, dev in device_map.items():
+                comp = (root if scope_path in ("", root.scope)
+                        else root.get_sub_component(scope_path))
+                comp.device = dev
+
+        component_mod.set_current_build(self)
+        try:
+            t0 = time.perf_counter()
+            api = self._assemble(root, input_spaces)
+            self.stats.trace_time = time.perf_counter() - t0
+
+            t1 = time.perf_counter()
+            if self.backend == XGRAPH:
+                session = self._build_symbolic(root, api)
+            else:
+                session = None
+                self._build_eager(root, api)
+            self.stats.build_time = time.perf_counter() - t1
+        finally:
+            component_mod.set_current_build(None)
+
+        self.stats.num_components = len(root.get_all_components())
+        self.stats.num_graph_fn_nodes = len(self.nodes)
+        self.stats.backend = self.backend
+        root.built = True
+        return BuiltGraph(root, self.backend, api, self.graph, session,
+                          self.stats, nodes=self.nodes)
+
+    # -- phase 2: assembly ---------------------------------------------------
+    def _assemble(self, root: Component,
+                  input_spaces: Dict[str, Space]) -> Dict[str, APIEndpoint]:
+        api: Dict[str, APIEndpoint] = {}
+        skipped: List[str] = []
+        with phase(ASSEMBLY):
+            for api_name, method in root.api_methods.items():
+                sig = method._signature
+                params = [p for n, p in sig.parameters.items() if n != "self"]
+                in_records: List[OpRec] = []
+                arg_names: List[str] = []
+                call_args: List[Any] = []
+                buildable = True
+                for param in params:
+                    if param.name in input_spaces:
+                        rec = OpRec(space=input_spaces[param.name],
+                                    label=f"{api_name}/{param.name}")
+                        in_records.append(rec)
+                        arg_names.append(param.name)
+                        call_args.append(rec)
+                    elif param.default is not inspect.Parameter.empty:
+                        call_args.append(param.default)
+                    else:
+                        # No space provided for a required arg: this API
+                        # method is simply not part of the built graph
+                        # (RLgraph only builds connected dataflow).
+                        buildable = False
+                        break
+                if not buildable:
+                    skipped.append(api_name)
+                    continue
+                outs = method(*call_args)
+                api[api_name] = APIEndpoint(api_name, arg_names, in_records,
+                                            outs)
+        if not api:
+            raise RLGraphBuildError(
+                f"No API method of {root.scope!r} could be assembled; "
+                f"skipped (missing input spaces): {skipped}")
+        return api
+
+    # -- phase 3: build ---------------------------------------------------------
+    def _assign_input_handles_symbolic(self, api: Dict[str, APIEndpoint]):
+        for endpoint in api.values():
+            for rec, arg_name in zip(endpoint.in_records, endpoint.arg_names):
+                handle = placeholders_from_space(
+                    rec.space, self.graph, f"{endpoint.name}/{arg_name}")
+                rec.set_handle(handle)
+
+    def _assign_input_handles_eager(self, api: Dict[str, APIEndpoint]):
+        for endpoint in api.values():
+            for rec in endpoint.in_records:
+                rec.set_handle(example_from_space(rec.space))
+
+    def _build_symbolic(self, root, api) -> Session:
+        self.graph = Graph(name=root.scope, seed=self.seed)
+        with self.graph.as_default(), symbolic_mode():
+            self._assign_input_handles_symbolic(api)
+            self._fixpoint(root)
+        return Session(self.graph)
+
+    def _build_eager(self, root, api) -> None:
+        self.graph = None
+        snapshots: Dict[int, np.ndarray] = {}
+        with eager_mode(), no_grad():
+            self._assign_input_handles_eager(api)
+            self._fixpoint(root, snapshots=snapshots)
+        # Undo state mutations caused by pushing example data through
+        # stateful graph functions during shape inference.
+        for var, initial in snapshots.values():
+            var.value[...] = initial
+
+    # -- the BFS fixpoint from the paper's build algorithm ------------------------
+    def _fixpoint(self, root: Component,
+                  snapshots: Optional[Dict[int, Any]] = None) -> None:
+        pending: "OrderedDict[int, GraphFnNode]" = OrderedDict(
+            (n.id, n) for n in sorted(self.nodes, key=lambda n: n.id))
+        all_components = root.get_all_components()
+        progress = True
+        while pending and progress:
+            progress = False
+            # Completion sweep: any component whose API input spaces are all
+            # known gets its variables now (other components may depend on
+            # them, e.g. weight synchronizers).
+            for comp in all_components:
+                comp.update_input_completeness()
+                if comp.input_complete and not comp.variables_created:
+                    self._ensure_component_variables(comp, snapshots)
+                    progress = True
+            for node_id in list(pending):
+                node = pending[node_id]
+                comp = node.component
+                comp.update_input_completeness()
+                if not node.ready():
+                    continue
+                if node.requires_variables:
+                    if not comp.input_complete:
+                        continue
+                    self._ensure_component_variables(comp, snapshots)
+                deps = getattr(comp, "build_dependencies", None)
+                if deps and not all(
+                        all(c.variables_created for c in d.get_all_components())
+                        for d in deps):
+                    continue
+                self._execute_node(node)
+                del pending[node_id]
+                progress = True
+        if pending:
+            names = [f"{n.component.global_scope}/{n.name}"
+                     for n in pending.values()]
+            raise RLGraphBuildError(
+                f"Build did not converge; {len(pending)} graph functions "
+                f"never became executable: {names[:10]}")
+        # Components with variables but no graph-fn nodes (e.g. pure state
+        # holders) still need their completion function to run.
+        for comp in root.get_all_components():
+            comp.update_input_completeness()
+            if comp.input_complete:
+                self._ensure_component_variables(comp, snapshots)
+
+    def _ensure_component_variables(self, comp: Component, snapshots) -> None:
+        before = set(comp.variables)
+        t0 = time.perf_counter()
+        comp.ensure_variables()
+        self.stats.var_creation_time += time.perf_counter() - t0
+        if snapshots is not None:
+            for name, var in comp.variables.items():
+                if name not in before and id(var) not in snapshots:
+                    snapshots[id(var)] = (var, var.value.copy())
+
+    def _execute_node(self, node: GraphFnNode) -> None:
+        comp = node.component
+        args = map_records(tuple(node.inputs), lambda r: r.handle)
+        with backend_context.device(comp.resolved_device()):
+            result = execute_graph_fn_body(node.fn, comp, args, node.literals,
+                                           node.flatten_ops)
+        node.executed = True
+        outputs = node.outputs
+        if len(outputs) == 1:
+            results = (result,)
+        else:
+            if not isinstance(result, tuple) or len(result) != len(outputs):
+                raise RLGraphBuildError(
+                    f"graph_fn {comp.global_scope}/{node.name} declared "
+                    f"returns={len(outputs)} but returned {type(result)}")
+            results = result
+        for rec, value in zip(outputs, results):
+            rec.set_handle(value, space_from_handle(value))
+
+
+def build_graph(root: Component, input_spaces: Dict[str, Any],
+                backend: str = XGRAPH, seed: Optional[int] = None,
+                device_map: Optional[Dict[str, str]] = None) -> BuiltGraph:
+    """Convenience wrapper: build ``root`` for ``backend``."""
+    return GraphBuilder(backend=backend, seed=seed).build(
+        root, input_spaces, device_map=device_map)

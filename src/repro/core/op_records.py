@@ -1,0 +1,119 @@
+"""Meta-graph records (paper §3.3, phase 2).
+
+During the *assembly* phase, API methods execute with :class:`OpRec`
+placeholders instead of tensors. Only graph-function calls create meta
+nodes; API-method composition is plain Python, so records flow through
+call bodies naturally. The resulting bipartite DAG (OpRecs <-> GraphFnNode)
+is what the GraphBuilder later walks to create backend operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.spaces import Space
+
+_rec_ids = itertools.count()
+_node_ids = itertools.count()
+
+
+class OpRec:
+    """A dimension-less data record in the component graph.
+
+    ``space`` is filled in as soon as it is known (root inputs know theirs
+    immediately; graph-fn outputs learn theirs when their node executes).
+    ``handle`` is the backend object (symbolic Node / NumPy example value)
+    assigned during the build phase.
+    """
+
+    __slots__ = ("id", "space", "handle", "has_handle", "producer", "label")
+
+    def __init__(self, space: Optional[Space] = None, producer=None, label=""):
+        self.id = next(_rec_ids)
+        self.space = space
+        self.handle = None
+        self.has_handle = False
+        self.producer = producer  # GraphFnNode or None (external input)
+        self.label = label
+
+    def set_handle(self, handle, space: Optional[Space] = None):
+        self.handle = handle
+        self.has_handle = True
+        if space is not None:
+            self.space = space
+
+    def __repr__(self):
+        state = "handle" if self.has_handle else ("space" if self.space else "empty")
+        return f"<OpRec #{self.id} {self.label or ''} [{state}]>"
+
+
+class GraphFnNode:
+    """One invocation of a graph function in the meta-graph."""
+
+    __slots__ = ("id", "component", "fn", "name", "inputs", "literals",
+                 "outputs", "flatten_ops", "executed", "requires_variables")
+
+    def __init__(self, component, fn: Callable, name: str,
+                 inputs: Sequence[Any], literals: Dict[str, Any],
+                 num_outputs: int, flatten_ops: bool,
+                 requires_variables: bool):
+        self.id = next(_node_ids)
+        self.component = component
+        self.fn = fn
+        self.name = name
+        # ``inputs`` is the positional arg structure; each element may be an
+        # OpRec, a literal, or a (nested) dict/tuple containing OpRecs.
+        self.inputs = list(inputs)
+        self.literals = literals
+        self.outputs = [OpRec(producer=self, label=f"{name}:out{i}")
+                        for i in range(num_outputs)]
+        self.flatten_ops = flatten_ops
+        self.requires_variables = requires_variables
+        self.executed = False
+
+    def input_records(self) -> List[OpRec]:
+        recs: List[OpRec] = []
+        for arg in self.inputs:
+            collect_records(arg, recs)
+        return recs
+
+    def ready(self) -> bool:
+        return all(r.has_handle for r in self.input_records())
+
+    def __repr__(self):
+        return (f"<GraphFnNode {self.component.global_scope}/{self.name} "
+                f"#{self.id} executed={self.executed}>")
+
+
+# ---------------------------------------------------------------------------
+# Structure helpers: OpRecs may be nested in dicts/tuples/lists.
+# ---------------------------------------------------------------------------
+def collect_records(structure, out: List[OpRec]):
+    if isinstance(structure, OpRec):
+        out.append(structure)
+    elif isinstance(structure, dict):
+        for key in sorted(structure):
+            collect_records(structure[key], out)
+    elif isinstance(structure, (tuple, list)):
+        for item in structure:
+            collect_records(item, out)
+
+
+def contains_records(structure) -> bool:
+    recs: List[OpRec] = []
+    collect_records(structure, recs)
+    return bool(recs)
+
+
+def map_records(structure, fn: Callable[[OpRec], Any]):
+    """Replace each OpRec in a nested structure via ``fn``."""
+    if isinstance(structure, OpRec):
+        return fn(structure)
+    if isinstance(structure, dict):
+        return {k: map_records(v, fn) for k, v in structure.items()}
+    if isinstance(structure, tuple):
+        return tuple(map_records(v, fn) for v in structure)
+    if isinstance(structure, list):
+        return [map_records(v, fn) for v in structure]
+    return structure

@@ -1,0 +1,29 @@
+"""Environments.
+
+The paper evaluates on Atari Pong (ALE) and a DeepMind Lab task; neither
+is available offline, so this package provides NumPy-native substitutes
+with the same interface shape (see DESIGN.md §2): SimPong (image-based,
+±1 score rewards, 21-point episodes), SeekAvoid (expensive-to-render RGB
+arena), plus classic control (CartPole), GridWorld and RandomEnv for
+tests, and a sequential vector wrapper matching the paper's vectorized
+sample collection.
+"""
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.environments.grid_world import GridWorld
+from repro.environments.cart_pole import CartPole
+from repro.environments.sim_pong import SimPong
+from repro.environments.seek_avoid import SeekAvoid
+from repro.environments.random_env import RandomEnv
+from repro.environments.vector_env import SequentialVectorEnv
+
+__all__ = [
+    "ENVIRONMENTS",
+    "Environment",
+    "GridWorld",
+    "CartPole",
+    "SimPong",
+    "SeekAvoid",
+    "RandomEnv",
+    "SequentialVectorEnv",
+]

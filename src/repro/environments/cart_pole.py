@@ -1,0 +1,66 @@
+"""CartPole: classic control (Barto, Sutton & Anderson 1983), NumPy port
+of the standard gym dynamics. Used for learning-curve benchmarks where a
+conv net would be overkill."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import FloatBox, IntBox
+
+
+@ENVIRONMENTS.register("cart_pole", aliases=["cartpole"])
+class CartPole(Environment):
+    """Balance a pole on a cart; +1 per step; episode ends on fall/bounds."""
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    TOTAL_MASS = CART_MASS + POLE_MASS
+    POLE_HALF_LENGTH = 0.5
+    POLE_MASS_LENGTH = POLE_MASS * POLE_HALF_LENGTH
+    FORCE_MAG = 10.0
+    TAU = 0.02
+    THETA_LIMIT = 12 * 2 * math.pi / 360
+    X_LIMIT = 2.4
+
+    def __init__(self, max_steps: int = 200, seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        self.max_steps = int(max_steps)
+        high = np.asarray([self.X_LIMIT * 2, 10.0, self.THETA_LIMIT * 2, 10.0],
+                          dtype=np.float32)
+        self.state_space = FloatBox(low=-high, high=high)
+        self.action_space = IntBox(2)
+        self.state = np.zeros(4, dtype=np.float32)
+
+    def reset(self) -> np.ndarray:
+        self._track_reset()
+        self.state = self.rng.uniform(-0.05, 0.05, size=4).astype(np.float32)
+        return self.state.copy()
+
+    def step(self, action):
+        x, x_dot, theta, theta_dot = self.state
+        force = self.FORCE_MAG if int(action) == 1 else -self.FORCE_MAG
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        temp = (force + self.POLE_MASS_LENGTH * theta_dot ** 2 * sin_t) \
+            / self.TOTAL_MASS
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH
+            * (4.0 / 3.0 - self.POLE_MASS * cos_t ** 2 / self.TOTAL_MASS))
+        x_acc = temp - self.POLE_MASS_LENGTH * theta_acc * cos_t \
+            / self.TOTAL_MASS
+        x += self.TAU * x_dot
+        x_dot += self.TAU * x_acc
+        theta += self.TAU * theta_dot
+        theta_dot += self.TAU * theta_acc
+        self.state = np.asarray([x, x_dot, theta, theta_dot], dtype=np.float32)
+        terminal = bool(abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT)
+        reward = 1.0
+        self._track_step(reward)
+        if self.episode_steps >= self.max_steps:
+            terminal = True
+        return self.state.copy(), reward, terminal, {}

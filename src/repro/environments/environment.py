@@ -1,0 +1,52 @@
+"""Environment interface (gym-like, with Space-typed state/action spaces)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.spaces import Space
+from repro.utils.registry import Registry
+
+ENVIRONMENTS = Registry("environment")
+
+
+class Environment:
+    """Minimal environment contract used by workers and executors.
+
+    ``step`` returns (next_state, reward, terminal, info). Environments
+    must be independently seedable for distributed sample collection.
+    """
+
+    state_space: Space = None
+    action_space: Space = None
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+        self.episode_return = 0.0
+        self.episode_steps = 0
+
+    def reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, action) -> Tuple[np.ndarray, float, bool, dict]:
+        raise NotImplementedError
+
+    def seed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    def _track_reset(self):
+        self.episode_return = 0.0
+        self.episode_steps = 0
+
+    def _track_step(self, reward: float):
+        self.episode_return += float(reward)
+        self.episode_steps += 1
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(state={self.state_space!r}, "
+                f"action={self.action_space!r})")

@@ -1,0 +1,82 @@
+"""GridWorld: a small deterministic MDP for learning tests.
+
+Agents must reliably solve this in a few hundred updates, which makes it
+the canonical "does the algorithm learn at all" fixture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import FloatBox, IntBox
+from repro.utils.errors import RLGraphError
+
+# Cells: S start, G goal (+1), H hole (-1, terminal), ' ' free.
+MAPS = {
+    "4x4": ["S   ",
+            " H  ",
+            "   H",
+            "  G "],
+    "2x2": ["S ",
+            " G"],
+    "corridor": ["S      G"],
+}
+
+
+@ENVIRONMENTS.register("grid_world", aliases=["gridworld"])
+class GridWorld(Environment):
+    """Deterministic grid with one-hot state observations.
+
+    Actions: 0=up, 1=right, 2=down, 3=left. Step reward -0.01, goal +1,
+    hole -1. Episodes cap at ``max_steps``.
+    """
+
+    def __init__(self, map_name: str = "4x4", max_steps: int = 100,
+                 seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        if map_name not in MAPS:
+            raise RLGraphError(f"Unknown map {map_name!r}; have {list(MAPS)}")
+        self.grid = [list(row) for row in MAPS[map_name]]
+        self.n_rows = len(self.grid)
+        self.n_cols = len(self.grid[0])
+        self.num_cells = self.n_rows * self.n_cols
+        self.max_steps = int(max_steps)
+        self.start = next((r, c) for r in range(self.n_rows)
+                          for c in range(self.n_cols)
+                          if self.grid[r][c] == "S")
+        self.state_space = FloatBox(shape=(self.num_cells,))
+        self.action_space = IntBox(4)
+        self.pos = self.start
+
+    def _obs(self) -> np.ndarray:
+        out = np.zeros(self.num_cells, dtype=np.float32)
+        out[self.pos[0] * self.n_cols + self.pos[1]] = 1.0
+        return out
+
+    def reset(self) -> np.ndarray:
+        self._track_reset()
+        self.pos = self.start
+        return self._obs()
+
+    def step(self, action):
+        action = int(action)
+        if not 0 <= action < 4:
+            raise RLGraphError(f"Invalid action {action}")
+        dr, dc = [(-1, 0), (0, 1), (1, 0), (0, -1)][action]
+        r = min(max(self.pos[0] + dr, 0), self.n_rows - 1)
+        c = min(max(self.pos[1] + dc, 0), self.n_cols - 1)
+        self.pos = (r, c)
+        cell = self.grid[r][c]
+        if cell == "G":
+            reward, terminal = 1.0, True
+        elif cell == "H":
+            reward, terminal = -1.0, True
+        else:
+            reward, terminal = -0.01, False
+        self._track_step(reward)
+        if self.episode_steps >= self.max_steps:
+            terminal = True
+        return self._obs(), reward, terminal, {}

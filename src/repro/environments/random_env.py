@@ -1,0 +1,43 @@
+"""RandomEnv: arbitrary-space environment with random dynamics.
+
+Useful for throughput benchmarks (no learnable structure, configurable
+observation cost) and for fuzzing agents against odd space layouts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import IntBox
+from repro.spaces.space_utils import space_from_spec
+
+
+@ENVIRONMENTS.register("random_env")
+class RandomEnv(Environment):
+    """Emits random states; terminates with probability ``terminal_prob``."""
+
+    def __init__(self, state_space=(4,), action_space=2,
+                 terminal_prob: float = 0.05, step_cost: float = 0.0,
+                 seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        self.state_space = space_from_spec(state_space)
+        self.action_space = space_from_spec(action_space)
+        self.terminal_prob = float(terminal_prob)
+        self.step_cost = float(step_cost)
+
+    def reset(self):
+        self._track_reset()
+        return self.state_space.sample(rng=self.rng)
+
+    def step(self, action):
+        if self.step_cost > 0:
+            time.sleep(self.step_cost)
+        state = self.state_space.sample(rng=self.rng)
+        reward = float(self.rng.normal())
+        terminal = bool(self.rng.random() < self.terminal_prob)
+        self._track_step(reward)
+        return state, reward, terminal, {}

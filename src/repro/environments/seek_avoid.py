@@ -1,0 +1,110 @@
+"""SeekAvoid: a 2.5-D arena standing in for DM Lab's seekavoid_arena_01.
+
+The paper uses this task in the IMPALA comparison (Fig. 9) precisely
+because frames are *more expensive to render than Atari* — so the
+substitute renders a textured column-projection view (a cheap ray-cast)
+and supports an additional artificial ``render_cost`` to scale per-frame
+expense. Good apples (+1) attract, bad lemons (-1) repel; the episode
+ends after ``max_steps`` or when all apples are collected.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import FloatBox, IntBox
+
+
+@ENVIRONMENTS.register("seek_avoid", aliases=["seekavoid_arena_01"])
+class SeekAvoid(Environment):
+    """First-person item collection with RGB observations.
+
+    Actions: 0 = forward, 1 = turn left, 2 = turn right, 3 = noop.
+    Observations: (height, width, 3) float32 RGB in [0, 255].
+    """
+
+    def __init__(self, width: int = 96, height: int = 72, arena_size: float = 10.0,
+                 num_good: int = 6, num_bad: int = 4, max_steps: int = 300,
+                 render_cost: float = 0.0, seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        self.width = int(width)
+        self.height = int(height)
+        self.arena_size = float(arena_size)
+        self.num_good = int(num_good)
+        self.num_bad = int(num_bad)
+        self.max_steps = int(max_steps)
+        self.render_cost = float(render_cost)
+        self.state_space = FloatBox(shape=(self.height, self.width, 3))
+        self.action_space = IntBox(4)
+        self.reset()
+
+    def reset(self) -> np.ndarray:
+        self._track_reset()
+        s = self.arena_size
+        self.pos = np.asarray([s / 2, s / 2])
+        self.angle = float(self.rng.uniform(0, 2 * np.pi))
+        n = self.num_good + self.num_bad
+        self.items = self.rng.uniform(0.5, s - 0.5, size=(n, 2))
+        self.item_good = np.concatenate([np.ones(self.num_good, bool),
+                                         np.zeros(self.num_bad, bool)])
+        self.item_alive = np.ones(n, bool)
+        self._steps = 0
+        return self._render()
+
+    def step(self, action):
+        action = int(action)
+        if action == 0:
+            step_vec = 0.4 * np.asarray([np.cos(self.angle), np.sin(self.angle)])
+            self.pos = np.clip(self.pos + step_vec, 0.3,
+                               self.arena_size - 0.3)
+        elif action == 1:
+            self.angle = (self.angle + 0.3) % (2 * np.pi)
+        elif action == 2:
+            self.angle = (self.angle - 0.3) % (2 * np.pi)
+
+        reward = 0.0
+        dists = np.linalg.norm(self.items - self.pos, axis=1)
+        hit = (dists < 0.5) & self.item_alive
+        for idx in np.nonzero(hit)[0]:
+            reward += 1.0 if self.item_good[idx] else -1.0
+            self.item_alive[idx] = False
+        self._steps += 1
+        terminal = (self._steps >= self.max_steps
+                    or not np.any(self.item_alive & self.item_good))
+        self._track_step(reward)
+        return self._render(), reward, bool(terminal), {}
+
+    # -- rendering -----------------------------------------------------------------
+    def _render(self) -> np.ndarray:
+        """Column-projected view: floor/sky gradient + item billboards."""
+        if self.render_cost > 0:
+            time.sleep(self.render_cost)
+        h, w = self.height, self.width
+        frame = np.empty((h, w, 3), dtype=np.float32)
+        # Sky (top half) and floor (bottom half) gradients.
+        rows = np.linspace(0, 1, h, dtype=np.float32)[:, None, None]
+        frame[:] = 60.0 + 120.0 * rows
+        frame[: h // 2, :, 2] += 60.0  # bluish sky
+
+        fov = np.pi / 2
+        alive = np.nonzero(self.item_alive)[0]
+        if alive.size:
+            rel = self.items[alive] - self.pos
+            dist = np.linalg.norm(rel, axis=1) + 1e-6
+            bearing = np.arctan2(rel[:, 1], rel[:, 0]) - self.angle
+            bearing = (bearing + np.pi) % (2 * np.pi) - np.pi
+            visible = np.abs(bearing) < fov / 2
+            for k in np.nonzero(visible)[0]:
+                idx = alive[k]
+                col = int((bearing[k] / fov + 0.5) * (w - 1))
+                size = int(np.clip(h / (dist[k] + 0.5), 2, h // 2))
+                top = h // 2 - size // 2
+                c0, c1 = max(col - size // 4, 0), min(col + size // 4 + 1, w)
+                color = (np.asarray([40.0, 220.0, 40.0]) if self.item_good[idx]
+                         else np.asarray([230.0, 220.0, 30.0]))
+                frame[top:top + size, c0:c1] = color
+        return frame

@@ -1,0 +1,135 @@
+"""SimPong: a deterministic NumPy Pong with ALE-compatible conventions.
+
+Substitute for Atari Pong (DESIGN.md §2): grayscale frames, frame-skip
+with reward accumulation, ±1 score events, and an episode that ends when
+either side reaches 21 — so "reward 21" means a solved game exactly as in
+the paper's Fig. 7b/8. The opponent tracks the ball with a configurable
+error rate, giving a real learnable signal for the agent paddle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import FloatBox, IntBox
+
+
+@ENVIRONMENTS.register("sim_pong", aliases=["pong"])
+class SimPong(Environment):
+    """Two-paddle pong on a ``size`` x ``size`` frame.
+
+    Actions: 0 = noop, 1 = up, 2 = down (for the right paddle).
+    Observations: (size, size, 1) float32 in [0, 255] (ALE-style pixel
+    range so Divide(255) preprocessing is exercised).
+    """
+
+    def __init__(self, size: int = 32, frame_skip: int = 4,
+                 paddle_height: Optional[int] = None,
+                 opponent_skill: float = 0.8, points_to_win: int = 21,
+                 max_steps: int = 5000, seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        self.size = int(size)
+        self.frame_skip = max(int(frame_skip), 1)
+        self.paddle_height = paddle_height or max(self.size // 6, 2)
+        self.opponent_skill = float(opponent_skill)
+        self.points_to_win = int(points_to_win)
+        self.max_steps = int(max_steps)
+        self.state_space = FloatBox(shape=(self.size, self.size, 1))
+        self.action_space = IntBox(3)
+        self._frame = np.zeros((self.size, self.size, 1), dtype=np.float32)
+        self.reset()
+
+    # -- internals ------------------------------------------------------------
+    def _serve(self, direction: int):
+        self.ball = np.asarray([self.size / 2.0, self.size / 2.0])
+        angle = self.rng.uniform(-0.35, 0.35)
+        speed = max(self.size / 32.0, 1.0)
+        self.ball_vel = np.asarray([speed * np.sin(angle),
+                                    direction * speed * np.cos(angle)])
+
+    def reset(self) -> np.ndarray:
+        self._track_reset()
+        mid = self.size // 2
+        self.left_paddle = float(mid)
+        self.right_paddle = float(mid)
+        self.score = [0, 0]  # [opponent, agent]
+        self._steps = 0
+        self._serve(direction=1 if self.rng.random() < 0.5 else -1)
+        return self._render()
+
+    def _move_paddle(self, pos: float, delta: float) -> float:
+        half = self.paddle_height / 2.0
+        return float(np.clip(pos + delta, half, self.size - half))
+
+    def _physics_step(self, action: int) -> float:
+        """One sub-frame; returns score delta (+1 agent point, -1 opponent)."""
+        speed = max(self.size / 32.0, 1.0)
+        if action == 1:
+            self.right_paddle = self._move_paddle(self.right_paddle, -speed)
+        elif action == 2:
+            self.right_paddle = self._move_paddle(self.right_paddle, speed)
+        # Opponent: tracks the ball, with lapses.
+        if self.rng.random() < self.opponent_skill:
+            target = self.ball[0]
+            delta = np.clip(target - self.left_paddle, -speed, speed)
+            self.left_paddle = self._move_paddle(self.left_paddle, delta)
+
+        self.ball = self.ball + self.ball_vel
+        # Bounce off top/bottom.
+        if self.ball[0] <= 0:
+            self.ball[0] = -self.ball[0]
+            self.ball_vel[0] = -self.ball_vel[0]
+        elif self.ball[0] >= self.size - 1:
+            self.ball[0] = 2 * (self.size - 1) - self.ball[0]
+            self.ball_vel[0] = -self.ball_vel[0]
+
+        half = self.paddle_height / 2.0
+        # Right (agent) side.
+        if self.ball[1] >= self.size - 2:
+            if abs(self.ball[0] - self.right_paddle) <= half + 1:
+                self.ball[1] = self.size - 2
+                self.ball_vel[1] = -abs(self.ball_vel[1])
+                # Add english depending on hit point.
+                self.ball_vel[0] += 0.3 * np.sign(self.ball[0]
+                                                  - self.right_paddle)
+            else:
+                self.score[0] += 1
+                self._serve(direction=-1)
+                return -1.0
+        # Left (opponent) side.
+        if self.ball[1] <= 1:
+            if abs(self.ball[0] - self.left_paddle) <= half + 1:
+                self.ball[1] = 1
+                self.ball_vel[1] = abs(self.ball_vel[1])
+            else:
+                self.score[1] += 1
+                self._serve(direction=1)
+                return 1.0
+        return 0.0
+
+    def _render(self) -> np.ndarray:
+        frame = self._frame
+        frame[:] = 0.0
+        half = int(self.paddle_height // 2)
+        lp, rp = int(self.left_paddle), int(self.right_paddle)
+        frame[max(lp - half, 0):lp + half + 1, 0:2, 0] = 255.0
+        frame[max(rp - half, 0):rp + half + 1, -2:, 0] = 255.0
+        br = int(np.clip(self.ball[0], 0, self.size - 1))
+        bc = int(np.clip(self.ball[1], 0, self.size - 1))
+        frame[br, bc, 0] = 255.0
+        return frame.copy()
+
+    # -- Environment API ----------------------------------------------------------
+    def step(self, action):
+        action = int(action)
+        reward = 0.0
+        for _ in range(self.frame_skip):
+            reward += self._physics_step(action)
+        self._steps += 1
+        terminal = (max(self.score) >= self.points_to_win
+                    or self._steps >= self.max_steps)
+        self._track_step(reward)
+        return self._render(), reward, bool(terminal), {"score": tuple(self.score)}

@@ -1,0 +1,83 @@
+"""SequentialVectorEnv: a vector of environments stepped sequentially.
+
+This matches the paper's setup exactly — "Each worker executed 4
+environments ... (called sequentially)" (§5.1, Fig. 7a) — so acting cost
+scales with the vector while inference is batched once per step.
+Auto-resets on terminal, returning the fresh state (the terminal flag
+still reports the episode end).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.environments.environment import Environment
+from repro.utils.errors import RLGraphError
+
+
+class SequentialVectorEnv:
+    """Wraps N single environments behind a batched step interface."""
+
+    def __init__(self, env_fns: Sequence[Callable[[], Environment]] = None,
+                 envs: Sequence[Environment] = None):
+        if envs is not None:
+            self.envs: List[Environment] = list(envs)
+        elif env_fns is not None:
+            self.envs = [fn() for fn in env_fns]
+        else:
+            raise RLGraphError("Provide env_fns or envs")
+        if not self.envs:
+            raise RLGraphError("SequentialVectorEnv needs >= 1 environment")
+        first = self.envs[0]
+        self.state_space = first.state_space
+        self.action_space = first.action_space
+        self.num_envs = len(self.envs)
+        # Episode accounting (batched, the fast path RLgraph workers use).
+        self.episode_returns = np.zeros(self.num_envs, dtype=np.float64)
+        self.episode_steps = np.zeros(self.num_envs, dtype=np.int64)
+        self.finished_episode_returns: List[float] = []
+        self.finished_episode_steps: List[int] = []
+
+    def reset_all(self) -> np.ndarray:
+        self.episode_returns[:] = 0.0
+        self.episode_steps[:] = 0
+        return np.stack([env.reset() for env in self.envs])
+
+    def step(self, actions):
+        """Batched step; auto-resets terminated envs.
+
+        Returns (states, rewards, terminals) stacked over the vector.
+        """
+        actions = np.asarray(actions)
+        if len(actions) != self.num_envs:
+            raise RLGraphError(
+                f"Expected {self.num_envs} actions, got {len(actions)}")
+        states = []
+        rewards = np.empty(self.num_envs, dtype=np.float32)
+        terminals = np.empty(self.num_envs, dtype=bool)
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            state, reward, terminal, _ = env.step(action)
+            rewards[i] = reward
+            terminals[i] = terminal
+            self.episode_returns[i] += reward
+            self.episode_steps[i] += 1
+            if terminal:
+                self.finished_episode_returns.append(
+                    float(self.episode_returns[i]))
+                self.finished_episode_steps.append(int(self.episode_steps[i]))
+                self.episode_returns[i] = 0.0
+                self.episode_steps[i] = 0
+                state = env.reset()
+            states.append(state)
+        return np.stack(states), rewards, terminals
+
+    def mean_finished_return(self, last_n: int = 100) -> Optional[float]:
+        if not self.finished_episode_returns:
+            return None
+        return float(np.mean(self.finished_episode_returns[-last_n:]))
+
+    def close(self):
+        for env in self.envs:
+            env.close()

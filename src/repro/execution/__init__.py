@@ -1,0 +1,7 @@
+"""Execution layer: workers, device strategies, distributed executors."""
+
+from repro.execution.worker import NStepAccumulator, SingleThreadedWorker, WorkerStats
+from repro.execution.sync_batch_executor import A2CRolloutActor, SyncBatchExecutor
+
+__all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
+           "A2CRolloutActor", "SyncBatchExecutor"]

@@ -1,0 +1,192 @@
+"""ApexExecutor: distributed prioritized experience replay on raylite.
+
+Reproduces the coordination loop the paper benchmarks in Fig. 6/7:
+workers collect n-step-adjusted, pre-prioritized sample batches in
+parallel; completed batches are routed round-robin to replay shards; the
+learner pulls prioritized batches, trains through
+``update_from_external`` and pushes priority corrections back to the
+owning shard; worker weights are refreshed every ``weight_sync_steps``
+learner updates.
+
+``worker_mode="rlgraph"`` uses batched post-processing (one executor call
+per batch); ``worker_mode="rllib_like"`` switches workers to the
+incremental multiple-calls-per-batch pattern the paper identifies as
+RLlib's bottleneck — this is the E3/E4 comparison axis.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import raylite
+from repro.execution.ray.actors import ApexWorkerActor, ReplayShardActor
+from repro.utils.errors import RLGraphError
+
+
+class ApexResult:
+    """Outcome of one executor workload."""
+
+    def __init__(self):
+        self.env_frames = 0
+        self.learner_updates = 0
+        self.wall_time = 0.0
+        self.mean_worker_return: Optional[float] = None
+        self.reward_timeline: List[tuple] = []  # (seconds, mean return)
+        self.loss_timeline: List[tuple] = []
+
+    @property
+    def env_frames_per_second(self) -> float:
+        return self.env_frames / self.wall_time if self.wall_time else 0.0
+
+    def as_dict(self):
+        return {
+            "env_frames": self.env_frames,
+            "env_frames_per_second": self.env_frames_per_second,
+            "learner_updates": self.learner_updates,
+            "wall_time": self.wall_time,
+            "mean_worker_return": self.mean_worker_return,
+        }
+
+
+class ApexExecutor:
+    """Centralized-control executor for distributed prioritized replay."""
+
+    def __init__(self, learner_agent, agent_factory: Callable,
+                 env_factory: Callable, num_workers: int = 2,
+                 envs_per_worker: int = 4, num_replay_shards: int = 4,
+                 task_size: int = 200, batch_size: int = 64,
+                 replay_capacity: int = 50_000, n_step: int = 3,
+                 discount: float = 0.99, learning_starts: int = 500,
+                 weight_sync_steps: int = 10,
+                 worker_mode: str = "rlgraph",
+                 frame_multiplier: int = 1,
+                 seed: int = 0):
+        if worker_mode not in ("rlgraph", "rllib_like"):
+            raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
+        self.learner = learner_agent
+        self.batch_size = int(batch_size)
+        self.task_size = int(task_size)
+        self.learning_starts = int(learning_starts)
+        self.weight_sync_steps = int(weight_sync_steps)
+        self.envs_per_worker = int(envs_per_worker)
+        # Atari frame-skip: env frames per sample step (paper counts
+        # frames *including* skips).
+        self.frame_multiplier = int(frame_multiplier)
+
+        batched = worker_mode == "rlgraph"
+        worker_cls = raylite.remote(ApexWorkerActor)
+        self.workers = [
+            worker_cls.remote(agent_factory, env_factory,
+                              num_envs=envs_per_worker, n_step=n_step,
+                              discount=discount,
+                              worker_side_prioritization=True,
+                              batched_postprocessing=batched,
+                              worker_index=i)
+            for i in range(num_workers)
+        ]
+        shard_cls = raylite.remote(ReplayShardActor)
+        self.shards = [
+            shard_cls.remote(capacity=replay_capacity, seed=seed + 17 * i,
+                             min_sample_size=batch_size)
+            for i in range(num_replay_shards)
+        ]
+        self._shard_rr = 0
+
+    # ------------------------------------------------------------------
+    def execute_workload(self, num_samples: Optional[int] = None,
+                         duration: Optional[float] = None,
+                         updates_enabled: bool = True) -> ApexResult:
+        """Run the coordination loop until ``num_samples`` collected or
+        ``duration`` seconds elapsed."""
+        if num_samples is None and duration is None:
+            raise RLGraphError("Provide num_samples or duration")
+        result = ApexResult()
+        t_start = time.perf_counter()
+
+        # Prime one in-flight sample task per worker.
+        in_flight = {w.collect.remote(self.task_size): w for w in self.workers}
+        pending_sample = None
+        samples_collected = 0
+        updates_since_sync = 0
+
+        def done() -> bool:
+            if num_samples is not None and samples_collected >= num_samples:
+                return True
+            if duration is not None and \
+                    time.perf_counter() - t_start >= duration:
+                return True
+            return False
+
+        while not done():
+            # 1. Reap completed worker tasks, re-arm workers immediately.
+            ready, _ = raylite.wait(list(in_flight.keys()), num_returns=1,
+                                    timeout=0.05)
+            for ref in ready:
+                worker = in_flight.pop(ref)
+                batch = raylite.get(ref)
+                n = len(batch["rewards"])
+                samples_collected += n
+                shard = self.shards[self._shard_rr % len(self.shards)]
+                self._shard_rr += 1
+                shard.insert.remote(batch)
+                in_flight[worker.collect.remote(self.task_size)] = worker
+
+            # 2. Learner step: pull a prioritized batch from a shard.
+            if updates_enabled and samples_collected >= self.learning_starts:
+                if pending_sample is None:
+                    shard = self.shards[self._shard_rr % len(self.shards)]
+                    pending_sample = (shard.sample.remote(self.batch_size),
+                                      shard)
+                ref, shard = pending_sample
+                if ref.ready():
+                    pending_sample = None
+                    sampled = raylite.get(ref)
+                    if sampled is not None:
+                        records, idx, weights = sampled
+                        batch = dict(records)
+                        batch["importance_weights"] = weights
+                        loss, td = self.learner.update(batch)
+                        shard.update_priorities.remote(
+                            idx, np.abs(td) + 1e-6)
+                        result.learner_updates += 1
+                        updates_since_sync += 1
+                        result.loss_timeline.append(
+                            (time.perf_counter() - t_start, loss))
+
+            # 3. Broadcast weights.
+            if updates_since_sync >= self.weight_sync_steps:
+                updates_since_sync = 0
+                # Learner and workers are instances of the same agent
+                # class, so variable names line up directly.
+                weights = self.learner.get_weights()
+                for worker in self.workers:
+                    worker.set_weights.remote(weights)
+
+        # Drain: collect final stats from workers.
+        stats = raylite.get([w.get_stats.remote() for w in self.workers])
+        result.wall_time = time.perf_counter() - t_start
+        result.env_frames = sum(s["env_frames"] for s in stats) \
+            * self.frame_multiplier
+        result.mean_worker_return = _mean_recent_return(stats)
+        return result
+
+    def reward_snapshot(self) -> Optional[float]:
+        """Mean of each worker's recent episode returns (the paper's
+        "mean worker rewards" y-axis in Figs. 7b/8)."""
+        stats = raylite.get([w.get_stats.remote() for w in self.workers])
+        return _mean_recent_return(stats)
+
+
+def _mean_recent_return(stats, last_n: int = 20) -> Optional[float]:
+    """Average the per-worker tails so one fast-looping worker cannot
+    drown out the others' recent episodes."""
+    per_worker = [s["episode_returns"][-last_n:] for s in stats
+                  if s["episode_returns"]]
+    if not per_worker:
+        return None
+    return float(np.mean([np.mean(tail) for tail in per_worker]))
+
+

@@ -1,0 +1,127 @@
+"""SyncBatchExecutor: synchronous parallel rollout collection on raylite.
+
+The paper notes that "implementing other distributed semantics on Ray
+with RLgraph only requires extending the generic Ray executor to
+implement a coordination loop" (§5.1). This executor is that second
+loop: the A2C/PPO pattern — all workers collect one on-policy rollout
+with the *current* weights, the learner updates once on the merged
+batch, weights broadcast, repeat. Contrast with the asynchronous Ape-X
+loop in :mod:`repro.execution.ray.apex_executor`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import raylite
+from repro.agents.actor_critic_agent import discounted_returns
+from repro.environments.vector_env import SequentialVectorEnv
+from repro.utils.errors import RLGraphError
+
+
+class A2CRolloutActor:
+    """Collects fixed-length on-policy rollouts with the pushed weights."""
+
+    def __init__(self, agent_factory: Callable, env_factory: Callable,
+                 num_envs: int = 2, rollout_length: int = 32,
+                 worker_index: int = 0):
+        try:
+            self.agent = agent_factory(worker_index=worker_index)
+        except TypeError:
+            self.agent = agent_factory()
+        envs = [env_factory(worker_index * 1000 + i) for i in range(num_envs)]
+        self.vector_env = SequentialVectorEnv(envs=envs)
+        self.rollout_length = int(rollout_length)
+        self._states = self.vector_env.reset_all()
+        self.env_frames = 0
+
+    def set_weights(self, weights) -> int:
+        self.agent.set_weights(weights)
+        return 0
+
+    def rollout(self, discount: float) -> Dict[str, np.ndarray]:
+        """One on-policy rollout; returns flat arrays + returns."""
+        traj = {"states": [], "actions": [], "rewards": [], "terminals": []}
+        for _ in range(self.rollout_length):
+            actions, pre = self.agent.get_actions(self._states)
+            next_states, rewards, terminals = self.vector_env.step(actions)
+            traj["states"].append(pre)
+            traj["actions"].append(actions)
+            traj["rewards"].append(rewards)
+            traj["terminals"].append(terminals)
+            self._states = next_states
+            self.env_frames += self.vector_env.num_envs
+        # Per-env discounted returns, then flattened (T*E).
+        rewards = np.asarray(traj["rewards"], np.float32)     # (T, E)
+        terminals = np.asarray(traj["terminals"], bool)
+        returns = np.empty_like(rewards)
+        for e in range(rewards.shape[1]):
+            returns[:, e] = discounted_returns(rewards[:, e], terminals[:, e],
+                                               discount)
+        flat = lambda arr: np.asarray(arr).reshape(
+            (-1,) + np.asarray(arr).shape[2:])
+        return {
+            "states": flat(traj["states"]),
+            "actions": flat(traj["actions"]),
+            "returns": returns.reshape(-1),
+            "episode_returns": list(self.vector_env.finished_episode_returns),
+        }
+
+    def get_stats(self) -> Dict:
+        return {"env_frames": self.env_frames,
+                "episode_returns": list(
+                    self.vector_env.finished_episode_returns)}
+
+
+class SyncBatchExecutor:
+    """Synchronous parallel A2C: rollout barrier -> one update -> sync."""
+
+    def __init__(self, learner_agent, agent_factory: Callable,
+                 env_factory: Callable, num_workers: int = 2,
+                 envs_per_worker: int = 2, rollout_length: int = 32,
+                 discount: float = 0.99):
+        self.learner = learner_agent
+        self.discount = float(discount)
+        actor_cls = raylite.remote(A2CRolloutActor)
+        self.workers = [
+            actor_cls.remote(agent_factory, env_factory,
+                             num_envs=envs_per_worker,
+                             rollout_length=rollout_length, worker_index=i)
+            for i in range(num_workers)
+        ]
+
+    def execute_workload(self, num_iterations: int = 10) -> Dict:
+        t0 = time.perf_counter()
+        losses: List[float] = []
+        episode_returns: List[float] = []
+        for _ in range(num_iterations):
+            # Barrier: all workers roll out with current weights.
+            refs = [w.rollout.remote(self.discount) for w in self.workers]
+            rollouts = raylite.get(refs)
+            for r in rollouts:
+                episode_returns.extend(r.pop("episode_returns", []))
+            merged = {
+                "states": np.concatenate([r["states"] for r in rollouts]),
+                "actions": np.concatenate([r["actions"] for r in rollouts]),
+                "returns": np.concatenate([r["returns"] for r in rollouts]),
+            }
+            total, _, _ = self.learner.update(merged)
+            losses.append(total)
+            weights = self.learner.get_weights()
+            raylite.get([w.set_weights.remote(weights)
+                         for w in self.workers])
+        stats = raylite.get([w.get_stats.remote() for w in self.workers])
+        wall = time.perf_counter() - t0
+        env_frames = sum(s["env_frames"] for s in stats)
+        return {
+            "env_frames": env_frames,
+            "env_frames_per_second": env_frames / wall,
+            "updates": num_iterations,
+            "wall_time": wall,
+            "losses": losses,
+            "mean_return": (float(np.mean(episode_returns[-20:]))
+                            if episode_returns else None),
+        }

@@ -1,0 +1,32 @@
+"""raylite: a minimal in-process actor framework (Ray substitute).
+
+Implements the slice of Ray's API the paper's distributed executors rely
+on (DESIGN.md §2): actor handles with ``.remote()`` method calls returning
+futures (ObjectRef), ``get``/``wait``, and an object store. Each actor
+runs a dedicated thread with a mailbox, so NumPy-heavy actor methods
+(which release the GIL) execute with real parallelism.
+"""
+
+from repro.raylite.core import (
+    ActorHandle,
+    ObjectRef,
+    RayliteError,
+    get,
+    init,
+    put,
+    remote,
+    shutdown,
+    wait,
+)
+
+__all__ = [
+    "ActorHandle",
+    "ObjectRef",
+    "RayliteError",
+    "remote",
+    "get",
+    "put",
+    "wait",
+    "init",
+    "shutdown",
+]

@@ -1,0 +1,246 @@
+"""raylite core: actors, futures, object store.
+
+Semantics follow Ray where it matters for the executors:
+
+* ``remote(Cls)`` returns a factory; ``factory.remote(*args)`` constructs
+  the actor in its own thread and returns an :class:`ActorHandle`;
+* ``handle.method.remote(*args)`` enqueues a task and returns an
+  :class:`ObjectRef` immediately; tasks of one actor run in FIFO order;
+* ``get(ref)`` blocks; ``wait(refs, num_returns)`` splits ready/pending;
+* exceptions raised in actor methods surface at ``get`` time;
+* an optional serialization round-trip (``init(serialize=True)``) models
+  Ray's object-store copy costs for transfer-sensitive benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import RLGraphError
+
+
+class RayliteError(RLGraphError):
+    """Raised for framework-level failures (not actor exceptions)."""
+
+
+class _Config:
+    serialize = False
+    initialized = True
+
+
+_config = _Config()
+_actors: List["ActorHandle"] = []
+_actors_lock = threading.Lock()
+
+
+def init(serialize: bool = False) -> None:
+    """Configure the runtime (optional; defaults are live)."""
+    _config.serialize = serialize
+    _config.initialized = True
+
+
+def shutdown() -> None:
+    """Stop all actor threads."""
+    with _actors_lock:
+        actors = list(_actors)
+        _actors.clear()
+    for actor in actors:
+        actor._stop()
+
+
+def _maybe_copy(value):
+    if _config.serialize:
+        return pickle.loads(pickle.dumps(value))
+    return value
+
+
+class ObjectRef:
+    """A future for a task result (or a ``put`` value)."""
+
+    _ids = itertools.count()
+
+    def __init__(self):
+        self.id = next(ObjectRef._ids)
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value):
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException):
+        self._error = error
+        self._event.set()
+
+    def ready(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        if not self._event.wait(timeout):
+            raise RayliteError(f"get() timed out after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return _maybe_copy(self._value)
+
+    def __repr__(self):
+        state = "ready" if self.ready() else "pending"
+        return f"<ObjectRef #{self.id} {state}>"
+
+
+def put(value) -> ObjectRef:
+    """Store a value in the object store (returns a resolved ref)."""
+    ref = ObjectRef()
+    ref._resolve(_maybe_copy(value))
+    return ref
+
+
+def get(refs, timeout: Optional[float] = None):
+    """Resolve a ref or a list of refs (blocking)."""
+    if isinstance(refs, ObjectRef):
+        return refs.result(timeout)
+    return [r.result(timeout) for r in refs]
+
+
+def wait(refs: Sequence[ObjectRef], num_returns: int = 1,
+         timeout: Optional[float] = None) -> Tuple[List[ObjectRef], List[ObjectRef]]:
+    """Block until ``num_returns`` refs are ready (or timeout).
+
+    Returns (ready, pending) preserving input order within each list.
+    """
+    if num_returns > len(refs):
+        raise RayliteError(
+            f"num_returns {num_returns} > number of refs {len(refs)}")
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        ready = [r for r in refs if r.ready()]
+        if len(ready) >= num_returns:
+            ready_ids = {r.id for r in ready}
+            return ready, [r for r in refs if r.id not in ready_ids]
+        if deadline is not None and time.monotonic() >= deadline:
+            ready_ids = {r.id for r in ready}
+            return ready, [r for r in refs if r.id not in ready_ids]
+        time.sleep(0.0005)
+
+
+class _Task:
+    __slots__ = ("method_name", "args", "kwargs", "ref")
+
+    def __init__(self, method_name, args, kwargs, ref):
+        self.method_name = method_name
+        self.args = args
+        self.kwargs = kwargs
+        self.ref = ref
+
+
+class _RemoteMethod:
+    """Bound ``.remote()`` callable for one actor method."""
+
+    def __init__(self, handle: "ActorHandle", name: str):
+        self._handle = handle
+        self._name = name
+
+    def remote(self, *args, **kwargs) -> ObjectRef:
+        return self._handle._submit(self._name, args, kwargs)
+
+    def __call__(self, *args, **kwargs):
+        raise RayliteError(
+            f"Actor methods must be called with .remote(): {self._name}")
+
+
+class ActorHandle:
+    """A handle to an actor running in its own thread."""
+
+    def __init__(self, cls: type, args, kwargs, name: str = ""):
+        self._cls = cls
+        self._name = name or f"{cls.__name__}-{id(self) & 0xFFFF:x}"
+        self._mailbox: "queue.Queue[Optional[_Task]]" = queue.Queue()
+        self._instance = None
+        self._init_error: Optional[BaseException] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(args, kwargs), daemon=True,
+            name=f"raylite-{self._name}")
+        self._thread.start()
+        self._started.wait()
+        if self._init_error is not None:
+            raise self._init_error
+        with _actors_lock:
+            _actors.append(self)
+
+    # -- actor loop ---------------------------------------------------------
+    def _run(self, args, kwargs):
+        try:
+            self._instance = self._cls(*args, **kwargs)
+        except BaseException as exc:  # surfaced to the creator
+            self._init_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        while not self._stopped.is_set():
+            try:
+                task = self._mailbox.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if task is None:
+                break
+            try:
+                method = getattr(self._instance, task.method_name)
+                task.ref._resolve(method(*task.args, **task.kwargs))
+            except BaseException as exc:
+                task.ref._fail(exc)
+
+    def _submit(self, method_name: str, args, kwargs) -> ObjectRef:
+        if self._stopped.is_set():
+            raise RayliteError(f"Actor {self._name} is stopped")
+        if not hasattr(self._cls, method_name):
+            raise RayliteError(
+                f"Actor {self._cls.__name__} has no method {method_name!r}")
+        ref = ObjectRef()
+        args = tuple(_maybe_copy(a) for a in args)
+        kwargs = {k: _maybe_copy(v) for k, v in kwargs.items()}
+        self._mailbox.put(_Task(method_name, args, kwargs, ref))
+        return ref
+
+    def _stop(self):
+        self._stopped.set()
+        self._mailbox.put(None)
+        self._thread.join(timeout=5.0)
+
+    def __getattr__(self, name: str) -> _RemoteMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _RemoteMethod(self, name)
+
+    def __repr__(self):
+        return f"<ActorHandle {self._name}>"
+
+
+class _ActorFactory:
+    def __init__(self, cls: type):
+        self._cls = cls
+
+    def remote(self, *args, **kwargs) -> ActorHandle:
+        return ActorHandle(self._cls, args, kwargs)
+
+    def options(self, name: str = ""):
+        factory = self
+
+        class _Named:
+            def remote(self, *args, **kwargs):
+                return ActorHandle(factory._cls, args, kwargs, name=name)
+
+        return _Named()
+
+
+def remote(cls: type) -> _ActorFactory:
+    """Decorator/wrapper turning a class into an actor factory."""
+    if not isinstance(cls, type):
+        raise RayliteError("raylite.remote expects a class")
+    return _ActorFactory(cls)

@@ -1,0 +1,39 @@
+"""Space objects: backend-independent type/shape descriptions of data.
+
+Spaces are the contract between components. A component is "input-complete"
+once all its API-method input spaces are known, at which point its variables
+and operations can be created (paper §3.3).
+"""
+
+from repro.spaces.space import Space
+from repro.spaces.box import BoxSpace, FloatBox, IntBox, BoolBox
+from repro.spaces.containers import ContainerSpace, Dict, Tuple
+from repro.spaces.space_utils import (
+    space_from_spec,
+    space_from_value,
+    flatten_space,
+    unflatten_from_space,
+    flatten_value,
+    unflatten_value,
+    sanity_check_space,
+    FLAT_SEP,
+)
+
+__all__ = [
+    "Space",
+    "BoxSpace",
+    "FloatBox",
+    "IntBox",
+    "BoolBox",
+    "ContainerSpace",
+    "Dict",
+    "Tuple",
+    "space_from_spec",
+    "space_from_value",
+    "flatten_space",
+    "unflatten_from_space",
+    "flatten_value",
+    "unflatten_value",
+    "sanity_check_space",
+    "FLAT_SEP",
+]

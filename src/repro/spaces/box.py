@@ -1,0 +1,198 @@
+"""Box spaces: n-dimensional arrays of a primitive dtype with bounds."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spaces.space import Space
+from repro.utils.errors import RLGraphSpaceError
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+class BoxSpace(Space):
+    """An n-dimensional box of numbers with optional element-wise bounds.
+
+    ``low``/``high`` may be scalars (applied element-wise) or arrays that
+    define the shape. If ``shape`` is given explicitly, bounds must be
+    scalars or match that shape.
+    """
+
+    _np_dtype: np.dtype = np.dtype(np.float32)
+
+    def __init__(self, low=None, high=None, shape=None, add_batch_rank=False,
+                 add_time_rank=False, time_major=False):
+        super().__init__(add_batch_rank, add_time_rank, time_major)
+        low_arr = None if low is None else np.asarray(low)
+        high_arr = None if high is None else np.asarray(high)
+
+        if shape is not None:
+            self._shape = tuple(int(s) for s in shape)
+        elif low_arr is not None and low_arr.ndim > 0:
+            self._shape = low_arr.shape
+        elif high_arr is not None and high_arr.ndim > 0:
+            self._shape = high_arr.shape
+        else:
+            self._shape = ()
+
+        for name, arr in (("low", low_arr), ("high", high_arr)):
+            if arr is not None and arr.ndim > 0 and arr.shape != self._shape:
+                raise RLGraphSpaceError(
+                    f"{name} shape {arr.shape} does not match space shape {self._shape}",
+                    space=self,
+                )
+        self.low = None if low_arr is None else low_arr.astype(self._np_dtype)
+        self.high = None if high_arr is None else high_arr.astype(self._np_dtype)
+
+    @property
+    def shape(self):
+        return self._shape
+
+    @property
+    def dtype(self):
+        return self._np_dtype
+
+    @property
+    def bounded_below(self) -> bool:
+        return self.low is not None
+
+    @property
+    def bounded_above(self) -> bool:
+        return self.high is not None
+
+    def copy(self):
+        clone = type(self).__new__(type(self))
+        Space.__init__(clone, self.has_batch_rank, self.has_time_rank, self.time_major)
+        clone._shape = self._shape
+        clone.low = None if self.low is None else self.low.copy()
+        clone.high = None if self.high is None else self.high.copy()
+        return clone
+
+    def zeros(self, size=None):
+        prefix = self._size_to_prefix(size)
+        return np.zeros(prefix + self._shape, dtype=self._np_dtype)
+
+    def contains(self, value) -> bool:
+        arr = np.asarray(value)
+        if arr.shape != self._shape:
+            return False
+        if self.low is not None and np.any(arr < self.low):
+            return False
+        if self.high is not None and np.any(arr > self.high):
+            return False
+        return True
+
+    def _low_high_defaults(self):
+        low = self.low if self.low is not None else np.asarray(-1.0, self._np_dtype)
+        high = self.high if self.high is not None else np.asarray(1.0, self._np_dtype)
+        return low, high
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(shape={self._shape}{self._rank_suffix()})")
+
+    def _key(self):
+        low_key = None if self.low is None else self.low.tobytes()
+        high_key = None if self.high is None else self.high.tobytes()
+        return super()._key() + (low_key, high_key)
+
+
+class FloatBox(BoxSpace):
+    """Float32 box. Unbounded dims sample from N(0, 1)."""
+
+    _np_dtype = np.dtype(np.float32)
+
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else _DEFAULT_RNG
+        prefix = self._size_to_prefix(size)
+        full_shape = prefix + self._shape
+        if self.low is not None and self.high is not None:
+            value = rng.uniform(self.low, self.high, size=full_shape)
+        else:
+            value = rng.standard_normal(full_shape)
+            if self.low is not None:
+                value = np.maximum(value, self.low)
+            if self.high is not None:
+                value = np.minimum(value, self.high)
+        return value.astype(self._np_dtype)
+
+
+class IntBox(BoxSpace):
+    """Integer box; with no args behaves like a discrete space over [0, high).
+
+    ``IntBox(4)`` is a single categorical with 4 values. ``num_categories``
+    reports ``high - low`` when bounds are scalar-like, which action
+    adapters use to size their output layers.
+    """
+
+    _np_dtype = np.dtype(np.int64)
+
+    def __init__(self, low=None, high=None, shape=None, add_batch_rank=False,
+                 add_time_rank=False, time_major=False):
+        # Single-arg form: IntBox(n) means {0, ..., n-1}.
+        if high is None and low is not None:
+            low, high = 0, low
+        if low is None and high is None:
+            low, high = 0, 2  # default binary
+        super().__init__(low=low, high=high, shape=shape,
+                         add_batch_rank=add_batch_rank,
+                         add_time_rank=add_time_rank, time_major=time_major)
+
+    @property
+    def num_categories(self) -> int:
+        """Number of discrete categories (``high - low``) for scalar bounds."""
+        if self.low is None or self.high is None:
+            raise RLGraphSpaceError("IntBox without bounds has no categories", space=self)
+        low = int(np.max(self.low))
+        high = int(np.min(self.high))
+        return high - low
+
+    @property
+    def global_bounds(self):
+        return int(np.min(self.low)), int(np.max(self.high))
+
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else _DEFAULT_RNG
+        prefix = self._size_to_prefix(size)
+        full_shape = prefix + self._shape
+        low = self.low if self.low is not None else 0
+        high = self.high if self.high is not None else 2
+        value = rng.integers(low, high, size=full_shape, dtype=self._np_dtype)
+        return value
+
+    def contains(self, value) -> bool:
+        arr = np.asarray(value)
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(np.equal(np.mod(arr, 1), 0)):
+                return False
+            arr = arr.astype(self._np_dtype)
+        if arr.shape != self._shape:
+            return False
+        if self.low is not None and np.any(arr < self.low):
+            return False
+        # IntBox high bound is exclusive (category count semantics).
+        if self.high is not None and np.any(arr >= self.high):
+            return False
+        return True
+
+
+class BoolBox(BoxSpace):
+    """Boolean box (used e.g. for terminal flags)."""
+
+    _np_dtype = np.dtype(np.bool_)
+
+    def __init__(self, shape=None, add_batch_rank=False, add_time_rank=False,
+                 time_major=False):
+        super().__init__(low=None, high=None, shape=shape,
+                         add_batch_rank=add_batch_rank,
+                         add_time_rank=add_time_rank, time_major=time_major)
+
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else _DEFAULT_RNG
+        prefix = self._size_to_prefix(size)
+        return rng.random(prefix + self._shape) < 0.5
+
+    def contains(self, value) -> bool:
+        arr = np.asarray(value)
+        return arr.shape == self._shape and arr.dtype == np.bool_

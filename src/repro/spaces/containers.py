@@ -1,0 +1,182 @@
+"""Container spaces: Dict and Tuple of sub-spaces.
+
+Container spaces are the reason RLgraph's auto split/merge utilities exist:
+records flowing through the component graph routinely bundle states,
+actions, rewards and terminals into one Dict space, and components like
+the ContainerSplitter take them apart again (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.spaces.space import Space
+from repro.utils.errors import RLGraphSpaceError
+
+
+class ContainerSpace(Space):
+    """Base for spaces composed of sub-spaces."""
+
+    def sub_spaces(self):
+        """Yield (key, space) pairs. Keys are strs for Dict, ints for Tuple."""
+        raise NotImplementedError
+
+    @property
+    def dtype(self):
+        raise RLGraphSpaceError("Container spaces have no single dtype", space=self)
+
+    @property
+    def shape(self):
+        raise RLGraphSpaceError("Container spaces have no single shape", space=self)
+
+    @property
+    def flat_dim(self) -> int:
+        return sum(space.flat_dim for _, space in self.sub_spaces())
+
+
+class Dict(ContainerSpace):
+    """An ordered string-keyed mapping of sub-spaces.
+
+    Keys are sorted for determinism, matching RLgraph's sorted flattening
+    order. Sub-space specs may be Space objects or nested dicts/tuples.
+    """
+
+    def __init__(self, spec=None, add_batch_rank=False, add_time_rank=False,
+                 time_major=False, **kwargs):
+        super().__init__(add_batch_rank, add_time_rank, time_major)
+        from repro.spaces.space_utils import space_from_spec
+
+        items = {}
+        if spec is not None:
+            if not isinstance(spec, dict):
+                raise RLGraphSpaceError(f"Dict space spec must be a dict, got {spec!r}")
+            items.update(spec)
+        items.update(kwargs)
+        if not items:
+            raise RLGraphSpaceError("Dict space needs at least one sub-space")
+        self._spaces = OrderedDict()
+        for key in sorted(items):
+            if not isinstance(key, str):
+                raise RLGraphSpaceError(f"Dict space keys must be str, got {key!r}")
+            sub = space_from_spec(items[key])
+            # Propagate this container's extra ranks down.
+            sub = sub.with_extra_ranks(add_batch_rank, add_time_rank, time_major)
+            self._spaces[key] = sub
+
+    def sub_spaces(self):
+        return list(self._spaces.items())
+
+    def keys(self):
+        return list(self._spaces.keys())
+
+    def __getitem__(self, key: str) -> Space:
+        return self._spaces[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._spaces
+
+    def __len__(self):
+        return len(self._spaces)
+
+    def copy(self):
+        clone = Dict.__new__(Dict)
+        Space.__init__(clone, self.has_batch_rank, self.has_time_rank, self.time_major)
+        clone._spaces = OrderedDict(
+            (k, v.copy()) for k, v in self._spaces.items()
+        )
+        return clone
+
+    def with_extra_ranks(self, add_batch_rank=True, add_time_rank=False,
+                         time_major=False):
+        clone = self.copy()
+        Space.__init__(clone, add_batch_rank, add_time_rank, time_major)
+        clone._spaces = OrderedDict(
+            (k, v.with_extra_ranks(add_batch_rank, add_time_rank, time_major))
+            for k, v in self._spaces.items()
+        )
+        return clone
+
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        return {k: s.sample(size=size, rng=rng) for k, s in self._spaces.items()}
+
+    def zeros(self, size=None):
+        return {k: s.zeros(size=size) for k, s in self._spaces.items()}
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, dict) or set(value) != set(self._spaces):
+            return False
+        return all(self._spaces[k].contains(v) for k, v in value.items())
+
+    def _key(self):
+        return ("Dict", tuple((k, s._key()) for k, s in self._spaces.items()),
+                self.has_batch_rank, self.has_time_rank, self.time_major)
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}: {s!r}" for k, s in self._spaces.items())
+        return f"Dict({{{inner}}}{self._rank_suffix()})"
+
+
+class Tuple(ContainerSpace):
+    """An ordered sequence of sub-spaces."""
+
+    def __init__(self, *components, add_batch_rank=False, add_time_rank=False,
+                 time_major=False):
+        super().__init__(add_batch_rank, add_time_rank, time_major)
+        from repro.spaces.space_utils import space_from_spec
+
+        if len(components) == 1 and isinstance(components[0], (list, tuple)):
+            components = tuple(components[0])
+        if not components:
+            raise RLGraphSpaceError("Tuple space needs at least one sub-space")
+        self._spaces = tuple(
+            space_from_spec(c).with_extra_ranks(add_batch_rank, add_time_rank,
+                                                time_major)
+            for c in components
+        )
+
+    def sub_spaces(self):
+        return list(enumerate(self._spaces))
+
+    def __getitem__(self, index: int) -> Space:
+        return self._spaces[index]
+
+    def __len__(self):
+        return len(self._spaces)
+
+    def copy(self):
+        clone = Tuple.__new__(Tuple)
+        Space.__init__(clone, self.has_batch_rank, self.has_time_rank, self.time_major)
+        clone._spaces = tuple(s.copy() for s in self._spaces)
+        return clone
+
+    def with_extra_ranks(self, add_batch_rank=True, add_time_rank=False,
+                         time_major=False):
+        clone = self.copy()
+        Space.__init__(clone, add_batch_rank, add_time_rank, time_major)
+        clone._spaces = tuple(
+            s.with_extra_ranks(add_batch_rank, add_time_rank, time_major)
+            for s in self._spaces
+        )
+        return clone
+
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        return tuple(s.sample(size=size, rng=rng) for s in self._spaces)
+
+    def zeros(self, size=None):
+        return tuple(s.zeros(size=size) for s in self._spaces)
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, (tuple, list)) or len(value) != len(self._spaces):
+            return False
+        return all(s.contains(v) for s, v in zip(self._spaces, value))
+
+    def _key(self):
+        return ("Tuple", tuple(s._key() for s in self._spaces),
+                self.has_batch_rank, self.has_time_rank, self.time_major)
+
+    def __repr__(self):
+        inner = ", ".join(repr(s) for s in self._spaces)
+        return f"Tuple({inner}{self._rank_suffix()})"

@@ -1,0 +1,145 @@
+"""Base Space class.
+
+A Space describes the dtype and shape of tensors flowing between
+components, plus two optional *special ranks*: a batch rank and a time
+rank. The build process (``repro.core.graph_builder``) pushes spaces
+through the component graph to infer variable shapes and create
+placeholders, so spaces must be hashable, comparable and serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple as TypingTuple
+
+import numpy as np
+
+
+class Space:
+    """Abstract base for all spaces.
+
+    Attributes:
+        has_batch_rank: Whether values carry a leading (possibly
+            time-major: second) batch dimension of unknown size.
+        has_time_rank: Whether values carry a time dimension.
+        time_major: If both ranks present, whether time comes first.
+    """
+
+    def __init__(self, add_batch_rank: bool = False, add_time_rank: bool = False,
+                 time_major: bool = False):
+        self.has_batch_rank = bool(add_batch_rank)
+        self.has_time_rank = bool(add_time_rank)
+        self.time_major = bool(time_major)
+
+    # -- core geometry -------------------------------------------------
+    @property
+    def shape(self) -> TypingTuple[int, ...]:
+        """The value shape *without* batch/time ranks."""
+        raise NotImplementedError
+
+    def get_shape(self, with_batch_rank=False, with_time_rank=False,
+                  batch_size: Optional[int] = None, time_steps: Optional[int] = None):
+        """Shape including requested special ranks.
+
+        Unknown special dims are reported as ``None`` unless a concrete
+        ``batch_size``/``time_steps`` is given.
+        """
+        prefix = []
+        batch_dim = batch_size if batch_size is not None else None
+        time_dim = time_steps if time_steps is not None else None
+        want_batch = with_batch_rank and self.has_batch_rank
+        want_time = with_time_rank and self.has_time_rank
+        if want_batch and want_time:
+            if self.time_major:
+                prefix = [time_dim, batch_dim]
+            else:
+                prefix = [batch_dim, time_dim]
+        elif want_batch:
+            prefix = [batch_dim]
+        elif want_time:
+            prefix = [time_dim]
+        return tuple(prefix) + tuple(self.shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def flat_dim(self) -> int:
+        """Number of scalar elements in a single (un-batched) value."""
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def dtype(self) -> np.dtype:
+        raise NotImplementedError
+
+    # -- rank manipulation ---------------------------------------------
+    def with_batch_rank(self, add: bool = True) -> "Space":
+        """Return a copy with the batch rank toggled."""
+        clone = self.copy()
+        clone.has_batch_rank = add
+        return clone
+
+    def with_time_rank(self, add: bool = True, time_major: bool = False) -> "Space":
+        clone = self.copy()
+        clone.has_time_rank = add
+        clone.time_major = time_major
+        return clone
+
+    def with_extra_ranks(self, add_batch_rank=True, add_time_rank=False,
+                         time_major=False) -> "Space":
+        clone = self.copy()
+        clone.has_batch_rank = add_batch_rank
+        clone.has_time_rank = add_time_rank
+        clone.time_major = time_major
+        return clone
+
+    def strip_ranks(self) -> "Space":
+        """Return a copy without batch/time ranks."""
+        return self.with_extra_ranks(False, False, False)
+
+    def copy(self) -> "Space":
+        raise NotImplementedError
+
+    # -- value factory methods ------------------------------------------
+    def sample(self, size=None, rng: Optional[np.random.Generator] = None):
+        """Draw a random value. ``size`` may be an int (batch) or tuple
+        (e.g. ``(batch, time)``)."""
+        raise NotImplementedError
+
+    def zeros(self, size=None):
+        """A zero-filled value of this space."""
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        """Whether ``value`` is a single (non-batched) member of the space."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    def _size_to_prefix(self, size) -> TypingTuple[int, ...]:
+        if size is None:
+            return ()
+        if isinstance(size, (int, np.integer)):
+            return (int(size),)
+        return tuple(int(s) for s in size)
+
+    def _rank_suffix(self) -> str:
+        marks = ""
+        if self.has_batch_rank:
+            marks += "+B"
+        if self.has_time_rank:
+            marks += "+T(major)" if self.time_major else "+T"
+        return marks
+
+    # -- equality/hash ----------------------------------------------------
+    def _key(self):
+        return (type(self).__name__, self.shape, str(self.dtype),
+                self.has_batch_rank, self.has_time_rank, self.time_major)
+
+    def __eq__(self, other):
+        return isinstance(other, Space) and self._key() == other._key()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash(self._key())

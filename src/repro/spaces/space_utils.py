@@ -1,0 +1,268 @@
+"""Space spec resolution, inference from values, and flatten/unflatten.
+
+Flattening maps a (possibly nested) container space or value to an ordered
+``{flat_key: leaf}`` dict. Flat keys use ``/`` as separator with ``Dict``
+keys verbatim and ``Tuple`` indices rendered as ``[i]``, mirroring
+RLgraph's auto-flatten utilities that "drastically reduce development
+times" (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict as TypingDict
+
+import numpy as np
+
+from repro.spaces.box import BoolBox, BoxSpace, FloatBox, IntBox
+from repro.spaces.containers import ContainerSpace, Dict, Tuple
+from repro.spaces.space import Space
+from repro.utils.errors import RLGraphSpaceError
+
+FLAT_SEP = "/"
+
+
+# ---------------------------------------------------------------------------
+# Spec resolution
+# ---------------------------------------------------------------------------
+def space_from_spec(spec: Any, add_batch_rank: bool = False,
+                    add_time_rank: bool = False) -> Space:
+    """Build a Space from a spec.
+
+    Accepted forms:
+
+    * a Space -> returned as-is (ranks optionally added);
+    * an int ``n`` -> ``IntBox(n)`` (discrete with n categories);
+    * a ``"float"``/``"int"``/``"bool"`` string;
+    * a tuple of ints -> ``FloatBox(shape=...)``;
+    * a dict with a ``"type"`` key -> explicit box construction;
+    * a plain dict -> ``Dict`` container;
+    * a list -> ``Tuple`` container.
+    """
+    space = _space_from_spec_inner(spec)
+    if add_batch_rank or add_time_rank:
+        space = space.with_extra_ranks(
+            add_batch_rank or space.has_batch_rank,
+            add_time_rank or space.has_time_rank,
+            space.time_major,
+        )
+    return space
+
+
+def _space_from_spec_inner(spec: Any) -> Space:
+    if isinstance(spec, Space):
+        return spec
+    if isinstance(spec, (int, np.integer)):
+        return IntBox(int(spec))
+    if isinstance(spec, str):
+        name = spec.lower()
+        if name in ("float", "float32"):
+            return FloatBox()
+        if name in ("int", "int64", "discrete"):
+            return IntBox()
+        if name == "bool":
+            return BoolBox()
+        raise RLGraphSpaceError(f"Unknown space type string {spec!r}")
+    if isinstance(spec, tuple) and all(isinstance(s, (int, np.integer)) for s in spec):
+        return FloatBox(shape=tuple(int(s) for s in spec))
+    if isinstance(spec, dict):
+        if "type" in spec:
+            spec = dict(spec)
+            type_name = spec.pop("type").lower()
+            classes = {"float": FloatBox, "floatbox": FloatBox,
+                       "int": IntBox, "intbox": IntBox,
+                       "bool": BoolBox, "boolbox": BoolBox,
+                       "dict": Dict, "tuple": Tuple}
+            if type_name not in classes:
+                raise RLGraphSpaceError(f"Unknown space type {type_name!r}")
+            if type_name in ("dict",):
+                return Dict(spec.pop("spec", None) or spec)
+            if type_name in ("tuple",):
+                return Tuple(*spec.pop("components", ()))
+            if "shape" in spec and isinstance(spec["shape"], list):
+                spec["shape"] = tuple(spec["shape"])
+            return classes[type_name](**spec)
+        return Dict(spec)
+    if isinstance(spec, list):
+        return Tuple(*spec)
+    raise RLGraphSpaceError(f"Cannot build Space from spec {spec!r}")
+
+
+def space_from_value(value: Any, add_batch_rank: bool = False) -> Space:
+    """Infer a Space from an example value (used by define-by-run tracing)."""
+    if isinstance(value, dict):
+        return Dict({k: space_from_value(v) for k, v in value.items()},
+                    add_batch_rank=add_batch_rank)
+    if isinstance(value, (tuple, list)):
+        return Tuple(*[space_from_value(v) for v in value],
+                     add_batch_rank=add_batch_rank)
+    arr = np.asarray(value)
+    shape = arr.shape[1:] if add_batch_rank else arr.shape
+    if arr.dtype == np.bool_:
+        return BoolBox(shape=shape, add_batch_rank=add_batch_rank)
+    if np.issubdtype(arr.dtype, np.integer):
+        high = int(arr.max()) + 1 if arr.size else 2
+        return IntBox(low=0, high=max(high, 1), shape=shape,
+                      add_batch_rank=add_batch_rank)
+    return FloatBox(shape=shape, add_batch_rank=add_batch_rank)
+
+
+# ---------------------------------------------------------------------------
+# Flattening
+# ---------------------------------------------------------------------------
+def flatten_space(space: Space, scope: str = "") -> "OrderedDict[str, Space]":
+    """Flatten a (container) space into an ordered ``{flat_key: leaf_space}``.
+
+    A non-container space flattens to ``{"": space}``.
+    """
+    out: "OrderedDict[str, Space]" = OrderedDict()
+    _flatten_space_into(space, scope, out)
+    return out
+
+
+def _flatten_space_into(space, scope, out):
+    if isinstance(space, Dict):
+        for key, sub in space.sub_spaces():
+            _flatten_space_into(sub, _join(scope, key), out)
+    elif isinstance(space, Tuple):
+        for idx, sub in space.sub_spaces():
+            _flatten_space_into(sub, _join(scope, f"[{idx}]"), out)
+    else:
+        out[scope] = space
+
+
+def flatten_value(value: Any, space: Space = None, scope: str = "") -> "OrderedDict[str, Any]":
+    """Flatten a nested value the same way its space flattens.
+
+    If ``space`` is given, structure is driven by the space (Dict key order
+    follows the space's sorted keys); otherwise the value's own structure
+    is used.
+    """
+    out: "OrderedDict[str, Any]" = OrderedDict()
+    _flatten_value_into(value, space, scope, out)
+    return out
+
+
+def _flatten_value_into(value, space, scope, out):
+    if space is not None and isinstance(space, Dict):
+        if not isinstance(value, dict):
+            raise RLGraphSpaceError(f"Expected dict for Dict space, got {type(value)}")
+        for key, sub in space.sub_spaces():
+            _flatten_value_into(value[key], sub, _join(scope, key), out)
+    elif space is not None and isinstance(space, Tuple):
+        for idx, sub in space.sub_spaces():
+            _flatten_value_into(value[idx], sub, _join(scope, f"[{idx}]"), out)
+    elif space is None and isinstance(value, dict):
+        for key in sorted(value):
+            _flatten_value_into(value[key], None, _join(scope, key), out)
+    elif space is None and isinstance(value, tuple):
+        for idx, sub in enumerate(value):
+            _flatten_value_into(sub, None, _join(scope, f"[{idx}]"), out)
+    else:
+        out[scope] = value
+
+
+def unflatten_value(flat: TypingDict[str, Any]) -> Any:
+    """Inverse of :func:`flatten_value` (structure recovered from keys)."""
+    if list(flat.keys()) == [""]:
+        return flat[""]
+    # Group by first path segment.
+    groups: "OrderedDict[str, OrderedDict]" = OrderedDict()
+    for key, value in flat.items():
+        head, _, rest = key.partition(FLAT_SEP)
+        groups.setdefault(head, OrderedDict())[rest] = value
+    if all(_is_index_key(head) for head in groups):
+        items = sorted(groups.items(), key=lambda kv: int(kv[0][1:-1]))
+        return tuple(unflatten_value(sub) for _, sub in items)
+    return {head: unflatten_value(sub) for head, sub in groups.items()}
+
+
+def unflatten_from_space(flat: TypingDict[str, Any], space: Space) -> Any:
+    """Rebuild a nested value for ``space`` from a flat dict."""
+    if isinstance(space, Dict):
+        out = {}
+        for key, sub in space.sub_spaces():
+            sub_flat = _strip_prefix(flat, key)
+            out[key] = unflatten_from_space(sub_flat, sub)
+        return out
+    if isinstance(space, Tuple):
+        parts = []
+        for idx, sub in space.sub_spaces():
+            sub_flat = _strip_prefix(flat, f"[{idx}]")
+            parts.append(unflatten_from_space(sub_flat, sub))
+        return tuple(parts)
+    if set(flat.keys()) != {""}:
+        raise RLGraphSpaceError(f"Flat dict {list(flat)} does not match leaf space")
+    return flat[""]
+
+
+def map_flattened(fn: Callable[[str, Any], Any], value: Any, space: Space = None) -> Any:
+    """Apply ``fn(flat_key, leaf)`` over a nested value, keeping structure."""
+    flat = flatten_value(value, space)
+    mapped = OrderedDict((k, fn(k, v)) for k, v in flat.items())
+    return unflatten_value(mapped)
+
+
+# ---------------------------------------------------------------------------
+# Sanity checking (used by components to validate their input spaces)
+# ---------------------------------------------------------------------------
+def sanity_check_space(space: Space, allowed_types=None, must_have_batch_rank=None,
+                       must_have_time_rank=None, rank=None,
+                       must_have_categories=None, num_categories=None):
+    """Validate structural expectations about ``space``; raise on mismatch.
+
+    This is the check components run when they become input-complete, so
+    errors carry enough context to locate the offending connection.
+    """
+    if allowed_types is not None and not isinstance(space, tuple(allowed_types)):
+        raise RLGraphSpaceError(
+            f"Space {space!r} is not one of allowed types "
+            f"{[t.__name__ for t in allowed_types]}", space=space)
+    if must_have_batch_rank is not None and space.has_batch_rank != must_have_batch_rank:
+        raise RLGraphSpaceError(
+            f"Space {space!r} batch-rank expectation failed "
+            f"(expected {must_have_batch_rank})", space=space)
+    if must_have_time_rank is not None and space.has_time_rank != must_have_time_rank:
+        raise RLGraphSpaceError(
+            f"Space {space!r} time-rank expectation failed "
+            f"(expected {must_have_time_rank})", space=space)
+    if rank is not None:
+        ranks = (rank,) if isinstance(rank, int) else tuple(rank)
+        if space.rank not in ranks:
+            raise RLGraphSpaceError(
+                f"Space {space!r} has rank {space.rank}, expected {ranks}",
+                space=space)
+    if must_have_categories:
+        if not isinstance(space, IntBox):
+            raise RLGraphSpaceError(
+                f"Space {space!r} must be an IntBox with categories", space=space)
+        space.num_categories  # raises if unbounded
+    if num_categories is not None:
+        if not isinstance(space, IntBox) or space.num_categories != num_categories:
+            raise RLGraphSpaceError(
+                f"Space {space!r} must have exactly {num_categories} categories",
+                space=space)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+def _join(scope: str, key: str) -> str:
+    return f"{scope}{FLAT_SEP}{key}" if scope else key
+
+
+def _is_index_key(key: str) -> bool:
+    return key.startswith("[") and key.endswith("]") and key[1:-1].isdigit()
+
+
+def _strip_prefix(flat: TypingDict[str, Any], prefix: str) -> TypingDict[str, Any]:
+    out = OrderedDict()
+    for key, value in flat.items():
+        if key == prefix:
+            out[""] = value
+        elif key.startswith(prefix + FLAT_SEP):
+            out[key[len(prefix) + 1:]] = value
+    if not out:
+        raise RLGraphSpaceError(f"No flat keys under prefix {prefix!r} in {list(flat)}")
+    return out

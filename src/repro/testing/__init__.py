@@ -1,0 +1,5 @@
+"""Testing utilities: sub-graph component tests (paper Listing 1)."""
+
+from repro.testing.component_test import ComponentTest
+
+__all__ = ["ComponentTest"]

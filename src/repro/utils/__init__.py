@@ -1,0 +1,37 @@
+"""Shared utilities: errors, seeding, schedules, registries, configs."""
+
+from repro.utils.errors import (
+    RLGraphError,
+    RLGraphBuildError,
+    RLGraphSpaceError,
+    RLGraphAPIError,
+)
+from repro.utils.seeding import SeedStream, derive_seed
+from repro.utils.registry import Registry
+from repro.utils.schedules import (
+    Schedule,
+    Constant,
+    LinearDecay,
+    ExponentialDecay,
+    PolynomialDecay,
+    from_spec as schedule_from_spec,
+)
+from repro.utils.config import resolve_config, deep_update
+
+__all__ = [
+    "RLGraphError",
+    "RLGraphBuildError",
+    "RLGraphSpaceError",
+    "RLGraphAPIError",
+    "SeedStream",
+    "derive_seed",
+    "Registry",
+    "Schedule",
+    "Constant",
+    "LinearDecay",
+    "ExponentialDecay",
+    "PolynomialDecay",
+    "schedule_from_spec",
+    "resolve_config",
+    "deep_update",
+]

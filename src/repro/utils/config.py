@@ -1,0 +1,63 @@
+"""Declarative configuration helpers.
+
+Agents and networks are configurable from JSON documents (paper §3.4).
+``resolve_config`` accepts a dict, a JSON string, or a path to a JSON file
+and returns a plain dict; ``deep_update`` merges override dicts the way
+agent constructors merge user kwargs into default configs.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.utils.errors import RLGraphError
+
+
+def resolve_config(spec: Any, default: Optional[Dict] = None) -> Dict:
+    """Resolve ``spec`` into a config dict.
+
+    * ``None``     -> deep copy of ``default`` (or ``{}``);
+    * ``dict``     -> deep copy;
+    * JSON string  -> parsed;
+    * file path    -> loaded (must contain a JSON object).
+    """
+    if spec is None:
+        return copy.deepcopy(default) if default else {}
+    if isinstance(spec, dict):
+        return copy.deepcopy(spec)
+    if isinstance(spec, str):
+        if os.path.isfile(spec):
+            with open(spec, "r", encoding="utf-8") as f:
+                loaded = json.load(f)
+        else:
+            stripped = spec.strip()
+            if not stripped.startswith("{") and not stripped.startswith("["):
+                raise RLGraphError(
+                    f"Config string {spec!r} is neither an existing file nor JSON"
+                )
+            loaded = json.loads(stripped)
+        if not isinstance(loaded, (dict, list)):
+            raise RLGraphError(f"Config {spec!r} must contain a JSON object/array")
+        return loaded
+    raise RLGraphError(f"Cannot resolve config from {type(spec).__name__}")
+
+
+def deep_update(base: Dict, overrides: Optional[Dict]) -> Dict:
+    """Recursively merge ``overrides`` into a deep copy of ``base``.
+
+    Nested dicts merge key-wise; any other value type replaces the base
+    value wholesale (lists are not concatenated -- an override list is a
+    full replacement, which is what layer-list overrides want).
+    """
+    result = copy.deepcopy(base)
+    if not overrides:
+        return result
+    for key, value in overrides.items():
+        if isinstance(value, dict) and isinstance(result.get(key), dict):
+            result[key] = deep_update(result[key], value)
+        else:
+            result[key] = copy.deepcopy(value)
+    return result

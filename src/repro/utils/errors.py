@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro (RLgraph reproduction) library.
+
+Keeping a dedicated hierarchy lets callers distinguish user errors
+(bad spec, space mismatch) from internal build failures.
+"""
+
+
+class RLGraphError(Exception):
+    """Base class for all library errors."""
+
+
+class RLGraphSpaceError(RLGraphError):
+    """A value did not match the expected :class:`~repro.spaces.Space`."""
+
+    def __init__(self, message, space=None, value=None):
+        super().__init__(message)
+        self.space = space
+        self.value = value
+
+
+class RLGraphBuildError(RLGraphError):
+    """The component-graph build could not complete.
+
+    Raised e.g. when a component never becomes input-complete or a
+    graph function receives spaces it cannot handle.
+    """
+
+
+class RLGraphAPIError(RLGraphError):
+    """An API method was called incorrectly (unknown name, bad arity)."""
+
+
+class RLGraphObsoleteError(RLGraphError):
+    """An operation was attempted on an already-terminated resource."""
+
+
+class RLGraphQueueError(RLGraphError):
+    """A queue component operation failed (closed queue, timeout)."""

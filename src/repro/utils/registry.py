@@ -1,0 +1,88 @@
+"""A small name -> class registry with spec resolution.
+
+RLgraph configures agents from declarative JSON specs ("type": "dense", ...).
+Each extensible family (layers, memories, optimizers, agents, environments)
+owns a :class:`Registry` so string specs resolve to classes uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.utils.errors import RLGraphError
+
+
+class Registry:
+    """Maps snake-case type names to classes and builds objects from specs."""
+
+    def __init__(self, family: str):
+        self.family = family
+        self._classes: Dict[str, type] = {}
+
+    def register(self, name: str, cls: Optional[type] = None, aliases: Iterable[str] = ()):
+        """Register ``cls`` under ``name``. Usable as a decorator::
+
+            @LAYERS.register("dense")
+            class DenseLayer(...): ...
+        """
+
+        def _do(klass: type) -> type:
+            for key in (name, *aliases):
+                key = key.lower()
+                if key in self._classes and self._classes[key] is not klass:
+                    raise RLGraphError(
+                        f"{self.family}: duplicate registration for {key!r}"
+                    )
+                self._classes[key] = klass
+            return klass
+
+        if cls is not None:
+            return _do(cls)
+        return _do
+
+    def lookup(self, name: str) -> type:
+        try:
+            return self._classes[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._classes)) or "<empty>"
+            raise RLGraphError(
+                f"Unknown {self.family} type {name!r}. Known: {known}"
+            ) from None
+
+    def keys(self):
+        return sorted(self._classes)
+
+    def from_spec(self, spec: Any, **default_kwargs) -> Any:
+        """Build an object from a spec.
+
+        Accepted spec forms:
+
+        * an instance of a registered class -> returned as-is;
+        * a string -> looked up, constructed with ``default_kwargs``;
+        * a dict with a ``"type"`` key -> remaining keys become kwargs;
+        * a class -> constructed directly.
+        """
+        if spec is None:
+            raise RLGraphError(f"{self.family}: cannot build from spec None")
+        if isinstance(spec, str):
+            return self.lookup(spec)(**default_kwargs)
+        if isinstance(spec, type):
+            return spec(**default_kwargs)
+        if isinstance(spec, dict):
+            spec = dict(spec)
+            type_name = spec.pop("type", None)
+            if type_name is None:
+                raise RLGraphError(
+                    f"{self.family}: dict spec requires a 'type' key, got {spec!r}"
+                )
+            kwargs = {**default_kwargs, **spec}
+            return self.lookup(type_name)(**kwargs)
+        # Already-constructed object: check it belongs to this family if
+        # possible, otherwise trust the caller.
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._classes
+
+    def __repr__(self):
+        return f"Registry({self.family}, {len(self._classes)} types)"

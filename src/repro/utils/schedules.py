@@ -1,0 +1,114 @@
+"""Decay schedules for exploration / learning-rate annealing.
+
+These mirror the ``time_percentage``-driven decay components in RLgraph:
+a schedule maps a global timestep to a scalar value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.utils.errors import RLGraphError
+
+
+class Schedule:
+    """Maps a global timestep to a scalar (e.g. epsilon, learning rate)."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        return self.value(step)
+
+
+class Constant(Schedule):
+    def __init__(self, value: float = 1.0):
+        self.constant_value = float(value)
+
+    def value(self, step: int) -> float:
+        return self.constant_value
+
+    def __repr__(self):
+        return f"Constant({self.constant_value})"
+
+
+class LinearDecay(Schedule):
+    """Linear interpolation from ``from_`` to ``to_`` over ``num_timesteps``."""
+
+    def __init__(self, from_: float = 1.0, to_: float = 0.0, num_timesteps: int = 10000,
+                 start_timestep: int = 0):
+        if num_timesteps <= 0:
+            raise RLGraphError("num_timesteps must be positive")
+        self.from_ = float(from_)
+        self.to_ = float(to_)
+        self.num_timesteps = int(num_timesteps)
+        self.start_timestep = int(start_timestep)
+
+    def value(self, step: int) -> float:
+        t = min(max(step - self.start_timestep, 0), self.num_timesteps)
+        frac = t / self.num_timesteps
+        return self.from_ + (self.to_ - self.from_) * frac
+
+    def __repr__(self):
+        return (f"LinearDecay({self.from_}->{self.to_} over "
+                f"{self.num_timesteps} steps)")
+
+
+class ExponentialDecay(Schedule):
+    """``from_ * decay_rate ** (step / half_life)`` floored at ``to_``."""
+
+    def __init__(self, from_: float = 1.0, to_: float = 0.0, half_life: int = 1000,
+                 decay_rate: float = 0.5):
+        if half_life <= 0:
+            raise RLGraphError("half_life must be positive")
+        self.from_ = float(from_)
+        self.to_ = float(to_)
+        self.half_life = int(half_life)
+        self.decay_rate = float(decay_rate)
+
+    def value(self, step: int) -> float:
+        raw = self.from_ * self.decay_rate ** (max(step, 0) / self.half_life)
+        return max(raw, self.to_)
+
+
+class PolynomialDecay(Schedule):
+    """Polynomial decay (power defaults to 2.0), as in TF's polynomial_decay."""
+
+    def __init__(self, from_: float = 1.0, to_: float = 0.0, num_timesteps: int = 10000,
+                 power: float = 2.0):
+        if num_timesteps <= 0:
+            raise RLGraphError("num_timesteps must be positive")
+        self.from_ = float(from_)
+        self.to_ = float(to_)
+        self.num_timesteps = int(num_timesteps)
+        self.power = float(power)
+
+    def value(self, step: int) -> float:
+        t = min(max(step, 0), self.num_timesteps)
+        frac = 1.0 - t / self.num_timesteps
+        return self.to_ + (self.from_ - self.to_) * math.pow(frac, self.power)
+
+
+def from_spec(spec: Any) -> Schedule:
+    """Build a schedule from a number, a schedule, or a dict spec."""
+    if isinstance(spec, Schedule):
+        return spec
+    if isinstance(spec, (int, float)):
+        return Constant(float(spec))
+    if isinstance(spec, dict):
+        spec = dict(spec)
+        type_name = spec.pop("type", "linear").lower()
+        classes = {
+            "constant": Constant,
+            "linear": LinearDecay,
+            "linear_decay": LinearDecay,
+            "exponential": ExponentialDecay,
+            "exponential_decay": ExponentialDecay,
+            "polynomial": PolynomialDecay,
+            "polynomial_decay": PolynomialDecay,
+        }
+        if type_name not in classes:
+            raise RLGraphError(f"Unknown schedule type {type_name!r}")
+        return classes[type_name](**spec)
+    raise RLGraphError(f"Cannot build Schedule from {spec!r}")

@@ -1,0 +1,298 @@
+"""Eager (define-by-run) backend tests: forward semantics + numeric grad
+checks over every differentiable primitive."""
+
+import numpy as np
+import pytest
+
+from repro.backend import ETensor, backward, collect_leaf_grads, functional as F
+from repro.backend import no_grad
+
+
+def numeric_grad(fn, x, eps=1e-4):
+    """Central-difference gradient of scalar fn wrt array x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x.astype(np.float32))
+        flat[i] = orig - eps
+        down = fn(x.astype(np.float32))
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x, scalar_reduce=True, atol=1e-2, **kwargs):
+    def scalar_fn(val):
+        out = op(val, **kwargs)
+        return float(np.sum(out))
+
+    t = ETensor(np.asarray(x, dtype=np.float32), requires_grad=True)
+    out = op(t, **kwargs)
+    loss = F.reduce_sum(out)
+    (g,) = collect_leaf_grads(loss, [t])
+    expected = numeric_grad(scalar_fn, x)
+    np.testing.assert_allclose(g, expected, atol=atol, rtol=1e-2)
+
+
+class TestForwardSemantics:
+    def test_raw_arrays_flow_without_tape(self):
+        out = F.add(np.ones(3), np.ones(3))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, 2 * np.ones(3))
+
+    def test_etensor_output_when_grad_needed(self):
+        t = ETensor(np.ones(3), requires_grad=True)
+        out = F.mul(t, 2.0)
+        assert isinstance(out, ETensor)
+
+    def test_no_grad_suppresses_tape(self):
+        t = ETensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = F.mul(t, 2.0)
+        assert isinstance(out, np.ndarray)
+
+    def test_operator_sugar(self):
+        t = ETensor(np.asarray([2.0]), requires_grad=True)
+        out = (-t + 3.0) * 2.0 / 4.0 - 1.0
+        np.testing.assert_allclose(out.data, [-0.5])
+
+    def test_comparison_dtypes(self):
+        out = F.greater(np.asarray([1.0, 3.0]), 2.0)
+        assert out.dtype == np.bool_
+
+    def test_cast(self):
+        out = F.cast(np.asarray([1.7]), np.int64)
+        assert out.dtype == np.int64 and out[0] == 1
+
+    def test_int_div_promotes_to_float(self):
+        out = F.div(np.asarray([3], dtype=np.int64), np.asarray([2], dtype=np.int64))
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 5)).astype(np.float32)
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4), atol=1e-6)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(1).standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(F.log_softmax(x), np.log(F.softmax(x)),
+                                   atol=1e-5)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.asarray([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_where(self):
+        out = F.where(np.asarray([True, False]), np.asarray([1.0, 1.0]),
+                      np.asarray([2.0, 2.0]))
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_gather(self):
+        params = np.arange(12, dtype=np.float32).reshape(4, 3)
+        out = F.gather(params, np.asarray([2, 0]))
+        np.testing.assert_array_equal(out, params[[2, 0]])
+
+    def test_searchsorted(self):
+        out = F.searchsorted(np.asarray([0.1, 0.5, 0.9]), np.asarray([0.4, 0.95]))
+        np.testing.assert_array_equal(out, [1, 3])
+
+    def test_dyn_arange(self):
+        np.testing.assert_array_equal(F.dyn_arange(np.asarray(4)), [0, 1, 2, 3])
+
+    def test_huber_regions(self):
+        x = np.asarray([-3.0, 0.5, 3.0], dtype=np.float32)
+        out = F.huber_loss(x, delta=1.0)
+        np.testing.assert_allclose(out, [2.5, 0.125, 2.5])
+
+
+class TestUnaryGradients:
+    rng = np.random.default_rng(42)
+
+    def test_exp(self):
+        check_unary(F.exp, self.rng.uniform(-1, 1, (3, 2)))
+
+    def test_log(self):
+        check_unary(F.log, self.rng.uniform(0.5, 2.0, (4,)))
+
+    def test_sqrt(self):
+        check_unary(F.sqrt, self.rng.uniform(0.5, 2.0, (4,)))
+
+    def test_square(self):
+        check_unary(F.square, self.rng.uniform(-2, 2, (3, 3)))
+
+    def test_abs(self):
+        check_unary(F.abs, self.rng.uniform(0.5, 2.0, (4,)) * np.asarray([1, -1, 1, -1]))
+
+    def test_neg(self):
+        check_unary(F.neg, self.rng.uniform(-1, 1, (5,)))
+
+    def test_tanh(self):
+        check_unary(F.tanh, self.rng.uniform(-2, 2, (4,)))
+
+    def test_sigmoid(self):
+        check_unary(F.sigmoid, self.rng.uniform(-2, 2, (4,)))
+
+    def test_relu(self):
+        check_unary(F.relu, self.rng.uniform(0.2, 2.0, (4,)) * np.asarray([1, -1, 1, -1]))
+
+    def test_softplus(self):
+        check_unary(F.softplus, self.rng.uniform(-2, 2, (4,)))
+
+    def test_power(self):
+        check_unary(lambda x: F.power(x, 3.0), self.rng.uniform(0.5, 1.5, (3,)))
+
+    def test_clip(self):
+        check_unary(lambda x: F.clip(x, -0.5, 0.5),
+                    self.rng.uniform(-1.2, 1.2, (6,)))
+
+    def test_reduce_mean(self):
+        check_unary(lambda x: F.reduce_mean(x, axis=0), self.rng.uniform(-1, 1, (3, 4)))
+
+    def test_reduce_sum_axis_keepdims(self):
+        check_unary(lambda x: F.reduce_sum(x, axis=1, keepdims=True),
+                    self.rng.uniform(-1, 1, (3, 4)))
+
+    def test_reduce_max(self):
+        # distinct entries so the max is isolated
+        x = np.arange(12, dtype=np.float32).reshape(3, 4) / 7.0
+        check_unary(lambda v: F.reduce_max(v, axis=1), x)
+
+    def test_cumsum(self):
+        check_unary(lambda x: F.cumsum(x, axis=0), self.rng.uniform(-1, 1, (5,)))
+
+    def test_reshape_transpose(self):
+        check_unary(lambda x: F.transpose(F.reshape(x, (4, 3)), (1, 0)),
+                    self.rng.uniform(-1, 1, (3, 4)))
+
+    def test_expand_squeeze(self):
+        check_unary(lambda x: F.squeeze(F.expand_dims(x, 1), axis=1),
+                    self.rng.uniform(-1, 1, (3, 2)))
+
+    def test_getitem(self):
+        check_unary(lambda x: F.getitem(x, (slice(0, 2), 1)),
+                    self.rng.uniform(-1, 1, (3, 4)))
+
+    def test_softmax_grad(self):
+        check_unary(lambda x: F.reduce_sum(F.mul(F.softmax(x),
+                                                 np.asarray([1.0, 2.0, 3.0]))),
+                    self.rng.uniform(-1, 1, (2, 3)))
+
+    def test_log_softmax_grad(self):
+        check_unary(lambda x: F.reduce_sum(F.mul(F.log_softmax(x),
+                                                 np.asarray([1.0, 0.0, -1.0]))),
+                    self.rng.uniform(-1, 1, (2, 3)))
+
+    def test_huber_grad(self):
+        check_unary(lambda x: F.huber_loss(x, delta=1.0),
+                    np.asarray([-2.0, -0.4, 0.3, 1.8], dtype=np.float32))
+
+    def test_flatten_batch(self):
+        check_unary(F.flatten_batch, self.rng.uniform(-1, 1, (2, 3, 4)))
+
+
+class TestBinaryGradients:
+    rng = np.random.default_rng(7)
+
+    def _check_binary(self, op, x, y):
+        tx = ETensor(np.asarray(x, np.float32), requires_grad=True)
+        ty = ETensor(np.asarray(y, np.float32), requires_grad=True)
+        loss = F.reduce_sum(op(tx, ty))
+        gx, gy = collect_leaf_grads(loss, [tx, ty])
+        ex = numeric_grad(lambda v: float(np.sum(op(v, np.asarray(y, np.float32)))), x)
+        ey = numeric_grad(lambda v: float(np.sum(op(np.asarray(x, np.float32), v))), y)
+        np.testing.assert_allclose(gx, ex, atol=1e-2, rtol=1e-2)
+        np.testing.assert_allclose(gy, ey, atol=1e-2, rtol=1e-2)
+
+    def test_add_broadcast(self):
+        self._check_binary(F.add, self.rng.uniform(-1, 1, (3, 4)),
+                           self.rng.uniform(-1, 1, (4,)))
+
+    def test_sub_broadcast(self):
+        self._check_binary(F.sub, self.rng.uniform(-1, 1, (2, 3)),
+                           self.rng.uniform(-1, 1, (1, 3)))
+
+    def test_mul(self):
+        self._check_binary(F.mul, self.rng.uniform(-1, 1, (3, 3)),
+                           self.rng.uniform(-1, 1, (3, 3)))
+
+    def test_div(self):
+        self._check_binary(F.div, self.rng.uniform(-1, 1, (4,)),
+                           self.rng.uniform(0.5, 2.0, (4,)))
+
+    def test_matmul(self):
+        self._check_binary(F.matmul, self.rng.uniform(-1, 1, (3, 4)),
+                           self.rng.uniform(-1, 1, (4, 2)))
+
+    def test_maximum(self):
+        self._check_binary(F.maximum, self.rng.uniform(-1, 1, (5,)) + 2.0,
+                           self.rng.uniform(-1, 1, (5,)) - 2.0)
+
+    def test_where_grads(self):
+        cond = np.asarray([True, False, True])
+        tx = ETensor(np.ones(3, np.float32), requires_grad=True)
+        ty = ETensor(np.ones(3, np.float32), requires_grad=True)
+        loss = F.reduce_sum(F.where(cond, tx, ty))
+        gx, gy = collect_leaf_grads(loss, [tx, ty])
+        np.testing.assert_array_equal(gx, [1, 0, 1])
+        np.testing.assert_array_equal(gy, [0, 1, 0])
+
+    def test_concat_grads(self):
+        tx = ETensor(np.ones((2, 2), np.float32), requires_grad=True)
+        ty = ETensor(np.ones((3, 2), np.float32), requires_grad=True)
+        out = F.concat([tx, ty], axis=0)
+        loss = F.reduce_sum(F.mul(out, np.arange(10).reshape(5, 2).astype(np.float32)))
+        gx, gy = collect_leaf_grads(loss, [tx, ty])
+        np.testing.assert_array_equal(gx, [[0, 1], [2, 3]])
+        np.testing.assert_array_equal(gy, [[4, 5], [6, 7], [8, 9]])
+
+    def test_stack_grads(self):
+        tx = ETensor(np.ones(3, np.float32), requires_grad=True)
+        ty = ETensor(np.ones(3, np.float32), requires_grad=True)
+        out = F.stack([tx, ty], axis=0)
+        loss = F.reduce_sum(F.mul(out, np.asarray([[1.0, 2, 3], [4, 5, 6]])))
+        gx, gy = collect_leaf_grads(loss, [tx, ty])
+        np.testing.assert_array_equal(gx, [1, 2, 3])
+        np.testing.assert_array_equal(gy, [4, 5, 6])
+
+    def test_gather_grad_accumulates_duplicates(self):
+        params = ETensor(np.zeros((3, 2), np.float32), requires_grad=True)
+        out = F.gather(params, np.asarray([1, 1, 0]))
+        loss = F.reduce_sum(out)
+        (g,) = collect_leaf_grads(loss, [params])
+        np.testing.assert_array_equal(g, [[1, 1], [2, 2], [0, 0]])
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulation_over_reuse(self):
+        t = ETensor(np.asarray([2.0], np.float32), requires_grad=True)
+        out = F.add(F.mul(t, 3.0), F.mul(t, 4.0))
+        (g,) = collect_leaf_grads(out, [t])
+        np.testing.assert_allclose(g, [7.0])
+
+    def test_stop_gradient_blocks(self):
+        t = ETensor(np.asarray([2.0], np.float32), requires_grad=True)
+        out = F.mul(F.stop_gradient(t), t)  # d/dt = stop(t) = 2
+        (g,) = collect_leaf_grads(out, [t])
+        np.testing.assert_allclose(g, [2.0])
+
+    def test_untouched_leaf_gets_zeros(self):
+        a = ETensor(np.ones(2, np.float32), requires_grad=True)
+        b = ETensor(np.ones(2, np.float32), requires_grad=True)
+        loss = F.reduce_sum(F.mul(a, 2.0))
+        ga, gb = collect_leaf_grads(loss, [a, b])
+        np.testing.assert_array_equal(gb, [0, 0])
+
+    def test_backward_default_grad(self):
+        t = ETensor(np.asarray(3.0, np.float32), requires_grad=True)
+        out = F.square(t)
+        backward(out)
+        np.testing.assert_allclose(t.grad, 6.0)
+
+    def test_detach(self):
+        t = ETensor(np.ones(2), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad

@@ -1,0 +1,172 @@
+"""Kernel tests: conv2d and LSTM against slow reference implementations,
+plus gradient checks through the fused primitives."""
+
+import numpy as np
+import pytest
+
+from repro.backend import ETensor, collect_leaf_grads, functional as F
+from repro.backend import kernels
+
+
+def conv2d_reference(x, filters, stride, padding):
+    """Naive loop conv (NHWC), the gold standard for im2col."""
+    n, h, w, cin = x.shape
+    kh, kw, _, cout = filters.shape
+    if padding == "SAME":
+        ph0, ph1 = kernels._same_pad_amounts(h, kh, stride)
+        pw0, pw1 = kernels._same_pad_amounts(w, kw, stride)
+        x = np.pad(x, ((0, 0), (ph0, ph1), (pw0, pw1), (0, 0)))
+        h, w = x.shape[1], x.shape[2]
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros((n, oh, ow, cout), dtype=np.float32)
+    for b in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[b, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                for co in range(cout):
+                    out[b, i, j, co] = np.sum(patch * filters[..., co])
+    return out
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,padding", [(1, "VALID"), (2, "VALID"),
+                                                (1, "SAME"), (2, "SAME")])
+    def test_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 7, 7, 3)).astype(np.float32)
+        f = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        fast = kernels.conv2d_forward(x, f, stride, padding)
+        slow = conv2d_reference(x, f, stride, padding)
+        np.testing.assert_allclose(fast, slow, atol=1e-4)
+
+    def test_output_size_formula(self):
+        assert kernels.conv2d_output_size(84, 8, 4, "VALID") == 20
+        assert kernels.conv2d_output_size(84, 8, 4, "SAME") == 21
+
+    @pytest.mark.parametrize("stride,padding", [(1, "VALID"), (2, "SAME")])
+    def test_gradients_numeric(self, stride, padding):
+        rng = np.random.default_rng(1)
+        x_val = rng.standard_normal((1, 5, 5, 2)).astype(np.float32)
+        f_val = rng.standard_normal((3, 3, 2, 2)).astype(np.float32)
+
+        tx = ETensor(x_val, requires_grad=True)
+        tf = ETensor(f_val, requires_grad=True)
+        loss = F.reduce_sum(F.conv2d(tx, tf, stride=stride, padding=padding))
+        gx, gf = collect_leaf_grads(loss, [tx, tf])
+
+        eps = 1e-3
+
+        def loss_at(x, f):
+            return float(np.sum(kernels.conv2d_forward(x, f, stride, padding)))
+
+        # Spot-check a handful of coordinates (full numeric check is slow).
+        for idx in [(0, 0, 0, 0), (0, 2, 3, 1), (0, 4, 4, 0)]:
+            xp, xm = x_val.copy(), x_val.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (loss_at(xp, f_val) - loss_at(xm, f_val)) / (2 * eps)
+            np.testing.assert_allclose(gx[idx], num, atol=1e-2)
+        for idx in [(0, 0, 0, 0), (1, 2, 1, 1), (2, 2, 0, 1)]:
+            fp, fm = f_val.copy(), f_val.copy()
+            fp[idx] += eps
+            fm[idx] -= eps
+            num = (loss_at(x_val, fp) - loss_at(x_val, fm)) / (2 * eps)
+            np.testing.assert_allclose(gf[idx], num, atol=1e-2)
+
+
+def lstm_reference(x, w, b, h0, c0):
+    """Step-by-step reference identical in math to the fused kernel."""
+    t_steps, batch, _ = x.shape
+    hidden = h0.shape[-1]
+    h, c = h0.copy(), c0.copy()
+    outs = []
+    for t in range(t_steps):
+        xh = np.concatenate([x[t], h], axis=1)
+        gates = xh @ w + b
+        i = 1 / (1 + np.exp(-gates[:, :hidden]))
+        f = 1 / (1 + np.exp(-(gates[:, hidden:2 * hidden] + 1.0)))
+        g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+        o = 1 / (1 + np.exp(-gates[:, 3 * hidden:]))
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        outs.append(h)
+    return np.stack(outs), h, c
+
+
+class TestLSTM:
+    def _make(self, t=4, b=2, d=3, h=5, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((t, b, d)).astype(np.float32)
+        w = (rng.standard_normal((d + h, 4 * h)) * 0.2).astype(np.float32)
+        bias = np.zeros(4 * h, np.float32)
+        h0 = np.zeros((b, h), np.float32)
+        c0 = np.zeros((b, h), np.float32)
+        return x, w, bias, h0, c0
+
+    def test_forward_matches_reference(self):
+        x, w, b, h0, c0 = self._make()
+        outs, hf, cf, _ = kernels.lstm_forward(x, w, b, h0, c0)
+        ref_outs, ref_h, ref_c = lstm_reference(x, w, b, h0, c0)
+        np.testing.assert_allclose(outs, ref_outs, atol=1e-5)
+        np.testing.assert_allclose(hf, ref_h, atol=1e-5)
+        np.testing.assert_allclose(cf, ref_c, atol=1e-5)
+
+    def test_final_c_op(self):
+        x, w, b, h0, c0 = self._make()
+        c = F.lstm_final_c(x, w, b, h0, c0)
+        _, _, ref_c = lstm_reference(x, w, b, h0, c0)
+        np.testing.assert_allclose(c, ref_c, atol=1e-5)
+
+    def test_bptt_numeric(self):
+        x, w, b, h0, c0 = self._make(t=3, b=2, d=2, h=3, seed=5)
+        tw = ETensor(w, requires_grad=True)
+        tx = ETensor(x, requires_grad=True)
+        outs = F.lstm_seq(tx, tw, b, h0, c0)
+        loss = F.reduce_sum(F.square(outs))
+        gx, gw = collect_leaf_grads(loss, [tx, tw])
+
+        eps = 1e-3
+
+        def loss_at(x_, w_):
+            o, _, _, _ = kernels.lstm_forward(x_, w_, b, h0, c0)
+            return float(np.sum(o ** 2))
+
+        for idx in [(0, 0, 0), (2, 1, 1), (1, 0, 1)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (loss_at(xp, w) - loss_at(xm, w)) / (2 * eps)
+            np.testing.assert_allclose(gx[idx], num, atol=5e-2, rtol=5e-2)
+        for idx in [(0, 0), (3, 5), (4, 2)]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            num = (loss_at(x, wp) - loss_at(x, wm)) / (2 * eps)
+            np.testing.assert_allclose(gw[idx], num, atol=5e-2, rtol=5e-2)
+
+
+class TestMiscKernels:
+    def test_one_hot_out_of_range_rows_zero(self):
+        out = kernels.one_hot(np.asarray([0, 5, -1]), 3)
+        np.testing.assert_array_equal(out[1], [0, 0, 0])
+        np.testing.assert_array_equal(out[2], [0, 0, 0])
+
+    def test_unbroadcast_shapes(self):
+        g = np.ones((4, 3))
+        np.testing.assert_array_equal(kernels.unbroadcast(g, (3,)),
+                                      4 * np.ones(3))
+        np.testing.assert_array_equal(kernels.unbroadcast(g, (1, 3)),
+                                      4 * np.ones((1, 3)))
+        np.testing.assert_array_equal(kernels.unbroadcast(g, (4, 3)), g)
+
+    def test_im2col_col2im_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> -- the defining adjoint property.
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 6, 6, 2)).astype(np.float32)
+        cols = kernels.im2col(x, 3, 3, 2, "VALID")
+        y = rng.standard_normal(cols.shape).astype(np.float32)
+        lhs = float(np.sum(cols * y))
+        back = kernels.col2im(y, x.shape, 3, 3, 2, "VALID")
+        rhs = float(np.sum(x * back))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4)

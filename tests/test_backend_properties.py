@@ -1,0 +1,228 @@
+"""Property-based backend tests (hypothesis): symbolic shape inference
+must agree with actual eager results, symbolic and eager execution must
+agree numerically, and v-trace must match a reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import (
+    Graph,
+    Session,
+    functional as F,
+    symbolic_mode,
+)
+from repro.backend.ops import broadcast_shapes_unknown
+from repro.utils import RLGraphError
+
+_shapes = st.lists(st.integers(1, 5), min_size=0, max_size=3).map(tuple)
+
+
+class TestBroadcastShapes:
+    @settings(max_examples=60, deadline=None)
+    @given(a=_shapes, b=_shapes)
+    def test_matches_numpy_when_known(self, a, b):
+        try:
+            expected = np.broadcast_shapes(a, b)
+            numpy_ok = True
+        except ValueError:
+            numpy_ok = False
+        if numpy_ok:
+            assert broadcast_shapes_unknown([a, b]) == expected
+        else:
+            with pytest.raises(RLGraphError):
+                broadcast_shapes_unknown([a, b])
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=_shapes)
+    def test_unknown_batch_dim_preserved(self, a):
+        shape = (None,) + a
+        out = broadcast_shapes_unknown([shape, ()])
+        assert out == shape
+
+    def test_unknown_vs_one(self):
+        assert broadcast_shapes_unknown([(None, 4), (1, 4)]) == (None, 4)
+        assert broadcast_shapes_unknown([(None, 1), (1, 7)]) == (None, 7)
+
+
+_UNARY_OPS = {
+    "exp": F.exp, "tanh": F.tanh, "sigmoid": F.sigmoid, "relu": F.relu,
+    "square": F.square, "neg": F.neg, "abs": F.abs, "softplus": F.softplus,
+}
+
+_BINARY_OPS = {"add": F.add, "sub": F.sub, "mul": F.mul,
+               "maximum": F.maximum, "minimum": F.minimum}
+
+
+class TestSymbolicEagerAgreement:
+    """The same functional expression must produce identical values and
+    (where inferred) shapes on both execution paths."""
+
+    def _both(self, build_expr, feed_arrays):
+        # Eager.
+        eager_out = build_expr(*feed_arrays)
+        # Symbolic.
+        g = Graph(seed=0)
+        with g.as_default(), symbolic_mode():
+            phs = [g.placeholder(a.shape, a.dtype) for a in feed_arrays]
+            node = build_expr(*phs)
+        sym_out = Session(g).run(node, dict(zip(phs, feed_arrays)))
+        return np.asarray(eager_out), np.asarray(sym_out), node
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple),
+           op_name=st.sampled_from(sorted(_UNARY_OPS)),
+           seed=st.integers(0, 10_000))
+    def test_unary_ops(self, shape, op_name, seed):
+        x = np.random.default_rng(seed).uniform(-2, 2, shape).astype(np.float32)
+        eager, sym, node = self._both(_UNARY_OPS[op_name], [x])
+        np.testing.assert_allclose(eager, sym, atol=1e-6)
+        if node.shape is not None:
+            assert tuple(node.shape) == sym.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=st.lists(st.integers(1, 4), min_size=1, max_size=2).map(tuple),
+           op_name=st.sampled_from(sorted(_BINARY_OPS)),
+           seed=st.integers(0, 10_000))
+    def test_binary_ops(self, shape, op_name, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, shape).astype(np.float32)
+        y = rng.uniform(-2, 2, shape).astype(np.float32)
+        eager, sym, node = self._both(_BINARY_OPS[op_name], [x, y])
+        np.testing.assert_allclose(eager, sym, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(1, 5), cols=st.integers(1, 5),
+           axis=st.sampled_from([None, 0, 1]),
+           keepdims=st.booleans(), seed=st.integers(0, 10_000))
+    def test_reductions(self, rows, cols, axis, keepdims, seed):
+        x = np.random.default_rng(seed).uniform(
+            -1, 1, (rows, cols)).astype(np.float32)
+
+        def expr(v):
+            return F.reduce_sum(v, axis=axis, keepdims=keepdims)
+
+        eager, sym, node = self._both(expr, [x])
+        np.testing.assert_allclose(eager, sym, atol=1e-5)
+        assert tuple(node.shape) == sym.shape
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 6), m=st.integers(1, 6), k=st.integers(1, 6),
+           seed=st.integers(0, 10_000))
+    def test_matmul(self, n, m, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, m)).astype(np.float32)
+        b = rng.standard_normal((m, k)).astype(np.float32)
+        eager, sym, node = self._both(F.matmul, [a, b])
+        np.testing.assert_allclose(eager, sym, atol=1e-5)
+        assert node.shape == (n, k)
+
+    @settings(max_examples=20, deadline=None)
+    @given(batch=st.integers(1, 4), depth=st.integers(2, 6),
+           seed=st.integers(0, 10_000))
+    def test_softmax_one_hot_composite(self, batch, depth, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((batch, depth)).astype(np.float32)
+        actions = rng.integers(0, depth, batch)
+
+        def expr(l):
+            onehot = F.one_hot(actions, depth)
+            return F.reduce_sum(F.mul(F.log_softmax(l), onehot), axis=-1)
+
+        eager, sym, _ = self._both(expr, [logits])
+        np.testing.assert_allclose(eager, sym, atol=1e-5)
+
+
+def vtrace_reference(log_rhos, discounts, rewards, values, bootstrap,
+                     clip_rho=1.0, clip_pg=1.0):
+    """Literal transcription of the IMPALA paper's recursion."""
+    rhos = np.exp(log_rhos)
+    clipped = np.minimum(clip_rho, rhos)
+    cs = np.minimum(1.0, rhos)
+    T = len(rewards)
+    vs = np.zeros_like(values)
+    for t in range(T):
+        acc = 0.0
+        for s in range(t, T):
+            prod_c = np.prod(cs[t:s], axis=0) if s > t else np.ones_like(cs[0])
+            v_next = values[s + 1] if s + 1 < T else bootstrap
+            delta = clipped[s] * (rewards[s] + discounts[s] * v_next
+                                  - values[s])
+            disc = np.prod(discounts[t:s], axis=0) if s > t \
+                else np.ones_like(discounts[0])
+            acc += disc * prod_c * delta
+        vs[t] = values[t] + acc
+    vs_next = np.concatenate([vs[1:], bootstrap[None]], axis=0)
+    pg_rhos = np.minimum(clip_pg, rhos)
+    pg_adv = pg_rhos * (rewards + discounts * vs_next - values)
+    return vs, pg_adv
+
+
+class TestVTrace:
+    @settings(max_examples=20, deadline=None)
+    @given(t_steps=st.integers(1, 6), batch=st.integers(1, 3),
+           seed=st.integers(0, 10_000))
+    def test_matches_reference(self, t_steps, batch, seed):
+        rng = np.random.default_rng(seed)
+        log_rhos = rng.uniform(-1, 1, (t_steps, batch)).astype(np.float32)
+        discounts = np.full((t_steps, batch), 0.9, np.float32)
+        rewards = rng.normal(size=(t_steps, batch)).astype(np.float32)
+        values = rng.normal(size=(t_steps, batch)).astype(np.float32)
+        bootstrap = rng.normal(size=batch).astype(np.float32)
+
+        vs, pg = F.vtrace(log_rhos, discounts, rewards, values, bootstrap)
+        ref_vs, ref_pg = vtrace_reference(log_rhos, discounts, rewards,
+                                          values, bootstrap)
+        np.testing.assert_allclose(vs, ref_vs, atol=1e-4, rtol=1e-4)
+        np.testing.assert_allclose(pg, ref_pg, atol=1e-4, rtol=1e-4)
+
+    def test_on_policy_reduces_to_nstep_returns(self):
+        # rho == 1 and no terminals: vs_t = n-step discounted return.
+        t_steps, batch = 4, 1
+        rewards = np.ones((t_steps, batch), np.float32)
+        values = np.zeros((t_steps, batch), np.float32)
+        discounts = np.full((t_steps, batch), 0.5, np.float32)
+        log_rhos = np.zeros((t_steps, batch), np.float32)
+        bootstrap = np.zeros(batch, np.float32)
+        vs, _ = F.vtrace(log_rhos, discounts, rewards, values, bootstrap)
+        np.testing.assert_allclose(vs[:, 0], [1.875, 1.75, 1.5, 1.0],
+                                   atol=1e-5)
+
+
+class TestDistributionsStatistics:
+    def test_categorical_sampling_frequencies(self):
+        from repro.components.policies.distributions import Categorical
+        dist = Categorical(3)
+        logits = np.log(np.asarray([[0.6, 0.3, 0.1]], np.float32))
+        logits = np.tile(logits, (4000, 1))
+        samples = np.asarray(dist.sample(logits))
+        freqs = np.bincount(samples, minlength=3) / len(samples)
+        np.testing.assert_allclose(freqs, [0.6, 0.3, 0.1], atol=0.05)
+
+    def test_gaussian_log_prob_matches_scipy(self):
+        from scipy.stats import norm
+        from repro.components.policies.distributions import Gaussian
+        dist = Gaussian(2)
+        mean = np.asarray([[0.5, -0.5]], np.float32)
+        log_std = np.asarray([[0.1, -0.3]], np.float32)
+        params = np.concatenate([mean, log_std], axis=1)
+        actions = np.asarray([[1.0, 0.0]], np.float32)
+        lp = np.asarray(dist.log_prob(params, actions))
+        expected = (norm.logpdf(1.0, 0.5, np.exp(0.1))
+                    + norm.logpdf(0.0, -0.5, np.exp(-0.3)))
+        np.testing.assert_allclose(lp[0], expected, atol=1e-4)
+
+    def test_gaussian_entropy_analytic(self):
+        from repro.components.policies.distributions import Gaussian
+        dist = Gaussian(1)
+        params = np.asarray([[0.0, 0.0]], np.float32)  # std = 1
+        ent = float(np.asarray(dist.entropy(params))[0])
+        expected = 0.5 * np.log(2 * np.pi * np.e)
+        np.testing.assert_allclose(ent, expected, atol=1e-5)
+
+    def test_bernoulli_sampling_frequency(self):
+        from repro.components.policies.distributions import Bernoulli
+        dist = Bernoulli(1)
+        logits = np.full((4000, 1), 1.0, np.float32)  # p = sigmoid(1) ~ .73
+        samples = np.asarray(dist.sample(logits))
+        np.testing.assert_allclose(samples.mean(), 0.731, atol=0.05)

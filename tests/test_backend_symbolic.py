@@ -1,0 +1,305 @@
+"""Static-graph backend tests: sessions, control deps, symbolic autodiff."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Graph,
+    Node,
+    Session,
+    Variable,
+    functional as F,
+    gradients,
+    symbolic_mode,
+)
+from repro.utils import RLGraphError
+
+
+def make_graph():
+    return Graph(name="test", seed=123)
+
+
+class TestGraphConstruction:
+    def test_placeholder_and_ops(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None, 4), np.float32, name="x")
+            y = F.mul(x, 2.0)
+        assert isinstance(y, Node)
+        assert y.shape == (None, 4)
+        assert y.dtype == np.float32
+
+    def test_constant_folding_cache(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            a = g.constant(3.0)
+            b = g.constant(3.0)
+        assert a is b
+
+    def test_cross_graph_mixing_rejected(self):
+        g1, g2 = make_graph(), make_graph()
+        with g1.as_default(), symbolic_mode():
+            x = g1.placeholder((2,), np.float32)
+        with g2.as_default(), symbolic_mode():
+            with pytest.raises(RLGraphError):
+                F.mul(x, 2.0)
+
+    def test_matmul_shape_inference(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None, 8), np.float32)
+            w = g.constant(np.zeros((8, 3), np.float32))
+            out = F.matmul(x, w)
+        assert out.shape == (None, 3)
+
+    def test_reduce_shape_inference(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None, 4), np.float32)
+            assert F.reduce_sum(x, axis=1).shape == (None,)
+            assert F.reduce_mean(x).shape == ()
+            assert F.reduce_max(x, axis=0, keepdims=True).shape == (1, 4)
+
+    def test_device_annotation(self):
+        from repro.backend import device
+        g = make_graph()
+        with g.as_default(), symbolic_mode(), device("/sim:gpu:1"):
+            x = F.add(g.constant(1.0), 2.0)
+        assert x.device == "/sim:gpu:1"
+
+
+class TestSession:
+    def test_run_simple(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None, 3), np.float32, name="x")
+            y = F.add(F.mul(x, 2.0), 1.0)
+        sess = Session(g)
+        out = sess.run(y, {x: np.ones((2, 3))})
+        np.testing.assert_allclose(out, 3 * np.ones((2, 3)))
+
+    def test_multi_fetch(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            a = F.mul(x, 2.0)
+            b = F.add(x, 10.0)
+        outs = Session(g).run([a, b], {x: np.asarray([1.0, 2.0])})
+        np.testing.assert_allclose(outs[0], [2, 4])
+        np.testing.assert_allclose(outs[1], [11, 12])
+
+    def test_unfed_placeholder_raises(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.mul(x, 2.0)
+        with pytest.raises(RLGraphError):
+            Session(g).run(y)
+
+    def test_plan_caching(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.mul(x, 2.0)
+        sess = Session(g)
+        sess.run(y, {x: np.zeros(2)})
+        sess.run(y, {x: np.zeros(2)})
+        assert sess.stats.plan_builds == 1
+        assert sess.stats.run_calls == 2
+
+    def test_plan_cache_disabled(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.mul(x, 2.0)
+        sess = Session(g, cache_plans=False)
+        sess.run(y, {x: np.zeros(2)})
+        sess.run(y, {x: np.zeros(2)})
+        assert sess.stats.plan_builds == 2
+
+    def test_feed_dtype_cast(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.identity(x)
+        out = Session(g).run(y, {x: np.asarray([1, 2], dtype=np.int64)})
+        assert out.dtype == np.float32
+
+
+class TestVariablesSymbolic:
+    def test_read_and_assign(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            v = Variable("w", np.zeros(3, np.float32), graph=g)
+            read = v.read()
+            assign = v.assign(F.add(read, 1.0))
+        sess = Session(g)
+        np.testing.assert_allclose(sess.run(read), [0, 0, 0])
+        sess.run(assign)
+        np.testing.assert_allclose(v.value, [1, 1, 1])
+        sess.run(assign)
+        np.testing.assert_allclose(v.value, [2, 2, 2])
+
+    def test_read_node_cached_per_graph(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            v = Variable("w", np.zeros(3), graph=g)
+            assert v.read() is v.read()
+
+    def test_scatter_update(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            v = Variable("buf", np.zeros((5, 2), np.float32), trainable=False,
+                         graph=g)
+            idx = g.placeholder((None,), np.int64)
+            vals = g.placeholder((None, 2), np.float32)
+            op = v.scatter_update(idx, vals)
+        Session(g).run(op, {idx: np.asarray([1, 3]),
+                            vals: np.asarray([[1.0, 1], [2, 2]])})
+        np.testing.assert_allclose(v.value[1], [1, 1])
+        np.testing.assert_allclose(v.value[3], [2, 2])
+        np.testing.assert_allclose(v.value[0], [0, 0])
+
+    def test_control_dependency_ordering(self):
+        # Pointer must advance only after the scatter writes.
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            buf = Variable("buf", np.zeros(4, np.float32), trainable=False, graph=g)
+            ptr = Variable("ptr", np.asarray(0, np.int64), trainable=False, graph=g)
+            vals = g.placeholder((None,), np.float32)
+            n = F.size_of(vals)
+            idx = F.mod(F.add(F.dyn_arange(n), ptr.read()), 4)
+            write = buf.scatter_update(idx, vals)
+            advance = ptr.assign(F.mod(F.add(ptr.read(), n), 4)).with_deps(write)
+            done = F.group(write, advance)
+        sess = Session(g)
+        sess.run(done, {vals: np.asarray([1.0, 2.0, 3.0])})
+        np.testing.assert_allclose(buf.value, [1, 2, 3, 0])
+        assert ptr.value == 3
+        sess.run(done, {vals: np.asarray([9.0, 8.0])})
+        np.testing.assert_allclose(buf.value, [8, 2, 3, 9])
+        assert ptr.value == 1
+
+    def test_duplicate_variable_name_rejected(self):
+        g = make_graph()
+        Variable("w", np.zeros(1), graph=g)
+        with pytest.raises(RLGraphError):
+            Variable("w", np.zeros(2), graph=g)
+
+    def test_set_shape_mismatch(self):
+        v = Variable("w", np.zeros(3))
+        with pytest.raises(RLGraphError):
+            v.set(np.zeros(4))
+
+
+class TestSymbolicGradients:
+    def _run_grad(self, build_fn, feeds_shapes, feed_values):
+        """build_fn(graph, *placeholders) -> (loss_node, [wrt nodes])"""
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            phs = [g.placeholder(s, np.float32) for s in feeds_shapes]
+            loss, wrt = build_fn(g, *phs)
+            grads = gradients(loss, wrt)
+        sess = Session(g)
+        feed = dict(zip(phs, feed_values))
+        return sess.run(grads, feed)
+
+    def test_linear_gradient(self):
+        def build(g, x):
+            w = g.constant(np.asarray([[2.0], [3.0]], np.float32))
+            out = F.reduce_sum(F.matmul(x, w))
+            return out, [x]
+
+        (gx,) = self._run_grad(build, [(None, 2)], [np.ones((4, 2))])
+        np.testing.assert_allclose(gx, np.tile([2.0, 3.0], (4, 1)))
+
+    def test_matches_eager_on_mlp(self):
+        rng = np.random.default_rng(0)
+        w1 = rng.standard_normal((4, 8)).astype(np.float32)
+        w2 = rng.standard_normal((8, 1)).astype(np.float32)
+        x_val = rng.standard_normal((5, 4)).astype(np.float32)
+
+        # Symbolic.
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None, 4), np.float32)
+            v1 = Variable("w1", w1, graph=g)
+            v2 = Variable("w2", w2, graph=g)
+            h = F.tanh(F.matmul(x, v1.read()))
+            loss = F.reduce_mean(F.square(F.matmul(h, v2.read())))
+            gs = gradients(loss, [v1.read(), v2.read()])
+        sym_g1, sym_g2 = Session(g).run(gs, {x: x_val})
+
+        # Eager.
+        from repro.backend import ETensor, collect_leaf_grads
+        t1 = ETensor(w1, requires_grad=True)
+        t2 = ETensor(w2, requires_grad=True)
+        h = F.tanh(F.matmul(x_val, t1))
+        loss = F.reduce_mean(F.square(F.matmul(h, t2)))
+        eg1, eg2 = collect_leaf_grads(loss, [t1, t2])
+
+        np.testing.assert_allclose(sym_g1, eg1, atol=1e-5)
+        np.testing.assert_allclose(sym_g2, eg2, atol=1e-5)
+
+    def test_unreachable_returns_none(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            v = Variable("w", np.zeros(2), graph=g)
+            loss = F.reduce_sum(F.square(x))
+            grads = gradients(loss, [v.read()])
+        assert grads == [None]
+
+    def test_stop_gradient_symbolic(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((3,), np.float32)
+            out = F.reduce_sum(F.mul(F.stop_gradient(x), x))
+            (gx,) = gradients(out, [x])
+        val = np.asarray([1.0, 2.0, 3.0], np.float32)
+        np.testing.assert_allclose(Session(g).run(gx, {x: val}), val)
+
+    def test_grad_through_where_and_max(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((4,), np.float32)
+            target = F.stop_gradient(F.reduce_max(x))
+            loss = F.reduce_sum(F.square(F.sub(x, target)))
+            (gx,) = gradients(loss, [x])
+        val = np.asarray([1.0, 5.0, 2.0, 3.0], np.float32)
+        out = Session(g).run(gx, {x: val})
+        np.testing.assert_allclose(out, 2 * (val - 5.0))
+
+    def test_gradients_requires_symbolic_mode(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.reduce_sum(x)
+        with pytest.raises(RLGraphError):
+            gradients(y, [x])
+
+
+class TestRandomOps:
+    def test_random_uniform_shape_and_determinism(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            r = F.random_uniform(shape=(3,), seed=7)
+        sess = Session(g)
+        a = sess.run(r)
+        b = sess.run(r)
+        assert a.shape == (3,)
+        assert not np.allclose(a, b)  # stateful stream advances
+
+        g2 = make_graph()
+        with g2.as_default(), symbolic_mode():
+            r2 = F.random_uniform(shape=(3,), seed=7)
+        np.testing.assert_allclose(Session(g2).run(r2), a)
+
+    def test_random_uniform_like(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            r = F.random_uniform(like=x, seed=3)
+        out = Session(g).run(r, {x: np.zeros(5)})
+        assert out.shape == (5,)
+        assert np.all((out >= 0) & (out < 1))

@@ -1,0 +1,297 @@
+"""Tests for common plumbing components: splitters, mergers,
+synchronizer, FIFO queue, staging area, batch splitter."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend import XGRAPH, XTAPE, functional as F
+from repro.components.common import (
+    BatchSplitter,
+    ContainerMerger,
+    ContainerSplitter,
+    FIFOQueue,
+    StagingArea,
+    Synchronizer,
+)
+from repro.core import Component, build_graph, graph_fn, rlgraph_api
+from repro.spaces import BoolBox, Dict as DictSpace, FloatBox, IntBox, Tuple
+from repro.testing import ComponentTest
+from repro.utils import RLGraphError
+from repro.utils.errors import RLGraphQueueError
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+RECORD_SPACE = DictSpace(
+    states=FloatBox(shape=(3,)), actions=IntBox(4), rewards=FloatBox(),
+    add_batch_rank=True)
+
+
+class TestContainerSplitter:
+    def test_split_dict(self, backend):
+        splitter = ContainerSplitter("states", "actions", "rewards")
+        test = ComponentTest(splitter, {"inputs": RECORD_SPACE},
+                             backend=backend)
+        value = RECORD_SPACE.sample(size=4, rng=np.random.default_rng(0))
+        s, a, r = test.test("split", value)
+        np.testing.assert_array_equal(s, value["states"])
+        np.testing.assert_array_equal(a, value["actions"])
+        np.testing.assert_array_equal(r, value["rewards"])
+
+    def test_split_subset_and_order(self, backend):
+        splitter = ContainerSplitter("rewards", "states")
+        test = ComponentTest(splitter, {"inputs": RECORD_SPACE},
+                             backend=backend)
+        value = RECORD_SPACE.sample(size=2, rng=np.random.default_rng(1))
+        r, s = test.test("split", value)
+        np.testing.assert_array_equal(r, value["rewards"])
+        np.testing.assert_array_equal(s, value["states"])
+
+    def test_split_tuple_space(self, backend):
+        space = Tuple(FloatBox(shape=(2,)), IntBox(3), add_batch_rank=True)
+        splitter = ContainerSplitter(0, 1)
+        test = ComponentTest(splitter, {"inputs": space}, backend=backend)
+        value = space.sample(size=2, rng=np.random.default_rng(2))
+        a, b = test.test("split", value)
+        np.testing.assert_array_equal(a, value[0])
+        np.testing.assert_array_equal(b, value[1])
+
+    def test_requires_output_order(self):
+        with pytest.raises(RLGraphError):
+            ContainerSplitter()
+
+    def test_unknown_key_fails_at_build(self, backend):
+        splitter = ContainerSplitter("nope")
+        with pytest.raises(RLGraphError):
+            ComponentTest(splitter, {"inputs": RECORD_SPACE}, backend=backend)
+
+
+class TestContainerMerger:
+    def test_merge_roundtrip(self, backend):
+        merger = ContainerMerger("a", "b")
+        spaces = {"x": FloatBox(shape=(2,), add_batch_rank=True),
+                  "y": IntBox(5, add_batch_rank=True)}
+
+        class Root(Component):
+            def __init__(self):
+                super().__init__(scope="root")
+                self.merger = merger
+                self.add_components(merger)
+
+            @rlgraph_api
+            def pack(self, x, y):
+                return self.merger.merge(x, y)
+
+        built = build_graph(Root(), spaces, backend=backend)
+        out = built.execute("pack", np.ones((2, 2), np.float32),
+                            np.asarray([1, 2]))
+        assert set(out) == {"a", "b"}
+        np.testing.assert_array_equal(out["a"], np.ones((2, 2)))
+        np.testing.assert_array_equal(out["b"], [1, 2])
+
+    def test_needs_keys(self):
+        with pytest.raises(RLGraphError):
+            ContainerMerger()
+
+
+class _TwoNets(Component):
+    """Root holding two structurally identical variable owners + sync."""
+
+    def __init__(self, tau=None):
+        super().__init__(scope="two-nets")
+        from repro.components.neural_networks import DenseLayer
+        self.a = DenseLayer(units=4, scope="net-a")
+        self.b = DenseLayer(units=4, scope="net-b")
+        self.sync = Synchronizer(self.a, self.b, tau=tau)
+        self.add_components(self.a, self.b, self.sync)
+
+    @rlgraph_api
+    def forward_a(self, inputs):
+        return self.a.apply(inputs)
+
+    @rlgraph_api
+    def forward_b(self, inputs):
+        return self.b.apply(inputs)
+
+    @rlgraph_api
+    def do_sync(self):
+        return self.sync.sync()
+
+
+class TestSynchronizer:
+    def test_hard_sync(self, backend):
+        root = _TwoNets()
+        built = build_graph(root, {"inputs": FloatBox(shape=(3,),
+                                                      add_batch_rank=True)},
+                            backend=backend)
+        x = np.ones((2, 3), np.float32)
+        out_a = built.execute("forward_a", x)
+        assert not np.allclose(out_a, built.execute("forward_b", x))
+        built.execute("do_sync")
+        np.testing.assert_allclose(built.execute("forward_b", x), out_a,
+                                   atol=1e-6)
+
+    def test_soft_sync_tau(self, backend):
+        root = _TwoNets(tau=0.5)
+        built = build_graph(root, {"inputs": FloatBox(shape=(3,),
+                                                      add_batch_rank=True)},
+                            backend=backend)
+        a_k = root.a.kernel.value.copy()
+        b_k = root.b.kernel.value.copy()
+        built.execute("do_sync")
+        np.testing.assert_allclose(root.b.kernel.value,
+                                   0.5 * a_k + 0.5 * b_k, atol=1e-6)
+
+    def test_structure_mismatch_detected(self, backend):
+        from repro.components.neural_networks import DenseLayer
+
+        class Bad(Component):
+            def __init__(self):
+                super().__init__(scope="bad")
+                self.a = DenseLayer(units=4, scope="net-a")
+                self.b = DenseLayer(units=8, scope="net-b")  # wrong shape
+                self.sync = Synchronizer(self.a, self.b)
+                self.add_components(self.a, self.b, self.sync)
+
+            @rlgraph_api
+            def forward_a(self, inputs):
+                return self.a.apply(inputs)
+
+            @rlgraph_api
+            def forward_b(self, inputs):
+                return self.b.apply(inputs)
+
+            @rlgraph_api
+            def do_sync(self):
+                return self.sync.sync()
+
+        with pytest.raises(RLGraphError):
+            build_graph(Bad(), {"inputs": FloatBox(shape=(3,),
+                                                   add_batch_rank=True)},
+                        backend=backend)
+
+
+class TestFIFOQueueHostSide:
+    def test_put_get_order(self):
+        q = FIFOQueue(capacity=4, timeout=0.5)
+        q.put({"x": 1})
+        q.put({"x": 2})
+        assert q.get()["x"] == 1
+        assert q.get()["x"] == 2
+
+    def test_timeout_on_empty(self):
+        q = FIFOQueue(capacity=2, timeout=0.1)
+        with pytest.raises(RLGraphQueueError):
+            q.get()
+
+    def test_full_queue_times_out(self):
+        q = FIFOQueue(capacity=1, timeout=0.1)
+        q.put(1)
+        with pytest.raises(RLGraphQueueError):
+            q.put(2)
+
+    def test_closed_queue(self):
+        q = FIFOQueue(capacity=2, timeout=0.1)
+        q.close()
+        with pytest.raises(RLGraphQueueError):
+            q.put(1)
+
+    def test_blocking_get_across_threads(self):
+        q = FIFOQueue(capacity=2, timeout=2.0)
+        result = []
+
+        def consumer():
+            result.append(q.get())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.put({"payload": 42})
+        t.join(timeout=3.0)
+        assert result and result[0]["payload"] == 42
+
+    def test_enqueue_dequeue_through_graph(self, backend):
+        queue_comp = FIFOQueue(capacity=8, timeout=1.0)
+
+        class Root(Component):
+            def __init__(self):
+                super().__init__(scope="queue-root")
+                self.q = queue_comp
+                self.add_components(queue_comp)
+
+            @rlgraph_api
+            def put_records(self, records):
+                return self.q.enqueue(records)
+
+            @rlgraph_api
+            def take(self, token):
+                return self.q.dequeue(token)
+
+        built = build_graph(Root(),
+                            {"records": RECORD_SPACE,
+                             "token": FloatBox()},
+                            backend=backend)
+        value = RECORD_SPACE.sample(size=2, rng=np.random.default_rng(3))
+        # The build pushed one example through enqueue; drain anything
+        # stale first.
+        while queue_comp.size():
+            queue_comp.get()
+        built.execute("put_records", value)
+        built.execute("take", np.asarray(0.0, np.float32))
+        out = queue_comp.last_dequeued()
+        np.testing.assert_array_equal(out["states"], value["states"])
+
+
+class TestStagingArea:
+    def test_one_slot_delay(self, backend):
+        stage = StagingArea()
+
+        class Root(Component):
+            def __init__(self):
+                super().__init__(scope="stage-root")
+                self.stage = stage
+                self.add_components(stage)
+
+            @rlgraph_api
+            def push(self, records):
+                return self.stage.stage(records)
+
+        built = build_graph(Root(), {"records": FloatBox(shape=(2,),
+                                                         add_batch_rank=True)},
+                            backend=backend)
+        first = np.asarray([[1.0, 1.0]], np.float32)
+        second = np.asarray([[2.0, 2.0]], np.float32)
+        out1 = built.execute("push", first)
+        out2 = built.execute("push", second)
+        # First call returns its own batch; second returns the staged one.
+        np.testing.assert_array_equal(np.asarray(out2), first)
+
+
+class TestBatchSplitter:
+    def test_even_split_container(self, backend):
+        splitter = BatchSplitter(2)
+        test = ComponentTest(splitter, {"records": RECORD_SPACE},
+                             backend=backend)
+        value = RECORD_SPACE.sample(size=6, rng=np.random.default_rng(4))
+        shard0, shard1 = test.test("split", value)
+        assert shard0["states"].shape == (3, 3)
+        np.testing.assert_array_equal(shard0["states"], value["states"][:3])
+        np.testing.assert_array_equal(shard1["actions"], value["actions"][3:])
+
+    def test_single_shard_identity(self, backend):
+        splitter = BatchSplitter(1)
+        test = ComponentTest(splitter,
+                             {"records": FloatBox(shape=(2,),
+                                                  add_batch_rank=True)},
+                             backend=backend)
+        value = np.arange(8, dtype=np.float32).reshape(4, 2)
+        out = test.test("split", value)
+        np.testing.assert_array_equal(out, value)
+
+    def test_invalid_shards(self):
+        with pytest.raises(RLGraphError):
+            BatchSplitter(0)

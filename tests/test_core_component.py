@@ -1,0 +1,312 @@
+"""Core component-graph tests: assembly, build fixpoint, both backends."""
+
+import numpy as np
+import pytest
+
+from repro.backend import XGRAPH, XTAPE, functional as F
+from repro.core import Component, build_graph, graph_fn, rlgraph_api
+from repro.spaces import Dict as DictSpace, FloatBox, IntBox
+from repro.testing import ComponentTest
+from repro.utils import RLGraphBuildError, RLGraphError
+from repro.utils.errors import RLGraphAPIError
+
+
+class Scaler(Component):
+    """Multiplies input by a factor (no variables)."""
+
+    def __init__(self, factor=2.0, scope="scaler", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.factor = factor
+
+    @rlgraph_api
+    def scale(self, inputs):
+        return self._graph_fn_scale(inputs)
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_scale(self, inputs):
+        return F.mul(inputs, self.factor)
+
+
+class BiasAdder(Component):
+    """Adds a learned bias (variable shaped from input space)."""
+
+    def __init__(self, scope="bias", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    def create_variables(self, input_spaces):
+        space = input_spaces["inputs"]
+        self.bias = self.get_variable("b", shape=space.shape,
+                                      initializer="ones")
+
+    @rlgraph_api
+    def apply(self, inputs):
+        return self._graph_fn_apply(inputs)
+
+    @graph_fn
+    def _graph_fn_apply(self, inputs):
+        return F.add(inputs, self.bias.read())
+
+
+class Pipeline(Component):
+    """Root with nested sub-components and two API methods."""
+
+    def __init__(self, scope="pipeline", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.scaler = Scaler(factor=3.0)
+        self.bias = BiasAdder()
+        self.add_components(self.scaler, self.bias)
+
+    @rlgraph_api
+    def forward(self, inputs):
+        scaled = self.scaler.scale(inputs)
+        return self.bias.apply(scaled)
+
+    @rlgraph_api
+    def double_forward(self, inputs):
+        once = self.scaler.scale(inputs)
+        return self.scaler.scale(once)
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+class TestComposition:
+    def test_scope_tree(self):
+        pipe = Pipeline()
+        assert pipe.scaler.global_scope == "pipeline/scaler"
+        assert pipe.get_sub_component("scaler") is pipe.scaler
+        assert len(pipe.get_all_components()) == 3
+
+    def test_duplicate_scope_rejected(self):
+        root = Component(scope="root")
+        root.add_components(Scaler(scope="a"))
+        with pytest.raises(RLGraphError):
+            root.add_components(Scaler(scope="a"))
+
+    def test_reparenting_rejected(self):
+        child = Scaler()
+        Component(scope="p1").add_components(child)
+        with pytest.raises(RLGraphError):
+            Component(scope="p2").add_components(child)
+
+    def test_unknown_subcomponent_lookup(self):
+        with pytest.raises(RLGraphError):
+            Pipeline().get_sub_component("nope")
+
+
+class TestBuildAndExecute:
+    def test_forward_both_backends(self, backend):
+        built = build_graph(Pipeline(), {"inputs": FloatBox(shape=(3,),
+                                                            add_batch_rank=True)},
+                            backend=backend)
+        out = built.execute("forward", np.ones((2, 3), np.float32))
+        np.testing.assert_allclose(out, 4 * np.ones((2, 3)))
+
+    def test_multiple_api_methods(self, backend):
+        built = build_graph(Pipeline(), {"inputs": FloatBox(shape=(3,),
+                                                            add_batch_rank=True)},
+                            backend=backend)
+        out = built.execute("double_forward", np.ones((2, 3), np.float32))
+        np.testing.assert_allclose(out, 9 * np.ones((2, 3)))
+
+    def test_variable_shapes_from_space(self, backend):
+        pipe = Pipeline()
+        build_graph(pipe, {"inputs": FloatBox(shape=(5,), add_batch_rank=True)},
+                    backend=backend)
+        registry = pipe.variable_registry()
+        assert list(registry) == ["pipeline/bias/b"]
+        assert registry["pipeline/bias/b"].shape == (5,)
+
+    def test_build_stats_populated(self, backend):
+        built = build_graph(Pipeline(), {"inputs": FloatBox(shape=(3,),
+                                                            add_batch_rank=True)},
+                            backend=backend)
+        stats = built.stats
+        assert stats.trace_time > 0
+        assert stats.build_time > 0
+        assert stats.num_components == 3
+        assert stats.num_graph_fn_nodes == 4  # forward: 2, double_forward: 2
+
+    def test_missing_input_space_raises(self):
+        with pytest.raises(RLGraphBuildError):
+            build_graph(Pipeline(), {})
+
+    def test_unknown_api_raises(self, backend):
+        built = build_graph(Pipeline(), {"inputs": FloatBox(shape=(3,),
+                                                            add_batch_rank=True)},
+                            backend=backend)
+        with pytest.raises(RLGraphError):
+            built.execute("nope", np.ones((1, 3)))
+
+    def test_api_call_outside_build_raises(self):
+        pipe = Pipeline()
+        with pytest.raises(RLGraphAPIError):
+            pipe.forward(np.ones((1, 3)))
+
+    def test_weights_roundtrip(self, backend):
+        pipe = Pipeline()
+        built = build_graph(pipe, {"inputs": FloatBox(shape=(3,),
+                                                      add_batch_rank=True)},
+                            backend=backend)
+        weights = pipe.get_weights()
+        weights["pipeline/bias/b"] = np.full(3, 7.0, np.float32)
+        pipe.set_weights(weights)
+        out = built.execute("forward", np.zeros((1, 3), np.float32))
+        np.testing.assert_allclose(out, [[7.0, 7.0, 7.0]])
+
+
+class StatefulCounter(Component):
+    """Exercises stateful variables + control deps through the build."""
+
+    def __init__(self, scope="counter", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    def create_variables(self, input_spaces):
+        self.count = self.get_variable("count", shape=(), dtype=np.int64,
+                                       trainable=False)
+
+    @rlgraph_api
+    def bump(self, amount):
+        return self._graph_fn_bump(amount)
+
+    @rlgraph_api
+    def read(self, amount):
+        # `amount` unused; demonstrates read-only API sharing the space.
+        return self._graph_fn_read(amount)
+
+    @graph_fn
+    def _graph_fn_bump(self, amount):
+        new_val = F.add(self.count.read(), F.cast(F.reduce_sum(amount), np.int64))
+        assign = self.count.assign(new_val)
+        return F.with_deps(new_val, assign)
+
+    @graph_fn
+    def _graph_fn_read(self, amount):
+        return F.add(self.count.read(), F.cast(F.reduce_sum(F.mul(amount, 0.0)),
+                                               np.int64))
+
+
+class TestStatefulComponents:
+    def test_state_persists_across_calls(self, backend):
+        built = build_graph(StatefulCounter(),
+                            {"amount": FloatBox(shape=(), add_batch_rank=True)},
+                            backend=backend)
+        built.execute("bump", np.asarray([1.0, 2.0], np.float32))
+        out = built.execute("bump", np.asarray([4.0], np.float32))
+        assert int(np.asarray(out)) == 7
+
+    def test_eager_build_restores_state(self):
+        # Pushing example data through `bump` during the define-by-run build
+        # must not leave the counter bumped.
+        comp = StatefulCounter()
+        built = build_graph(comp, {"amount": FloatBox(shape=(),
+                                                      add_batch_rank=True)},
+                            backend=XTAPE)
+        out = built.execute("read", np.asarray([5.0], np.float32))
+        assert int(np.asarray(out)) == 0
+
+
+class SplitConsumer(Component):
+    """flatten_ops graph_fn applied across a Dict container space."""
+
+    def __init__(self, scope="split", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+
+    @rlgraph_api
+    def negate_all(self, records):
+        return self._graph_fn_negate(records)
+
+    @graph_fn(flatten_ops=True, requires_variables=False)
+    def _graph_fn_negate(self, leaf):
+        return F.neg(leaf)
+
+
+class TestContainerHandling:
+    def test_flatten_ops_per_leaf(self, backend):
+        space = DictSpace(a=FloatBox(shape=(2,)), b=FloatBox(shape=(3,)),
+                          add_batch_rank=True)
+        built = build_graph(SplitConsumer(), {"records": space}, backend=backend)
+        value = {"a": np.ones((2, 2), np.float32),
+                 "b": 2 * np.ones((2, 3), np.float32)}
+        out = built.execute("negate_all", value)
+        np.testing.assert_allclose(out["a"], -value["a"])
+        np.testing.assert_allclose(out["b"], -value["b"])
+
+
+class TwoOutputs(Component):
+    @rlgraph_api
+    def stats(self, x):
+        return self._graph_fn_stats(x)
+
+    @graph_fn(returns=2, requires_variables=False)
+    def _graph_fn_stats(self, x):
+        return F.reduce_mean(x), F.reduce_max(x)
+
+
+class TestMultiOutput:
+    def test_two_outputs(self, backend):
+        built = build_graph(TwoOutputs(scope="two"),
+                            {"x": FloatBox(shape=(4,), add_batch_rank=True)},
+                            backend=backend)
+        mean, mx = built.execute("stats", np.asarray([[1.0, 2, 3, 10]],
+                                                     np.float32))
+        assert float(mean) == pytest.approx(4.0)
+        assert float(mx) == pytest.approx(10.0)
+
+
+class TestComponentTestHarness:
+    def test_listing1_style(self, backend):
+        scaler = Scaler(factor=5.0)
+        test = ComponentTest(scaler,
+                             input_spaces={"inputs": FloatBox(shape=(2,),
+                                                              add_batch_rank=True)},
+                             backend=backend)
+        test.test("scale", np.ones((3, 2), np.float32),
+                  expected=5 * np.ones((3, 2), np.float32))
+
+    def test_variable_inspection(self):
+        bias = BiasAdder()
+        test = ComponentTest(bias, input_spaces={"inputs": FloatBox(shape=(4,),
+                                                 add_batch_rank=True)})
+        values = test.get_variable_values()
+        np.testing.assert_allclose(values["bias/b"], np.ones(4))
+
+    def test_assert_equal_nested(self):
+        ComponentTest.assert_equal({"a": np.ones(2)}, {"a": np.ones(2)})
+        with pytest.raises(AssertionError):
+            ComponentTest.assert_equal({"a": np.ones(2)}, {"a": np.zeros(2)})
+
+
+class TestEagerFastPath:
+    """Define-by-run fast path ("edge contractions", paper §5.1)."""
+
+    def test_fastpath_matches_dispatch(self):
+        built = build_graph(Pipeline(), {"inputs": FloatBox(shape=(3,),
+                                                            add_batch_rank=True)},
+                            backend=XTAPE)
+        x = np.random.default_rng(0).standard_normal((4, 3)).astype(np.float32)
+        slow = built.execute("forward", x)
+        built.eager_fastpath = True
+        fast = built.execute("forward", x)
+        np.testing.assert_allclose(slow, fast)
+
+    def test_fastpath_stateful_component(self):
+        built = build_graph(StatefulCounter(),
+                            {"amount": FloatBox(shape=(), add_batch_rank=True)},
+                            backend=XTAPE)
+        built.eager_fastpath = True
+        built.execute("bump", np.asarray([2.0], np.float32))
+        out = built.execute("bump", np.asarray([3.0], np.float32))
+        assert int(np.asarray(out)) == 5
+
+    def test_fastpath_multi_output(self):
+        built = build_graph(TwoOutputs(scope="two"),
+                            {"x": FloatBox(shape=(4,), add_batch_rank=True)},
+                            backend=XTAPE)
+        built.eager_fastpath = True
+        mean, mx = built.execute("stats", np.asarray([[2.0, 4, 6, 8]],
+                                                     np.float32))
+        assert float(mean) == pytest.approx(5.0)
+        assert float(mx) == pytest.approx(8.0)

@@ -1,0 +1,201 @@
+"""Environment tests: determinism, dynamics, spaces, vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.environments import (
+    CartPole,
+    GridWorld,
+    RandomEnv,
+    SeekAvoid,
+    SequentialVectorEnv,
+    SimPong,
+)
+from repro.utils import RLGraphError
+
+
+class TestGridWorld:
+    def test_one_hot_observation(self):
+        env = GridWorld("4x4")
+        obs = env.reset()
+        assert obs.shape == (16,)
+        assert obs.sum() == 1.0 and obs[0] == 1.0
+
+    def test_walls_block(self):
+        env = GridWorld("4x4")
+        env.reset()
+        obs, _, _, _ = env.step(0)  # up from top row: stays
+        assert obs[0] == 1.0
+
+    def test_goal_reached(self):
+        env = GridWorld("corridor")
+        env.reset()
+        total = 0.0
+        for _ in range(7):
+            obs, reward, terminal, _ = env.step(1)
+            total += reward
+        assert terminal and reward == 1.0
+
+    def test_hole_ends_episode(self):
+        env = GridWorld("4x4")
+        env.reset()
+        env.step(2)          # down to (1,0)
+        _, reward, terminal, _ = env.step(1)  # right into H at (1,1)
+        assert terminal and reward == -1.0
+
+    def test_step_cap(self):
+        env = GridWorld("4x4", max_steps=5)
+        env.reset()
+        for i in range(5):
+            _, _, terminal, _ = env.step(3)  # bump left wall forever
+        assert terminal
+
+    def test_bad_action_raises(self):
+        env = GridWorld()
+        env.reset()
+        with pytest.raises(RLGraphError):
+            env.step(9)
+
+    def test_unknown_map(self):
+        with pytest.raises(RLGraphError):
+            GridWorld("nope")
+
+
+class TestCartPole:
+    def test_seed_determinism(self):
+        a = CartPole(seed=3).reset()
+        b = CartPole(seed=3).reset()
+        np.testing.assert_array_equal(a, b)
+
+    def test_episode_terminates(self):
+        env = CartPole(seed=0, max_steps=500)
+        env.reset()
+        steps = 0
+        terminal = False
+        while not terminal and steps < 501:
+            _, _, terminal, _ = env.step(0)  # constant push -> falls
+            steps += 1
+        assert terminal and steps < 200
+
+    def test_state_in_space(self):
+        env = CartPole(seed=1)
+        state = env.reset()
+        assert env.state_space.contains(state)
+
+
+class TestSimPong:
+    def test_frame_properties(self):
+        env = SimPong(size=32, seed=0)
+        frame = env.reset()
+        assert frame.shape == (32, 32, 1)
+        assert frame.max() == 255.0 and frame.min() == 0.0
+
+    def test_scoring_ends_at_21(self):
+        env = SimPong(size=16, seed=1, opponent_skill=1.0, points_to_win=2,
+                      max_steps=100000)
+        env.reset()
+        terminal = False
+        total = 0.0
+        steps = 0
+        while not terminal:
+            _, r, terminal, info = env.step(0)  # agent never moves
+            total += r
+            steps += 1
+        assert max(info["score"]) == 2
+        assert total <= 0  # motionless agent cannot outscore a perfect opponent
+
+    def test_frame_skip_accumulates_reward(self):
+        env1 = SimPong(size=16, frame_skip=1, seed=2)
+        env4 = SimPong(size=16, frame_skip=4, seed=2)
+        env1.reset()
+        env4.reset()
+        # Not asserting equality of rollouts (rng use differs) — just that
+        # both run and frame counters move 4x faster with skip.
+        for _ in range(10):
+            env1.step(1)
+            env4.step(1)
+
+    def test_paddle_bounds(self):
+        env = SimPong(size=16, seed=3)
+        env.reset()
+        for _ in range(100):
+            env.step(1)  # hold up
+        half = env.paddle_height / 2
+        assert env.right_paddle >= half
+
+
+class TestSeekAvoid:
+    def test_observation_shape(self):
+        env = SeekAvoid(width=32, height=24, seed=0)
+        obs = env.reset()
+        assert obs.shape == (24, 32, 3)
+        assert obs.dtype == np.float32
+
+    def test_collecting_all_apples_terminates(self):
+        env = SeekAvoid(width=16, height=12, num_good=1, num_bad=0,
+                        max_steps=10_000, seed=4)
+        env.reset()
+        # Teleport the agent onto the apple by brute stepping toward it.
+        terminal = False
+        steps = 0
+        while not terminal and steps < 10_000:
+            rel = env.items[0] - env.pos
+            desired = np.arctan2(rel[1], rel[0])
+            diff = (desired - env.angle + np.pi) % (2 * np.pi) - np.pi
+            action = 0 if abs(diff) < 0.3 else (1 if diff > 0 else 2)
+            _, reward, terminal, _ = env.step(action)
+            steps += 1
+        assert terminal
+        assert env.episode_return >= 1.0 - 1e-6 or steps == 10_000
+
+    def test_render_cost_slows_frames(self):
+        import time
+        fast = SeekAvoid(width=16, height=12, seed=0, render_cost=0.0)
+        slow = SeekAvoid(width=16, height=12, seed=0, render_cost=0.002)
+        fast.reset()
+        slow.reset()
+        t0 = time.perf_counter()
+        for _ in range(5):
+            fast.step(3)
+        fast_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            slow.step(3)
+        slow_t = time.perf_counter() - t0
+        assert slow_t > fast_t
+
+
+class TestVectorEnv:
+    def test_batched_step(self):
+        vec = SequentialVectorEnv(
+            env_fns=[lambda i=i: GridWorld(seed=i) for i in range(3)])
+        states = vec.reset_all()
+        assert states.shape == (3, 16)
+        states, rewards, terminals = vec.step([1, 1, 1])
+        assert states.shape == (3, 16)
+        assert rewards.shape == (3,) and terminals.shape == (3,)
+
+    def test_auto_reset_and_accounting(self):
+        vec = SequentialVectorEnv(
+            env_fns=[lambda: GridWorld("corridor", max_steps=50)])
+        vec.reset_all()
+        for _ in range(7):
+            states, _, terminals = vec.step([1])
+        assert terminals[0]
+        assert len(vec.finished_episode_returns) == 1
+        # Auto-reset: back at start cell.
+        assert states[0][0] == 1.0
+        assert vec.mean_finished_return() is not None
+
+    def test_action_count_mismatch(self):
+        vec = SequentialVectorEnv(env_fns=[lambda: GridWorld()])
+        vec.reset_all()
+        with pytest.raises(RLGraphError):
+            vec.step([0, 1])
+
+    def test_random_env(self):
+        env = RandomEnv(state_space=(3,), action_space=2, seed=0,
+                        terminal_prob=1.0)
+        env.reset()
+        _, _, terminal, _ = env.step(0)
+        assert terminal

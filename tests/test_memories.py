@@ -1,0 +1,294 @@
+"""Memory tests: segment trees (property-based), python buffers, and the
+in-graph memory components on both backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import XGRAPH, XTAPE
+from repro.components.memories import (
+    MinSegmentTree,
+    PrioritizedReplay,
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+    ReplayMemory,
+    SumSegmentTree,
+)
+from repro.spaces import BoolBox, Dict as DictSpace, FloatBox, IntBox
+from repro.testing import ComponentTest
+from repro.utils import RLGraphError
+
+
+# ---------------------------------------------------------------------------
+# Segment trees
+# ---------------------------------------------------------------------------
+class TestSegmentTree:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(RLGraphError):
+            SumSegmentTree(3)
+
+    def test_sum_and_prefix(self):
+        tree = SumSegmentTree(8)
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            tree[i] = v
+        assert tree.sum() == pytest.approx(10.0)
+        assert tree.sum(1, 3) == pytest.approx(5.0)
+        assert tree.index_of_prefixsum(0.5) == 0
+        assert tree.index_of_prefixsum(1.5) == 1
+        assert tree.index_of_prefixsum(9.99) == 3
+
+    def test_min_tree(self):
+        tree = MinSegmentTree(4)
+        tree[0] = 5.0
+        tree[1] = 2.0
+        tree[2] = 9.0
+        assert tree.min(0, 3) == pytest.approx(2.0)
+        assert tree.min(0, 1) == pytest.approx(5.0)
+
+    def test_overwrite_updates_aggregate(self):
+        tree = SumSegmentTree(4)
+        tree[0] = 1.0
+        tree[0] = 3.0
+        assert tree.sum() == pytest.approx(3.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=16),
+           start=st.integers(0, 15), end=st.integers(1, 16))
+    def test_sum_matches_numpy(self, values, start, end):
+        tree = SumSegmentTree(16)
+        for i, v in enumerate(values):
+            tree[i] = v
+        arr = np.zeros(16)
+        arr[:len(values)] = values
+        lo, hi = min(start, end), max(start, end)
+        assert tree.sum(lo, hi) == pytest.approx(arr[lo:hi].sum(), abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(0.01, 10.0), min_size=2, max_size=16),
+           frac=st.floats(0.0, 0.999))
+    def test_prefixsum_index_invariant(self, values, frac):
+        tree = SumSegmentTree(16)
+        for i, v in enumerate(values):
+            tree[i] = v
+        prefix = frac * tree.sum()
+        idx = tree.index_of_prefixsum(prefix)
+        assert 0 <= idx < 16
+        assert tree.sum(0, idx) <= prefix + 1e-6
+        assert tree.sum(0, idx + 1) > prefix - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Pure-python buffers
+# ---------------------------------------------------------------------------
+def _batch(n, offset=0):
+    return {
+        "states": np.arange(offset, offset + n, dtype=np.float32).reshape(n, 1),
+        "rewards": np.ones(n, dtype=np.float32),
+    }
+
+
+class TestReplayBuffer:
+    def test_insert_and_len(self):
+        buf = ReplayBuffer(capacity=10, seed=0)
+        buf.insert(_batch(4))
+        assert len(buf) == 4
+        buf.insert(_batch(8))
+        assert len(buf) == 10  # capped
+
+    def test_ring_wraparound(self):
+        buf = ReplayBuffer(capacity=4, seed=0)
+        buf.insert(_batch(3, offset=0))
+        buf.insert(_batch(3, offset=100))
+        # rows 0,1,2 then 3,0,1 overwritten -> storage rows are
+        # [101, 102, 2, 100]
+        np.testing.assert_allclose(
+            buf._storage["states"].ravel(), [101, 102, 2, 100])
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(RLGraphError):
+            ReplayBuffer(capacity=4).sample(1)
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(capacity=100, seed=1)
+        buf.insert(_batch(50))
+        out = buf.sample(16)
+        assert out["states"].shape == (16, 1)
+        assert out["rewards"].shape == (16,)
+
+
+class TestPrioritizedReplayBuffer:
+    def test_high_priority_sampled_more(self):
+        buf = PrioritizedReplayBuffer(capacity=16, alpha=1.0, seed=3)
+        buf.insert(_batch(8), priorities=np.asarray([10.0, 1, 1, 1, 1, 1, 1, 1]))
+        counts = np.zeros(8)
+        for _ in range(200):
+            _, idx, _ = buf.sample(4)
+            for i in idx:
+                counts[i] += 1
+        assert counts[0] > counts[1:].max()
+
+    def test_weights_le_one_and_positive(self):
+        buf = PrioritizedReplayBuffer(capacity=16, seed=4)
+        buf.insert(_batch(10))
+        _, _, w = buf.sample(8)
+        assert np.all(w > 0) and np.all(w <= 1.0 + 1e-6)
+
+    def test_update_priorities_changes_distribution(self):
+        buf = PrioritizedReplayBuffer(capacity=8, alpha=1.0, seed=5)
+        buf.insert(_batch(4), priorities=np.ones(4))
+        buf.update_priorities([2], [100.0])
+        counts = np.zeros(4)
+        for _ in range(100):
+            _, idx, _ = buf.sample(4)
+            for i in idx:
+                counts[i] += 1
+        assert counts[2] == counts.max()
+
+    def test_update_out_of_range_raises(self):
+        buf = PrioritizedReplayBuffer(capacity=8)
+        buf.insert(_batch(2))
+        with pytest.raises(RLGraphError):
+            buf.update_priorities([99], [1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 20), batch=st.integers(1, 8),
+           seed=st.integers(0, 1000))
+    def test_sampled_indices_always_valid(self, n, batch, seed):
+        buf = PrioritizedReplayBuffer(capacity=16, seed=seed)
+        buf.insert(_batch(n))
+        _, idx, _ = buf.sample(batch)
+        assert np.all(idx >= 0) and np.all(idx < min(n, 16))
+
+
+# ---------------------------------------------------------------------------
+# In-graph memory components
+# ---------------------------------------------------------------------------
+RECORD_SPACE = DictSpace(
+    states=FloatBox(shape=(2,)),
+    actions=IntBox(4),
+    rewards=FloatBox(),
+    terminals=BoolBox(),
+    add_batch_rank=True,
+)
+
+
+def _records(n, rng):
+    return RECORD_SPACE.sample(size=n, rng=rng)
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+def _spaces():
+    return {
+        "records": RECORD_SPACE,
+        "batch_size": IntBox(low=0, high=2**31 - 1),
+        "indices": IntBox(low=0, high=2**31 - 1, shape=(), add_batch_rank=True),
+        "update": FloatBox(add_batch_rank=True),
+    }
+
+
+class TestReplayMemoryComponent:
+    def test_insert_then_sample(self, backend):
+        test = ComponentTest(ReplayMemory(capacity=16),
+                             input_spaces={"records": RECORD_SPACE,
+                                           "batch_size": IntBox(low=0, high=2**31 - 1)},
+                             backend=backend)
+        rng = np.random.default_rng(0)
+        test.test("insert_records", _records(8, rng))
+        records, idx, weights = test.test("get_records", np.asarray(5))
+        assert records["states"].shape == (5, 2)
+        assert records["actions"].shape == (5,)
+        assert np.all(idx < 8)
+        np.testing.assert_allclose(weights, np.ones(5))
+
+    def test_wraparound_size_capped(self, backend):
+        memory = ReplayMemory(capacity=4)
+        test = ComponentTest(memory,
+                             input_spaces={"records": RECORD_SPACE,
+                                           "batch_size": IntBox(low=0, high=2**31 - 1)},
+                             backend=backend)
+        rng = np.random.default_rng(1)
+        test.test("insert_records", _records(3, rng))
+        test.test("insert_records", _records(3, rng))
+        size = test.test("get_size", np.asarray(1))
+        assert int(size) == 4
+
+    def test_sampled_contents_come_from_inserted(self, backend):
+        memory = ReplayMemory(capacity=32)
+        test = ComponentTest(memory,
+                             input_spaces={"records": RECORD_SPACE,
+                                           "batch_size": IntBox(low=0, high=2**31 - 1)},
+                             backend=backend)
+        batch = {
+            "states": np.tile(np.asarray([[7.0, 7.0]], np.float32), (4, 1)),
+            "actions": np.full(4, 2, np.int64),
+            "rewards": np.full(4, 1.5, np.float32),
+            "terminals": np.zeros(4, bool),
+        }
+        test.test("insert_records", batch)
+        records, _, _ = test.test("get_records", np.asarray(6))
+        np.testing.assert_allclose(records["states"],
+                                   np.tile([[7.0, 7.0]], (6, 1)))
+        np.testing.assert_allclose(records["rewards"], np.full(6, 1.5))
+
+
+class TestPrioritizedReplayComponent:
+    def _make(self, backend, capacity=16, alpha=1.0):
+        return ComponentTest(
+            PrioritizedReplay(capacity=capacity, alpha=alpha, beta=0.5),
+            input_spaces=_spaces(), backend=backend)
+
+    def test_insert_sample_update_cycle(self, backend):
+        test = self._make(backend)
+        rng = np.random.default_rng(2)
+        test.test("insert_records", _records(8, rng))
+        records, idx, weights = test.test("get_records", np.asarray(4))
+        assert records["states"].shape == (4, 2)
+        assert np.all((idx >= 0) & (idx < 8))
+        assert np.all(weights > 0) and np.all(weights <= 1.0 + 1e-5)
+        test.test("update_records", idx.astype(np.int64),
+                  np.asarray([5.0, 0.1, 0.1, 0.1], np.float32))
+
+    def test_priorities_skew_sampling(self, backend):
+        test = self._make(backend, capacity=16, alpha=1.0)
+        rng = np.random.default_rng(3)
+        test.test("insert_records", _records(8, rng))
+        # Boost index 3 to dominate.
+        test.test("update_records",
+                  np.arange(8, dtype=np.int64),
+                  np.asarray([0.01, 0.01, 0.01, 50.0, 0.01, 0.01, 0.01, 0.01],
+                             np.float32))
+        counts = np.zeros(8)
+        for _ in range(30):
+            _, idx, _ = test.test("get_records", np.asarray(8))
+            for i in np.asarray(idx):
+                counts[i] += 1
+        assert counts[3] == counts.max()
+
+    def test_matches_python_twin_distribution(self, backend):
+        """Component and pure-python twin agree on sampling proportions."""
+        test = self._make(backend, capacity=16, alpha=1.0)
+        rng = np.random.default_rng(4)
+        batch = _records(4, rng)
+        test.test("insert_records", batch)
+        test.test("update_records", np.arange(4, dtype=np.int64),
+                  np.asarray([8.0, 4.0, 2.0, 1.0], np.float32))
+
+        twin = PrioritizedReplayBuffer(capacity=16, alpha=1.0, seed=0)
+        twin.insert(batch, priorities=np.asarray([8.0, 4.0, 2.0, 1.0]))
+
+        comp_counts = np.zeros(4)
+        twin_counts = np.zeros(4)
+        for _ in range(60):
+            _, idx, _ = test.test("get_records", np.asarray(8))
+            for i in np.asarray(idx):
+                comp_counts[i] += 1
+            _, idx2, _ = twin.sample(8)
+            for i in idx2:
+                twin_counts[i] += 1
+        comp_frac = comp_counts / comp_counts.sum()
+        twin_frac = twin_counts / twin_counts.sum()
+        np.testing.assert_allclose(comp_frac, twin_frac, atol=0.12)

@@ -1,0 +1,159 @@
+"""Coverage for remaining surfaces: LSTM stepping API, Gaussian action
+noise, agent registry/config resolution, BuiltGraph edge cases, Session
+profiling counters, and device maps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.agents import AGENTS, DQNAgent, PPOAgent
+from repro.backend import XGRAPH, XTAPE
+from repro.components.explorations import GaussianNoise
+from repro.components.neural_networks import LSTMLayer
+from repro.core import build_graph
+from repro.spaces import FloatBox, IntBox
+from repro.testing import ComponentTest
+from repro.utils import RLGraphError
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+class TestLSTMStepping:
+    def test_step_matches_sequence(self, backend):
+        """Stepping one frame at a time with carried state must equal the
+        fused sequence run — the act-vs-train consistency IMPALA needs."""
+        layer = LSTMLayer(units=4, scope="lstm-step")
+        tm = dict(add_batch_rank=True, add_time_rank=True, time_major=True)
+        spaces = {
+            "inputs": FloatBox(shape=(3,), **tm),
+            "step_inputs": FloatBox(shape=(3,), add_batch_rank=True),
+            "h_in": FloatBox(shape=(4,), add_batch_rank=True),
+            "c_in": FloatBox(shape=(4,), add_batch_rank=True),
+        }
+        test = ComponentTest(layer, spaces, backend=backend)
+        rng = np.random.default_rng(0)
+        seq = rng.standard_normal((5, 2, 3)).astype(np.float32)
+        full = np.asarray(test.test("apply", seq))
+
+        h = np.zeros((2, 4), np.float32)
+        c = np.zeros((2, 4), np.float32)
+        stepped = []
+        for t in range(5):
+            out, h, c = test.test("apply_step", seq[t], h, c)
+            stepped.append(np.asarray(out))
+        np.testing.assert_allclose(np.stack(stepped), full, atol=1e-5)
+
+
+class TestGaussianNoise:
+    def test_noise_clips_and_perturbs(self, backend):
+        comp = GaussianNoise(sigma_spec=0.5, low=-1.0, high=1.0)
+        spaces = {"actions": FloatBox(shape=(2,), add_batch_rank=True),
+                  "time_step": IntBox(low=0, high=2**31 - 1)}
+        test = ComponentTest(comp, spaces, backend=backend)
+        actions = np.zeros((200, 2), np.float32)
+        out = np.asarray(test.test("get_action", actions, np.asarray(0)))
+        assert out.std() > 0.2
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    def test_decaying_sigma(self, backend):
+        comp = GaussianNoise(sigma_spec={"type": "linear", "from_": 1.0,
+                                         "to_": 0.0, "num_timesteps": 100})
+        spaces = {"actions": FloatBox(shape=(2,), add_batch_rank=True),
+                  "time_step": IntBox(low=0, high=2**31 - 1)}
+        test = ComponentTest(comp, spaces, backend=backend)
+        actions = np.zeros((200, 2), np.float32)
+        early = np.asarray(test.test("get_action", actions, np.asarray(0)))
+        late = np.asarray(test.test("get_action", actions,
+                                    np.asarray(10_000)))
+        assert early.std() > late.std()
+        np.testing.assert_allclose(late, 0.0, atol=1e-6)
+
+
+class TestAgentRegistry:
+    def test_registry_contains_all_agents(self):
+        for name in ("dqn", "apex", "a2c", "ppo", "impala"):
+            assert name in AGENTS
+
+    def test_build_agent_from_spec(self):
+        agent = AGENTS.from_spec(
+            {"type": "dqn", "state_space": (4,), "action_space": 2,
+             "network_spec": [{"type": "dense", "units": 8}],
+             "backend": XTAPE, "seed": 0})
+        assert isinstance(agent, DQNAgent)
+        actions, _ = agent.get_actions(np.zeros((2, 4), np.float32))
+        assert actions.shape == (2,)
+
+    def test_network_spec_from_json_file(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps({"layers": [
+            {"type": "dense", "units": 8, "activation": "tanh"}]}))
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=str(path), backend=XTAPE, seed=0)
+        actions, _ = agent.get_actions(np.zeros((1, 4), np.float32))
+        assert actions.shape == (1,)
+
+
+class TestBuiltGraphEdgeCases:
+    def test_wrong_arity_rejected(self, backend):
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=[{"type": "dense", "units": 8}],
+                         backend=backend, seed=0)
+        with pytest.raises(RLGraphError):
+            agent.call_api("get_actions", np.zeros((1, 4), np.float32))
+        if backend == XGRAPH:
+            pass  # arity check is symbolic-path specific
+
+    def test_double_build_rejected(self):
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=[{"type": "dense", "units": 8}],
+                         backend=XTAPE, seed=0)
+        with pytest.raises(RLGraphError):
+            agent.build()
+
+    def test_unbuilt_agent_api_rejected(self):
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=[{"type": "dense", "units": 8}],
+                         backend=XTAPE, seed=0, auto_build=False)
+        with pytest.raises(RLGraphError):
+            agent.call_api("get_actions", np.zeros((1, 4)))
+
+    def test_session_stats_track_api_calls(self):
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=[{"type": "dense", "units": 8}],
+                         backend=XGRAPH, seed=0)
+        before = agent.graph.session.stats.run_calls
+        agent.get_actions(np.zeros((3, 4), np.float32))
+        after = agent.graph.session.stats.run_calls
+        # One executor call per agent API request (paper §4.1).
+        assert after == before + 1
+
+    def test_device_map_applied(self):
+        agent = DQNAgent(state_space=(4,), action_space=IntBox(2),
+                         network_spec=[{"type": "dense", "units": 8}],
+                         backend=XGRAPH, seed=0,
+                         device_map={"policy": "/sim:gpu:0"})
+        assert agent.root.policy.resolved_device() == "/sim:gpu:0"
+        # Sub-components inherit the device.
+        dense = agent.root.policy.network.layers[0]
+        assert dense.resolved_device() == "/sim:gpu:0"
+        # Variables were created under that device.
+        var = next(iter(agent.root.policy.variable_registry().values()))
+        assert var.device == "/sim:gpu:0"
+
+
+class TestPPOContinuousEndToEnd:
+    def test_continuous_update_cycle(self, backend):
+        agent = PPOAgent(state_space=(3,), action_space=FloatBox(shape=(2,)),
+                         backend=backend, seed=0, epochs=1,
+                         minibatch_size=8)
+        actions, log_probs, values, pre = agent.get_actions(
+            np.random.default_rng(0).standard_normal((8, 3)).astype(np.float32))
+        loss = agent.update({
+            "states": pre, "actions": actions, "old_log_probs": log_probs,
+            "rewards": np.ones(8, np.float32),
+            "terminals": np.zeros(8, bool), "values": values})
+        assert np.isfinite(loss)

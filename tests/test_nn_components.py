@@ -1,0 +1,431 @@
+"""Tests for NN layers, networks, dueling heads, policies, distributions,
+explorations, losses and optimizers — built as sub-graphs on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.backend import XGRAPH, XTAPE
+from repro.components.explorations import EpsilonGreedy
+from repro.components.loss_functions import (
+    ActorCriticLoss,
+    DQNLoss,
+    IMPALALoss,
+    PPOLoss,
+)
+from repro.components.neural_networks import (
+    Conv2DLayer,
+    DenseLayer,
+    DuelingHead,
+    LSTMLayer,
+    NeuralNetwork,
+)
+from repro.components.optimizers import Adam, GradientDescent, RMSProp
+from repro.components.policies import Policy
+from repro.core import Component, graph_fn, rlgraph_api
+from repro.backend import functional as F
+from repro.spaces import BoolBox, FloatBox, IntBox
+from repro.testing import ComponentTest
+from repro.utils import RLGraphError
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+BATCHED = dict(add_batch_rank=True)
+
+
+class TestLayers:
+    def test_dense_shapes_and_determinism(self, backend):
+        layer = DenseLayer(units=8, activation="relu")
+        test = ComponentTest(layer, {"inputs": FloatBox(shape=(4,), **BATCHED)},
+                             backend=backend)
+        out = test.test("apply", np.ones((3, 4), np.float32))
+        assert out.shape == (3, 8)
+        assert np.all(out >= 0)  # relu
+        out2 = test.test("apply", np.ones((3, 4), np.float32))
+        np.testing.assert_allclose(out, out2)
+
+    def test_dense_no_bias(self, backend):
+        layer = DenseLayer(units=2, activation=None, use_bias=False)
+        test = ComponentTest(layer, {"inputs": FloatBox(shape=(3,), **BATCHED)},
+                             backend=backend)
+        out = test.test("apply", np.zeros((2, 3), np.float32))
+        np.testing.assert_allclose(out, np.zeros((2, 2)))
+
+    def test_conv2d_output_shape(self, backend):
+        layer = Conv2DLayer(filters=6, kernel_size=3, stride=2,
+                            padding="VALID")
+        test = ComponentTest(layer,
+                             {"inputs": FloatBox(shape=(9, 9, 2), **BATCHED)},
+                             backend=backend)
+        out = test.test("apply", np.ones((2, 9, 9, 2), np.float32))
+        assert out.shape == (2, 4, 4, 6)
+
+    def test_lstm_sequence_shape(self, backend):
+        layer = LSTMLayer(units=5)
+        space = FloatBox(shape=(3,), add_batch_rank=True, add_time_rank=True,
+                         time_major=True)
+        test = ComponentTest(layer, {"inputs": space}, backend=backend)
+        out = test.test("apply", np.ones((4, 2, 3), np.float32))
+        assert out.shape == (4, 2, 5)
+
+    def test_network_from_spec_list(self, backend):
+        net = NeuralNetwork([
+            {"type": "dense", "units": 16, "activation": "tanh"},
+            {"type": "dense", "units": 4, "activation": None},
+        ])
+        test = ComponentTest(net, {"nn_input": FloatBox(shape=(8,), **BATCHED)},
+                             backend=backend)
+        out = test.test("call", np.ones((5, 8), np.float32))
+        assert out.shape == (5, 4)
+
+    def test_network_auto_flatten_after_conv(self, backend):
+        net = NeuralNetwork([
+            {"type": "conv2d", "filters": 4, "kernel_size": 3, "stride": 2},
+            {"type": "dense", "units": 6},
+        ])
+        test = ComponentTest(net,
+                             {"nn_input": FloatBox(shape=(9, 9, 1), **BATCHED)},
+                             backend=backend)
+        out = test.test("call", np.ones((2, 9, 9, 1), np.float32))
+        assert out.shape == (2, 6)
+
+    def test_network_json_file(self, backend, tmp_path):
+        import json
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(
+            {"layers": [{"type": "dense", "units": 3}]}))
+        net = NeuralNetwork(str(path))
+        test = ComponentTest(net, {"nn_input": FloatBox(shape=(2,), **BATCHED)},
+                             backend=backend)
+        assert test.test("call", np.ones((1, 2), np.float32)).shape == (1, 3)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(RLGraphError):
+            NeuralNetwork([])
+
+
+class TestDuelingHead:
+    def test_q_decomposition_mean_zero_advantage(self, backend):
+        head = DuelingHead(num_actions=4, units=16)
+        test = ComponentTest(head,
+                             {"features": FloatBox(shape=(8,), **BATCHED)},
+                             backend=backend)
+        x = np.random.default_rng(0).standard_normal((5, 8)).astype(np.float32)
+        q = test.test("get_q_values", x)
+        v = test.test("get_state_values", x)
+        assert q.shape == (5, 4)
+        # mean_a Q(s,a) == V(s) because advantages are mean-centred
+        np.testing.assert_allclose(q.mean(axis=1), v.ravel(), atol=1e-4)
+
+
+class TestPolicy:
+    def _state_space(self):
+        return FloatBox(shape=(6,), **BATCHED)
+
+    def test_discrete_policy_actions_in_range(self, backend):
+        policy = Policy([{"type": "dense", "units": 12}], action_space=IntBox(3))
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        actions = test.test("get_action",
+                            np.random.default_rng(1).standard_normal(
+                                (20, 6)).astype(np.float32))
+        assert actions.shape == (20,)
+        assert np.all((actions >= 0) & (actions < 3))
+
+    def test_deterministic_action_is_argmax(self, backend):
+        policy = Policy([{"type": "dense", "units": 12}], action_space=IntBox(5))
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        x = np.random.default_rng(2).standard_normal((4, 6)).astype(np.float32)
+        logits = test.test("get_logits", x)
+        actions = test.test("get_deterministic_action", x)
+        np.testing.assert_array_equal(actions, logits.argmax(axis=1))
+
+    def test_q_values_dueling(self, backend):
+        policy = Policy([{"type": "dense", "units": 12}], action_space=IntBox(4),
+                        dueling=True)
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        q = test.test("get_q_values", np.ones((2, 6), np.float32))
+        assert q.shape == (2, 4)
+
+    def test_log_probs_sum_to_prob_simplex(self, backend):
+        policy = Policy([{"type": "dense", "units": 8}], action_space=IntBox(3))
+        spaces = {"nn_input": self._state_space(),
+                  "actions": IntBox(3, add_batch_rank=True)}
+        test = ComponentTest(policy, spaces, backend=backend)
+        x = np.random.default_rng(3).standard_normal((4, 6)).astype(np.float32)
+        logits = test.test("get_logits", x)
+        total = 0
+        for a in range(3):
+            lp = test.test("get_action_log_probs", x,
+                           np.full(4, a, np.int64))
+            total += np.exp(lp)
+        np.testing.assert_allclose(total, np.ones(4), atol=1e-4)
+
+    def test_continuous_policy(self, backend):
+        policy = Policy([{"type": "dense", "units": 8}],
+                        action_space=FloatBox(shape=(2,)))
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        actions = test.test("get_action", np.ones((7, 6), np.float32))
+        assert actions.shape == (7, 2)
+
+    def test_value_head(self, backend):
+        policy = Policy([{"type": "dense", "units": 8}], action_space=IntBox(2),
+                        value_head=True)
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        v = test.test("get_state_values", np.ones((3, 6), np.float32))
+        assert v.shape == (3,)
+
+    def test_missing_value_head_not_exposed(self, backend):
+        policy = Policy([{"type": "dense", "units": 8}], action_space=IntBox(2))
+        test = ComponentTest(policy, {"nn_input": self._state_space()},
+                             backend=backend)
+        with pytest.raises(RLGraphError):
+            test.test("get_state_values", np.ones((1, 6), np.float32))
+
+
+class TestEpsilonGreedy:
+    def test_full_exploration_vs_none(self, backend):
+        comp = EpsilonGreedy(num_actions=4,
+                             epsilon_spec={"type": "linear", "from_": 1.0,
+                                           "to_": 0.0, "num_timesteps": 100})
+        spaces = {"greedy_actions": IntBox(4, add_batch_rank=True),
+                  "time_step": IntBox(low=0, high=2**31 - 1)}
+        test = ComponentTest(comp, spaces, backend=backend)
+        greedy = np.full(200, 2, np.int64)
+        # At step >= 100 epsilon is 0 -> always greedy.
+        out = test.test("get_action", greedy, np.asarray(100_000))
+        np.testing.assert_array_equal(out, greedy)
+        # At step 0 epsilon is 1 -> (almost surely) not all greedy.
+        out0 = test.test("get_action", greedy, np.asarray(0))
+        assert not np.array_equal(out0, greedy)
+        assert np.all((out0 >= 0) & (out0 < 4))
+
+    def test_epsilon_at_host_side(self):
+        comp = EpsilonGreedy(num_actions=2,
+                             epsilon_spec={"type": "linear", "from_": 1.0,
+                                           "to_": 0.0, "num_timesteps": 10})
+        assert comp.epsilon_at(5) == pytest.approx(0.5)
+
+
+class TestDQNLoss:
+    def _spaces(self, num_actions=3):
+        return {
+            "q_values": FloatBox(shape=(num_actions,), **BATCHED),
+            "actions": IntBox(num_actions, add_batch_rank=True),
+            "rewards": FloatBox(**BATCHED),
+            "terminals": BoolBox(**BATCHED),
+            "q_next": FloatBox(shape=(num_actions,), **BATCHED),
+            "q_next_target": FloatBox(shape=(num_actions,), **BATCHED),
+            "importance_weights": FloatBox(**BATCHED),
+        }
+
+    def test_zero_td_gives_zero_loss(self, backend):
+        loss = DQNLoss(num_actions=3, discount=0.9, double_q=False,
+                       huber_delta=None)
+        test = ComponentTest(loss, self._spaces(), backend=backend)
+        q = np.asarray([[1.0, 0.0, 0.0]], np.float32)
+        # target = r + 0.9 * max q_next = 0.1 + 0.9*1.0 = 1.0 == q_sa
+        out, td = test.test("get_loss", q, np.asarray([0]),
+                            np.asarray([0.1], np.float32),
+                            np.asarray([False]),
+                            np.asarray([[1.0, 0.0, 0.0]], np.float32),
+                            np.asarray([[1.0, 0.0, 0.0]], np.float32),
+                            np.asarray([1.0], np.float32))
+        assert float(out) == pytest.approx(0.0, abs=1e-6)
+        np.testing.assert_allclose(td, [0.0], atol=1e-6)
+
+    def test_terminal_masks_bootstrap(self, backend):
+        loss = DQNLoss(num_actions=2, discount=0.9, double_q=False,
+                       huber_delta=None)
+        test = ComponentTest(loss, self._spaces(2), backend=backend)
+        out, td = test.test("get_loss",
+                            np.asarray([[2.0, 0.0]], np.float32),
+                            np.asarray([0]),
+                            np.asarray([1.0], np.float32),
+                            np.asarray([True]),
+                            np.asarray([[9.0, 9.0]], np.float32),
+                            np.asarray([[9.0, 9.0]], np.float32),
+                            np.asarray([1.0], np.float32))
+        # target = 1.0 (no bootstrap); td = 2 - 1 = 1; mse/2 = 0.5
+        np.testing.assert_allclose(td, [1.0], atol=1e-6)
+        assert float(out) == pytest.approx(0.5, abs=1e-6)
+
+    def test_double_q_uses_online_argmax(self, backend):
+        loss = DQNLoss(num_actions=2, discount=1.0, double_q=True,
+                       huber_delta=None)
+        test = ComponentTest(loss, self._spaces(2), backend=backend)
+        # online prefers action 1; target net values action 1 at 5.
+        out, td = test.test("get_loss",
+                            np.asarray([[0.0, 0.0]], np.float32),
+                            np.asarray([0]),
+                            np.asarray([0.0], np.float32),
+                            np.asarray([False]),
+                            np.asarray([[0.0, 10.0]], np.float32),
+                            np.asarray([[3.0, 5.0]], np.float32),
+                            np.asarray([1.0], np.float32))
+        np.testing.assert_allclose(td, [5.0], atol=1e-5)
+
+    def test_importance_weights_scale_loss(self, backend):
+        loss = DQNLoss(num_actions=2, discount=1.0, double_q=False,
+                       huber_delta=None)
+        test = ComponentTest(loss, self._spaces(2), backend=backend)
+        args = [np.asarray([[2.0, 0.0]], np.float32), np.asarray([0]),
+                np.asarray([0.0], np.float32), np.asarray([True]),
+                np.zeros((1, 2), np.float32), np.zeros((1, 2), np.float32)]
+        out1, _ = test.test("get_loss", *args, np.asarray([1.0], np.float32))
+        out2, _ = test.test("get_loss", *args, np.asarray([0.5], np.float32))
+        assert float(out2) == pytest.approx(float(out1) * 0.5)
+
+
+class TestActorCriticAndPPOLosses:
+    def test_a2c_loss_signs(self, backend):
+        loss = ActorCriticLoss(value_coeff=0.5, entropy_coeff=0.0)
+        spaces = {k: FloatBox(**BATCHED)
+                  for k in ["log_probs", "values", "returns", "entropies"]}
+        test = ComponentTest(loss, spaces, backend=backend)
+        total, pl, vl = test.test(
+            "get_loss",
+            np.asarray([-1.0], np.float32), np.asarray([0.0], np.float32),
+            np.asarray([2.0], np.float32), np.asarray([0.0], np.float32))
+        # advantage = 2; policy loss = -(-1 * 2) = 2; value loss = 4
+        assert float(pl) == pytest.approx(2.0)
+        assert float(vl) == pytest.approx(4.0)
+        assert float(total) == pytest.approx(2.0 + 0.5 * 4.0)
+
+    def test_ppo_clipping_limits_ratio(self, backend):
+        loss = PPOLoss(clip_ratio=0.2, value_coeff=0.0, entropy_coeff=0.0)
+        spaces = {k: FloatBox(**BATCHED)
+                  for k in ["log_probs", "old_log_probs", "advantages",
+                            "values", "returns", "entropies"]}
+        test = ComponentTest(loss, spaces, backend=backend)
+        # ratio would be e^2 ~ 7.4, clipped to 1.2 for positive advantage
+        total, pl = test.test(
+            "get_loss",
+            np.asarray([2.0], np.float32), np.asarray([0.0], np.float32),
+            np.asarray([1.0], np.float32), np.asarray([0.0], np.float32),
+            np.asarray([0.0], np.float32), np.asarray([0.0], np.float32))
+        assert float(pl) == pytest.approx(-1.2, abs=1e-4)
+
+
+class TestIMPALALoss:
+    def test_on_policy_reduces_to_a2c_targets(self, backend):
+        loss = IMPALALoss(discount=0.9, value_coeff=1.0, entropy_coeff=0.0)
+        tm = dict(add_batch_rank=True, add_time_rank=True, time_major=True)
+        spaces = {
+            "target_log_probs": FloatBox(**tm),
+            "behaviour_log_probs": FloatBox(**tm),
+            "values": FloatBox(**tm),
+            "bootstrap_value": FloatBox(**BATCHED),
+            "rewards": FloatBox(**tm),
+            "terminals": BoolBox(**tm),
+            "entropies": FloatBox(**tm),
+        }
+        test = ComponentTest(loss, spaces, backend=backend)
+        t_steps, batch = 3, 2
+        lp = np.full((t_steps, batch), -0.5, np.float32)
+        values = np.zeros((t_steps, batch), np.float32)
+        rewards = np.ones((t_steps, batch), np.float32)
+        terminals = np.zeros((t_steps, batch), bool)
+        boot = np.zeros(batch, np.float32)
+        total, pl, vl = test.test("get_loss", lp, lp, values, boot, rewards,
+                                  terminals, values)
+        # On-policy (rho = 1): vs are discounted reward sums.
+        expected_vs0 = 1 + 0.9 * (1 + 0.9 * 1)
+        assert float(vl) > 0
+        assert np.isfinite(float(total))
+        # value loss = 0.5 * mean((V - vs)^2) with V = 0
+        vs = np.asarray([expected_vs0, 1 + 0.9, 1.0])
+        expected_vl = 0.5 * np.mean(vs ** 2)
+        assert float(vl) == pytest.approx(expected_vl, rel=1e-4)
+
+
+class _QuadraticProblem(Component):
+    """min ||w - target||^2 — fixture for optimizer convergence tests.
+
+    Follows the paper's Fig. 3 pattern: the API method wires loss ->
+    optimizer.step via component API calls; F ops live in graph fns only.
+    """
+
+    def __init__(self, optimizer, dim=4, scope="quadratic", **kwargs):
+        super().__init__(scope=scope, **kwargs)
+        self.optimizer = optimizer
+        self.dim = dim
+        self.add_components(optimizer)
+
+    def create_variables(self, input_spaces):
+        self.w = self.get_variable("w", shape=(self.dim,), initializer="ones")
+        self.optimizer.set_variables([self.w])
+
+    @rlgraph_api
+    def update(self, target):
+        loss = self._graph_fn_loss(target)
+        step_op = self.optimizer.step(loss)
+        return self._graph_fn_result(loss, step_op)
+
+    @graph_fn
+    def _graph_fn_loss(self, target):
+        return F.reduce_mean(F.square(F.sub(self.w.read(), target)))
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_result(self, loss, step_op):
+        if step_op is None:
+            return loss
+        return F.with_deps(loss, step_op)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (GradientDescent, {"learning_rate": 0.2}),
+        (GradientDescent, {"learning_rate": 0.1, "momentum": 0.9}),
+        (Adam, {"learning_rate": 0.2}),
+        (RMSProp, {"learning_rate": 0.1}),
+    ])
+    def test_converges_on_quadratic(self, backend, opt_cls, kwargs):
+        problem = _QuadraticProblem(opt_cls(**kwargs))
+        test = ComponentTest(problem,
+                             {"target": FloatBox(shape=(4,))},
+                             backend=backend)
+        target = np.asarray([0.5, -0.5, 2.0, 0.0], np.float32)
+        losses = [float(test.test("update", target)) for _ in range(150)]
+        assert losses[-1] < 1e-2
+        assert losses[-1] < losses[0]
+        np.testing.assert_allclose(problem.w.value, target, atol=0.15)
+
+    def test_unbound_variables_raise(self, backend):
+        opt = GradientDescent(0.1)
+
+        class Root(Component):
+            def __init__(self):
+                super().__init__(scope="root")
+                self.opt = opt
+                self.add_components(opt)
+
+            @rlgraph_api
+            def update(self, target):
+                loss = self._graph_fn_loss(target)
+                return self.opt.step(loss)
+
+            @graph_fn(requires_variables=False)
+            def _graph_fn_loss(self, target):
+                return F.reduce_mean(F.square(target))
+
+        with pytest.raises(RLGraphError):
+            ComponentTest(Root(), {"target": FloatBox(shape=(2,))},
+                          backend=backend)
+
+    def test_grad_clipping_bounds_update(self, backend):
+        problem = _QuadraticProblem(
+            GradientDescent(learning_rate=1.0, clip_grad_norm=0.001))
+        test = ComponentTest(problem, {"target": FloatBox(shape=(4,))},
+                             backend=backend)
+        before = problem.w.value.copy()
+        test.test("update", np.full(4, 100.0, np.float32))
+        delta = np.linalg.norm(problem.w.value - before)
+        assert delta <= 0.0011  # lr * clip_norm (+ tolerance)

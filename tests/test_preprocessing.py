@@ -1,0 +1,195 @@
+"""Preprocessor component tests: every preprocessor individually built
+from spaces (they are first-class citizens, paper §1 point 4), stacks,
+space bookkeeping, and statefulness of the frame stack."""
+
+import numpy as np
+import pytest
+
+from repro.backend import XGRAPH, XTAPE
+from repro.components.preprocessing import (
+    Clip,
+    Divide,
+    Flatten,
+    GrayScale,
+    ImageResize,
+    Normalize,
+    PreprocessorStack,
+    Sequence,
+)
+from repro.spaces import FloatBox
+from repro.testing import ComponentTest
+from repro.utils import RLGraphError
+
+
+@pytest.fixture(params=[XGRAPH, XTAPE])
+def backend(request):
+    return request.param
+
+
+IMG = FloatBox(shape=(8, 8, 3), add_batch_rank=True)
+
+
+class TestGrayScale:
+    def test_weighted_sum_keepdims(self, backend):
+        test = ComponentTest(GrayScale(weights=[0.5, 0.25, 0.25]),
+                             {"inputs": IMG}, backend=backend)
+        x = np.ones((2, 8, 8, 3), np.float32)
+        out = test.test("preprocess", x)
+        assert out.shape == (2, 8, 8, 1)
+        np.testing.assert_allclose(out, 1.0, atol=1e-6)
+
+    def test_drop_channel_dim(self, backend):
+        test = ComponentTest(GrayScale(keepdims=False), {"inputs": IMG},
+                             backend=backend)
+        out = test.test("preprocess", np.ones((2, 8, 8, 3), np.float32))
+        assert out.shape == (2, 8, 8)
+
+    def test_transformed_space(self):
+        assert GrayScale().transformed_space(IMG.strip_ranks()).shape \
+            == (8, 8, 1)
+        assert GrayScale(keepdims=False).transformed_space(
+            IMG.strip_ranks()).shape == (8, 8)
+
+    def test_weight_count_mismatch(self, backend):
+        with pytest.raises(RLGraphError):
+            ComponentTest(GrayScale(weights=[1.0, 1.0]), {"inputs": IMG},
+                          backend=backend)
+
+
+class TestImageResize:
+    def test_downsample(self, backend):
+        test = ComponentTest(ImageResize(width=4, height=4), {"inputs": IMG},
+                             backend=backend)
+        x = np.arange(2 * 8 * 8 * 3, dtype=np.float32).reshape(2, 8, 8, 3)
+        out = test.test("preprocess", x)
+        assert out.shape == (2, 4, 4, 3)
+        # Nearest-neighbour: output pixel (0,0) equals input pixel (0,0).
+        np.testing.assert_array_equal(out[:, 0, 0], x[:, 0, 0])
+
+    def test_upsample(self, backend):
+        test = ComponentTest(ImageResize(width=16, height=16),
+                             {"inputs": IMG}, backend=backend)
+        out = test.test("preprocess", np.ones((1, 8, 8, 3), np.float32))
+        assert out.shape == (1, 16, 16, 3)
+
+    def test_transformed_space(self):
+        space = ImageResize(width=4, height=6).transformed_space(
+            IMG.strip_ranks())
+        assert space.shape == (6, 4, 3)
+
+
+class TestScalers:
+    def test_divide(self, backend):
+        test = ComponentTest(Divide(divisor=255.0), {"inputs": IMG},
+                             backend=backend)
+        out = test.test("preprocess", 255 * np.ones((1, 8, 8, 3), np.float32))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(RLGraphError):
+            Divide(divisor=0)
+
+    def test_clip(self, backend):
+        test = ComponentTest(Clip(low=-1, high=1),
+                             {"inputs": FloatBox(shape=(3,),
+                                                 add_batch_rank=True)},
+                             backend=backend)
+        out = test.test("preprocess", np.asarray([[-5.0, 0.5, 5.0]],
+                                                 np.float32))
+        np.testing.assert_allclose(out, [[-1.0, 0.5, 1.0]])
+
+    def test_clip_bounds_validated(self):
+        with pytest.raises(RLGraphError):
+            Clip(low=2, high=1)
+
+    def test_normalize(self, backend):
+        test = ComponentTest(Normalize(mean=10.0, std=2.0),
+                             {"inputs": FloatBox(shape=(2,),
+                                                 add_batch_rank=True)},
+                             backend=backend)
+        out = test.test("preprocess", np.asarray([[12.0, 8.0]], np.float32))
+        np.testing.assert_allclose(out, [[1.0, -1.0]])
+
+    def test_flatten(self, backend):
+        test = ComponentTest(Flatten(), {"inputs": IMG}, backend=backend)
+        out = test.test("preprocess", np.ones((2, 8, 8, 3), np.float32))
+        assert out.shape == (2, 192)
+
+
+class TestSequence:
+    def test_frame_stack_shifts(self, backend):
+        seq = Sequence(sequence_length=3, num_slots=2)
+        space = FloatBox(shape=(2, 2), add_batch_rank=True)
+        test = ComponentTest(seq, {"inputs": space}, backend=backend)
+        seq.reset()
+        frame1 = np.ones((2, 2, 2), np.float32)
+        out1 = test.test("preprocess", frame1)
+        assert out1.shape == (2, 2, 2, 3)
+        np.testing.assert_allclose(out1[..., -1], frame1)
+        np.testing.assert_allclose(out1[..., 0], 0.0)
+        frame2 = 2 * np.ones((2, 2, 2), np.float32)
+        out2 = test.test("preprocess", frame2)
+        np.testing.assert_allclose(out2[..., -1], frame2)
+        np.testing.assert_allclose(out2[..., -2], frame1)
+
+    def test_reset_slot(self, backend):
+        seq = Sequence(sequence_length=2, num_slots=2)
+        space = FloatBox(shape=(1,), add_batch_rank=True)
+        test = ComponentTest(seq, {"inputs": space}, backend=backend)
+        seq.reset()
+        test.test("preprocess", np.ones((2, 1), np.float32))
+        seq.reset_slot(0)
+        out = test.test("preprocess", 3 * np.ones((2, 1), np.float32))
+        # Slot 0 history was cleared, slot 1 kept its frame.
+        np.testing.assert_allclose(out[0, :, 0], [0.0])
+        np.testing.assert_allclose(out[1, :, 0], [1.0])
+
+    def test_invalid_length(self):
+        with pytest.raises(RLGraphError):
+            Sequence(sequence_length=0)
+
+    def test_transformed_space(self):
+        seq = Sequence(sequence_length=4, num_slots=1)
+        assert seq.transformed_space(FloatBox(shape=(8, 8))).shape == (8, 8, 4)
+
+
+class TestPreprocessorStack:
+    def test_chained_pipeline(self, backend):
+        stack = PreprocessorStack([
+            {"type": "grayscale", "keepdims": True},
+            {"type": "image_resize", "width": 4, "height": 4},
+            {"type": "divide", "divisor": 255.0},
+        ])
+        test = ComponentTest(stack, {"inputs": IMG}, backend=backend)
+        out = test.test("preprocess", 255 * np.ones((2, 8, 8, 3), np.float32))
+        assert out.shape == (2, 4, 4, 1)
+        np.testing.assert_allclose(out, 1.0, atol=1e-6)
+
+    def test_transformed_space_chains(self):
+        stack = PreprocessorStack([
+            {"type": "grayscale", "keepdims": True},
+            {"type": "image_resize", "width": 4, "height": 4},
+            {"type": "flatten"},
+        ])
+        space = stack.transformed_space(IMG.strip_ranks())
+        assert space.shape == (16,)
+
+    def test_empty_stack_is_identity(self, backend):
+        test = ComponentTest(PreprocessorStack([]),
+                             {"inputs": FloatBox(shape=(2,),
+                                                 add_batch_rank=True)},
+                             backend=backend)
+        x = np.asarray([[1.0, 2.0]], np.float32)
+        np.testing.assert_array_equal(test.test("preprocess", x), x)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(RLGraphError):
+            PreprocessorStack([{"type": "bogus"}])
+
+    def test_duplicate_scopes_renamed(self):
+        stack = PreprocessorStack([
+            {"type": "divide", "divisor": 2.0},
+            {"type": "divide", "divisor": 3.0},
+        ])
+        scopes = [p.scope for p in stack.preprocessors]
+        assert len(set(scopes)) == 2

@@ -1,0 +1,151 @@
+"""raylite actor-framework tests: futures, ordering, errors, parallelism."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import raylite
+from repro.raylite import RayliteError
+
+
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+
+    def increment(self, by=1):
+        self.value += by
+        return self.value
+
+    def get_value(self):
+        return self.value
+
+    def boom(self):
+        raise ValueError("intentional")
+
+    def slow_add(self, x):
+        time.sleep(0.05)
+        return x + 1
+
+    def thread_name(self):
+        return threading.current_thread().name
+
+    def matmul(self, n):
+        a = np.ones((n, n), dtype=np.float64)
+        return float((a @ a).sum())
+
+
+def setup_module(module):
+    raylite.init(serialize=False)
+
+
+def teardown_module(module):
+    raylite.shutdown()
+
+
+class TestActors:
+    def test_create_and_call(self):
+        counter = raylite.remote(Counter).remote(10)
+        ref = counter.increment.remote(5)
+        assert raylite.get(ref) == 15
+
+    def test_fifo_ordering(self):
+        counter = raylite.remote(Counter).remote()
+        refs = [counter.increment.remote() for _ in range(20)]
+        values = raylite.get(refs)
+        assert values == list(range(1, 21))
+
+    def test_actor_runs_in_own_thread(self):
+        counter = raylite.remote(Counter).remote()
+        name = raylite.get(counter.thread_name.remote())
+        assert name != threading.current_thread().name
+        assert name.startswith("raylite-")
+
+    def test_exception_surfaces_at_get(self):
+        counter = raylite.remote(Counter).remote()
+        ref = counter.boom.remote()
+        with pytest.raises(ValueError, match="intentional"):
+            raylite.get(ref)
+
+    def test_init_exception_propagates(self):
+        class Bad:
+            def __init__(self):
+                raise RuntimeError("ctor fail")
+
+        with pytest.raises(RuntimeError, match="ctor fail"):
+            raylite.remote(Bad).remote()
+
+    def test_unknown_method(self):
+        counter = raylite.remote(Counter).remote()
+        with pytest.raises(RayliteError):
+            counter.nope.remote()
+
+    def test_direct_call_rejected(self):
+        counter = raylite.remote(Counter).remote()
+        with pytest.raises(RayliteError):
+            counter.increment()
+
+    def test_remote_requires_class(self):
+        with pytest.raises(RayliteError):
+            raylite.remote(lambda: None)
+
+
+class TestFutures:
+    def test_put_get(self):
+        ref = raylite.put({"a": np.ones(3)})
+        out = raylite.get(ref)
+        np.testing.assert_array_equal(out["a"], np.ones(3))
+
+    def test_wait_splits_ready_pending(self):
+        counter = raylite.remote(Counter).remote()
+        fast = counter.increment.remote()
+        slow = counter.slow_add.remote(1)  # FIFO: runs after fast
+        ready, pending = raylite.wait([fast, slow], num_returns=1)
+        assert fast in ready
+
+    def test_wait_timeout(self):
+        counter = raylite.remote(Counter).remote()
+        slow = counter.slow_add.remote(1)
+        ready, pending = raylite.wait([slow], num_returns=1, timeout=0.001)
+        assert slow in ready or slow in pending
+
+    def test_wait_num_returns_validation(self):
+        with pytest.raises(RayliteError):
+            raylite.wait([], num_returns=1)
+
+    def test_get_timeout(self):
+        counter = raylite.remote(Counter).remote()
+        ref = counter.slow_add.remote(0)
+        with pytest.raises(RayliteError):
+            ref.result(timeout=0.001)
+
+
+class TestParallelism:
+    def test_numpy_work_parallelizes(self):
+        """Two actors on big GIL-releasing matmuls beat one actor 2x-ish
+        (weak assertion: parallel must not be slower than 1.8x serial)."""
+        actors = [raylite.remote(Counter).remote() for _ in range(2)]
+        n = 700
+        # Warm up.
+        raylite.get([a.matmul.remote(50) for a in actors])
+        t0 = time.perf_counter()
+        raylite.get(actors[0].matmul.remote(n))
+        raylite.get(actors[0].matmul.remote(n))
+        serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        raylite.get([a.matmul.remote(n) for a in actors])
+        parallel = time.perf_counter() - t0
+        assert parallel < serial * 1.8
+
+    def test_serialize_mode_isolates_mutations(self):
+        raylite.init(serialize=True)
+        try:
+            payload = {"arr": np.zeros(3)}
+            ref = raylite.put(payload)
+            out = raylite.get(ref)
+            out["arr"][0] = 99
+            again = raylite.get(ref)
+            assert again["arr"][0] == 0
+        finally:
+            raylite.init(serialize=False)

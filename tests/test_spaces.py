@@ -1,0 +1,291 @@
+"""Unit + property tests for repro.spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spaces import (
+    BoolBox,
+    Dict,
+    FloatBox,
+    IntBox,
+    Tuple,
+    flatten_space,
+    flatten_value,
+    sanity_check_space,
+    space_from_spec,
+    space_from_value,
+    unflatten_from_space,
+    unflatten_value,
+)
+from repro.utils import RLGraphSpaceError
+
+
+class TestBoxSpaces:
+    def test_float_box_shape_and_dtype(self):
+        space = FloatBox(shape=(3, 4))
+        assert space.shape == (3, 4)
+        assert space.dtype == np.float32
+        assert space.flat_dim == 12
+        assert space.rank == 2
+
+    def test_scalar_float_box(self):
+        space = FloatBox()
+        assert space.shape == ()
+        assert space.flat_dim == 1
+
+    def test_bounds_define_shape(self):
+        space = FloatBox(low=[0.0, -1.0], high=[1.0, 1.0])
+        assert space.shape == (2,)
+
+    def test_bound_shape_mismatch_raises(self):
+        with pytest.raises(RLGraphSpaceError):
+            FloatBox(low=[0.0, 0.0], high=[1.0], shape=None)
+
+    def test_bounded_sampling_within_bounds(self):
+        space = FloatBox(low=0.0, high=1.0, shape=(5,))
+        rng = np.random.default_rng(0)
+        sample = space.sample(size=100, rng=rng)
+        assert sample.shape == (100, 5)
+        assert np.all(sample >= 0.0) and np.all(sample <= 1.0)
+
+    def test_contains(self):
+        space = FloatBox(low=0.0, high=1.0, shape=(2,))
+        assert space.contains(np.array([0.5, 0.5], dtype=np.float32))
+        assert not space.contains(np.array([1.5, 0.5]))
+        assert not space.contains(np.zeros(3))
+
+    def test_int_box_single_arg_discrete(self):
+        space = IntBox(4)
+        assert space.num_categories == 4
+        assert space.shape == ()
+        sample = space.sample(size=50, rng=np.random.default_rng(1))
+        assert sample.min() >= 0 and sample.max() < 4
+
+    def test_int_box_contains_excludes_high(self):
+        space = IntBox(4)
+        assert space.contains(3)
+        assert not space.contains(4)
+        assert not space.contains(-1)
+
+    def test_int_box_shaped(self):
+        space = IntBox(low=0, high=10, shape=(2, 2))
+        assert space.sample(rng=np.random.default_rng(2)).shape == (2, 2)
+
+    def test_bool_box(self):
+        space = BoolBox(shape=(3,))
+        sample = space.sample(size=4, rng=np.random.default_rng(3))
+        assert sample.shape == (4, 3)
+        assert sample.dtype == np.bool_
+        assert space.contains(np.zeros(3, dtype=bool))
+
+    def test_zeros(self):
+        assert FloatBox(shape=(2,)).zeros(size=3).shape == (3, 2)
+        assert IntBox(5).zeros().shape == ()
+
+    def test_batch_time_ranks(self):
+        space = FloatBox(shape=(4,), add_batch_rank=True, add_time_rank=True)
+        assert space.get_shape(with_batch_rank=True, with_time_rank=True,
+                               batch_size=2, time_steps=5) == (2, 5, 4)
+        tm = space.with_time_rank(True, time_major=True)
+        assert tm.get_shape(with_batch_rank=True, with_time_rank=True,
+                            batch_size=2, time_steps=5) == (5, 2, 4)
+
+    def test_strip_and_with_ranks(self):
+        space = FloatBox(shape=(4,), add_batch_rank=True)
+        stripped = space.strip_ranks()
+        assert not stripped.has_batch_rank
+        assert space.has_batch_rank  # original untouched
+
+    def test_equality_and_hash(self):
+        a = FloatBox(shape=(2,), add_batch_rank=True)
+        b = FloatBox(shape=(2,), add_batch_rank=True)
+        c = FloatBox(shape=(3,), add_batch_rank=True)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != IntBox(2)
+
+
+class TestContainerSpaces:
+    def test_dict_sorted_keys(self):
+        space = Dict(b=FloatBox(), a=IntBox(3))
+        assert space.keys() == ["a", "b"]
+
+    def test_dict_rank_propagation(self):
+        space = Dict(x=FloatBox(shape=(2,)), add_batch_rank=True)
+        assert space["x"].has_batch_rank
+
+    def test_dict_sample_and_contains(self):
+        space = Dict(x=FloatBox(low=0, high=1, shape=(2,)), n=IntBox(5))
+        sample = space.sample(rng=np.random.default_rng(0))
+        assert set(sample) == {"n", "x"}
+        assert space.contains(sample)
+        assert not space.contains({"x": sample["x"]})
+
+    def test_tuple_space(self):
+        space = Tuple(FloatBox(shape=(2,)), IntBox(3), add_batch_rank=True)
+        assert len(space) == 2
+        assert space[0].has_batch_rank
+        sample = space.sample(size=4, rng=np.random.default_rng(0))
+        assert sample[0].shape == (4, 2)
+        assert space.contains(space.sample(rng=np.random.default_rng(1)))
+
+    def test_nested_flat_dim(self):
+        space = Dict(a=FloatBox(shape=(3,)), b=Tuple(IntBox(2), FloatBox(shape=(2, 2))))
+        assert space.flat_dim == 3 + 1 + 4
+
+    def test_empty_dict_raises(self):
+        with pytest.raises(RLGraphSpaceError):
+            Dict({})
+
+
+class TestSpecResolution:
+    def test_int_spec(self):
+        space = space_from_spec(6)
+        assert isinstance(space, IntBox) and space.num_categories == 6
+
+    def test_tuple_of_ints_is_float_shape(self):
+        space = space_from_spec((84, 84, 3))
+        assert isinstance(space, FloatBox) and space.shape == (84, 84, 3)
+
+    def test_string_specs(self):
+        assert isinstance(space_from_spec("float"), FloatBox)
+        assert isinstance(space_from_spec("int"), IntBox)
+        assert isinstance(space_from_spec("bool"), BoolBox)
+
+    def test_typed_dict_spec(self):
+        space = space_from_spec({"type": "float", "shape": [4]})
+        assert isinstance(space, FloatBox) and space.shape == (4,)
+
+    def test_plain_dict_becomes_container(self):
+        space = space_from_spec({"obs": (4,), "task": 3})
+        assert isinstance(space, Dict)
+        assert isinstance(space["task"], IntBox)
+
+    def test_add_ranks_via_spec(self):
+        space = space_from_spec((4,), add_batch_rank=True)
+        assert space.has_batch_rank
+
+    def test_space_from_value(self):
+        space = space_from_value(np.zeros((8, 4), dtype=np.float32), add_batch_rank=True)
+        assert space.shape == (4,) and space.has_batch_rank
+        space2 = space_from_value({"a": np.zeros(3), "b": np.array(1)})
+        assert isinstance(space2, Dict)
+
+
+class TestFlattening:
+    def setup_method(self):
+        self.space = Dict(
+            states=Dict(img=FloatBox(shape=(4, 4)), txt=IntBox(10)),
+            actions=Tuple(IntBox(3), FloatBox(shape=(2,))),
+            add_batch_rank=True,
+        )
+
+    def test_flatten_space_keys(self):
+        flat = flatten_space(self.space)
+        assert list(flat.keys()) == [
+            "actions/[0]", "actions/[1]", "states/img", "states/txt",
+        ]
+
+    def test_flatten_leaf_space(self):
+        flat = flatten_space(FloatBox(shape=(2,)))
+        assert list(flat.keys()) == [""]
+
+    def test_value_roundtrip_with_space(self):
+        value = self.space.sample(size=2, rng=np.random.default_rng(0))
+        flat = flatten_value(value, self.space)
+        rebuilt = unflatten_from_space(flat, self.space)
+        assert set(rebuilt) == {"states", "actions"}
+        np.testing.assert_array_equal(rebuilt["states"]["img"],
+                                      value["states"]["img"])
+        np.testing.assert_array_equal(rebuilt["actions"][1], value["actions"][1])
+
+    def test_value_roundtrip_structural(self):
+        value = {"a": (np.ones(2), np.zeros(1)), "b": np.array(3)}
+        flat = flatten_value(value)
+        rebuilt = unflatten_value(flat)
+        assert isinstance(rebuilt["a"], tuple)
+        np.testing.assert_array_equal(rebuilt["a"][0], np.ones(2))
+
+
+class TestSanityCheck:
+    def test_type_check(self):
+        sanity_check_space(FloatBox(shape=(2,)), allowed_types=[FloatBox])
+        with pytest.raises(RLGraphSpaceError):
+            sanity_check_space(IntBox(2), allowed_types=[FloatBox])
+
+    def test_rank_check(self):
+        sanity_check_space(FloatBox(shape=(2, 2)), rank=2)
+        sanity_check_space(FloatBox(shape=(2,)), rank=(1, 2))
+        with pytest.raises(RLGraphSpaceError):
+            sanity_check_space(FloatBox(shape=(2,)), rank=3)
+
+    def test_batch_rank_check(self):
+        with pytest.raises(RLGraphSpaceError):
+            sanity_check_space(FloatBox(shape=(2,)), must_have_batch_rank=True)
+
+    def test_categories_check(self):
+        sanity_check_space(IntBox(4), num_categories=4)
+        with pytest.raises(RLGraphSpaceError):
+            sanity_check_space(IntBox(4), num_categories=5)
+        with pytest.raises(RLGraphSpaceError):
+            sanity_check_space(FloatBox(), must_have_categories=True)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+_leaf_spaces = st.one_of(
+    st.builds(FloatBox, shape=st.tuples(st.integers(1, 4), st.integers(1, 4))),
+    st.builds(lambda n: IntBox(n), st.integers(2, 10)),
+    st.builds(BoolBox, shape=st.tuples(st.integers(1, 3))),
+)
+
+
+def _container_spaces(children):
+    return st.one_of(
+        st.builds(
+            lambda subs: Dict({f"k{i}": s for i, s in enumerate(subs)}),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        st.builds(lambda subs: Tuple(*subs),
+                  st.lists(children, min_size=1, max_size=3)),
+    )
+
+
+_spaces = st.recursive(_leaf_spaces, _container_spaces, max_leaves=6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(space=_spaces, seed=st.integers(0, 2**31 - 1))
+def test_sample_is_contained(space, seed):
+    sample = space.sample(rng=np.random.default_rng(seed))
+    assert space.contains(sample)
+
+
+@settings(max_examples=40, deadline=None)
+@given(space=_spaces, seed=st.integers(0, 2**31 - 1))
+def test_flatten_roundtrip_property(space, seed):
+    value = space.sample(rng=np.random.default_rng(seed))
+    flat = flatten_value(value, space)
+    rebuilt = unflatten_from_space(flat, space)
+    rebuilt_flat = flatten_value(rebuilt, space)
+    assert list(flat.keys()) == list(rebuilt_flat.keys())
+    for key in flat:
+        np.testing.assert_array_equal(flat[key], rebuilt_flat[key])
+
+
+@settings(max_examples=40, deadline=None)
+@given(space=_spaces)
+def test_flat_dim_consistency(space):
+    flat = flatten_space(space)
+    assert space.flat_dim == sum(s.flat_dim for s in flat.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(space=_spaces)
+def test_copy_independent_and_equal(space):
+    clone = space.copy()
+    assert clone == space
+    batched = space.with_batch_rank(True)
+    assert batched.has_batch_rank

@@ -1,0 +1,161 @@
+"""Tests for repro.utils: seeding, registries, schedules, config."""
+
+import json
+
+import pytest
+
+from repro.utils import (
+    Constant,
+    ExponentialDecay,
+    LinearDecay,
+    PolynomialDecay,
+    Registry,
+    RLGraphError,
+    SeedStream,
+    deep_update,
+    derive_seed,
+    resolve_config,
+    schedule_from_spec,
+)
+
+
+class TestSeeding:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+
+    def test_stream_child_independence(self):
+        stream = SeedStream(42)
+        a = stream.rng("w", 0).integers(0, 1 << 30, 10)
+        b = stream.rng("w", 1).integers(0, 1 << 30, 10)
+        assert not (a == b).all()
+
+    def test_stream_reproducible(self):
+        x = SeedStream(7).rng("x").standard_normal(5)
+        y = SeedStream(7).rng("x").standard_normal(5)
+        assert (x == y).all()
+
+    def test_child_stream(self):
+        s = SeedStream(1)
+        assert s.child("a").seed == s.child("a").seed
+        assert s.child("a").seed != s.child("b").seed
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = Registry("things")
+
+        @reg.register("foo", aliases=["f"])
+        class Foo:
+            def __init__(self, x=1):
+                self.x = x
+
+        assert reg.lookup("foo") is Foo
+        assert reg.lookup("F") is Foo
+        assert "foo" in reg
+
+    def test_from_spec_forms(self):
+        reg = Registry("things")
+
+        @reg.register("foo")
+        class Foo:
+            def __init__(self, x=1):
+                self.x = x
+
+        assert reg.from_spec("foo").x == 1
+        assert reg.from_spec({"type": "foo", "x": 5}).x == 5
+        assert reg.from_spec(Foo, x=3).x == 3
+        obj = Foo(9)
+        assert reg.from_spec(obj) is obj
+
+    def test_duplicate_registration_raises(self):
+        reg = Registry("things")
+        reg.register("a", cls=int)
+        with pytest.raises(RLGraphError):
+            reg.register("a", cls=float)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(RLGraphError):
+            Registry("empty").lookup("nope")
+
+    def test_dict_spec_without_type_raises(self):
+        with pytest.raises(RLGraphError):
+            Registry("r").from_spec({"x": 1})
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert Constant(0.3).value(10**9) == 0.3
+
+    def test_linear_endpoints(self):
+        sched = LinearDecay(1.0, 0.1, num_timesteps=100)
+        assert sched.value(0) == pytest.approx(1.0)
+        assert sched.value(50) == pytest.approx(0.55)
+        assert sched.value(100) == pytest.approx(0.1)
+        assert sched.value(10_000) == pytest.approx(0.1)
+
+    def test_linear_start_offset(self):
+        sched = LinearDecay(1.0, 0.0, num_timesteps=10, start_timestep=100)
+        assert sched.value(50) == pytest.approx(1.0)
+        assert sched.value(110) == pytest.approx(0.0)
+
+    def test_exponential_floor(self):
+        sched = ExponentialDecay(1.0, to_=0.2, half_life=10)
+        assert sched.value(0) == pytest.approx(1.0)
+        assert sched.value(10) == pytest.approx(0.5)
+        assert sched.value(10**6) == pytest.approx(0.2)
+
+    def test_polynomial_monotone(self):
+        sched = PolynomialDecay(1.0, 0.0, num_timesteps=100)
+        values = [sched.value(t) for t in range(0, 101, 10)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(0.0)
+
+    def test_from_spec(self):
+        assert isinstance(schedule_from_spec(0.5), Constant)
+        sched = schedule_from_spec({"type": "linear", "from_": 1.0, "to_": 0.0,
+                                    "num_timesteps": 10})
+        assert isinstance(sched, LinearDecay)
+        with pytest.raises(RLGraphError):
+            schedule_from_spec({"type": "bogus"})
+        with pytest.raises(RLGraphError):
+            schedule_from_spec(object())
+
+    def test_invalid_params(self):
+        with pytest.raises(RLGraphError):
+            LinearDecay(num_timesteps=0)
+        with pytest.raises(RLGraphError):
+            ExponentialDecay(half_life=-1)
+
+
+class TestConfig:
+    def test_resolve_none_uses_default(self):
+        default = {"a": {"b": 1}}
+        cfg = resolve_config(None, default)
+        assert cfg == default and cfg is not default
+        cfg["a"]["b"] = 2
+        assert default["a"]["b"] == 1
+
+    def test_resolve_json_string(self):
+        assert resolve_config('{"x": 1}') == {"x": 1}
+
+    def test_resolve_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"layers": [64, 64]}))
+        assert resolve_config(str(path)) == {"layers": [64, 64]}
+
+    def test_bad_string_raises(self):
+        with pytest.raises(RLGraphError):
+            resolve_config("not json and not a file")
+
+    def test_deep_update(self):
+        base = {"net": {"layers": [32], "act": "relu"}, "lr": 0.1}
+        out = deep_update(base, {"net": {"layers": [64, 64]}, "extra": True})
+        assert out["net"]["layers"] == [64, 64]
+        assert out["net"]["act"] == "relu"
+        assert out["extra"] is True
+        assert base["net"]["layers"] == [32]
+
+    def test_deep_update_none(self):
+        base = {"a": 1}
+        assert deep_update(base, None) == base
