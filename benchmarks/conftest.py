@@ -5,7 +5,21 @@ Every bench prints the table/series of its paper figure so
 section row by row. EXPERIMENTS.md records paper-vs-measured.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    # Everything under benchmarks/ is a perf reproduction, not a unit
+    # test; mark slow so `-m "not slow"` gives a fast CI loop.  The hook
+    # receives the whole session's items (also tests/ on a repo-root
+    # run), so scope the marker to this directory.
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def print_table(title, headers, rows):

@@ -9,6 +9,7 @@ op registry — one executor call per API request.
 from __future__ import annotations
 
 import pickle
+import time
 from collections import defaultdict
 from typing import Any, Dict, List, Optional
 
@@ -93,6 +94,32 @@ class Agent:
     def get_actions(self, states, explore: bool = True,
                     preprocess: bool = True):
         raise NotImplementedError
+
+    def act(self, vector_env, num_steps: int, explore: bool = True) -> Dict:
+        """Batched acting loop over a vector-env engine (no learning).
+
+        One ``get_actions`` call per step for the whole vector; stepping
+        is dispatched through the engine's ``step_async``/``step_wait``
+        split so on the threaded/async engines the environments run
+        concurrently with the agent's Python-side dispatch.  Episode
+        accounting accumulates on ``vector_env``.  Returns throughput
+        stats (the acting-cost metric of paper Fig. 7a).
+        """
+        states = vector_env.reset_all()
+        t0 = time.perf_counter()
+        for _ in range(int(num_steps)):
+            out = self.get_actions(states, explore=explore)
+            actions = out[0] if isinstance(out, tuple) else out
+            vector_env.step_async(actions)
+            states, _, _ = vector_env.step_wait()
+        wall = time.perf_counter() - t0
+        frames = int(num_steps) * vector_env.num_envs
+        return {
+            "env_frames": frames,
+            "wall_time": wall,
+            "env_frames_per_second": frames / wall if wall else 0.0,
+            "mean_return": vector_env.mean_finished_return(),
+        }
 
     def observe(self, state, action, reward, terminal, next_state,
                 env_id: str = "env0") -> None:

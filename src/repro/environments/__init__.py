@@ -5,8 +5,9 @@ is available offline, so this package provides NumPy-native substitutes
 with the same interface shape (see DESIGN.md §2): SimPong (image-based,
 ±1 score rewards, 21-point episodes), SeekAvoid (expensive-to-render RGB
 arena), plus classic control (CartPole), GridWorld and RandomEnv for
-tests, and a sequential vector wrapper matching the paper's vectorized
-sample collection.
+tests, and a pluggable family of vector-environment engines
+(sequential / threaded / async — see :mod:`repro.environments.vector_env`)
+behind the paper's batched sample-collection interface.
 """
 
 from repro.environments.environment import ENVIRONMENTS, Environment
@@ -15,7 +16,14 @@ from repro.environments.cart_pole import CartPole
 from repro.environments.sim_pong import SimPong
 from repro.environments.seek_avoid import SeekAvoid
 from repro.environments.random_env import RandomEnv
-from repro.environments.vector_env import SequentialVectorEnv
+from repro.environments.vector_env import (
+    VECTOR_ENVS,
+    AsyncVectorEnv,
+    SequentialVectorEnv,
+    ThreadedVectorEnv,
+    VectorEnv,
+    vector_env_from_spec,
+)
 
 __all__ = [
     "ENVIRONMENTS",
@@ -25,5 +33,10 @@ __all__ = [
     "SimPong",
     "SeekAvoid",
     "RandomEnv",
+    "VECTOR_ENVS",
+    "VectorEnv",
     "SequentialVectorEnv",
+    "ThreadedVectorEnv",
+    "AsyncVectorEnv",
+    "vector_env_from_spec",
 ]

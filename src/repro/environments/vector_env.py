@@ -1,24 +1,65 @@
-"""SequentialVectorEnv: a vector of environments stepped sequentially.
+"""Vector-environment execution engines.
 
-This matches the paper's setup exactly — "Each worker executed 4
-environments ... (called sequentially)" (§5.1, Fig. 7a) — so acting cost
-scales with the vector while inference is batched once per step.
-Auto-resets on terminal, returning the fresh state (the terminal flag
-still reports the episode end).
+The paper's workers act on a *vector* of environments with one batched
+inference call per step ("Each worker executed 4 environments ...
+(called sequentially)", §5.1, Fig. 7a).  This module turns that single
+hard-coded loop into a pluggable engine family behind one interface:
+
+* :class:`SequentialVectorEnv` — the paper-faithful baseline: steps the
+  vector in a Python loop on the calling thread.  Acting cost grows
+  linearly with the vector size.
+* :class:`ThreadedVectorEnv` — steps all environments on a persistent
+  thread pool; results are written in place into shared NumPy batch
+  buffers.  ``time.sleep``/IO/native-code environments step in parallel
+  (the GIL is released), so acting cost approaches the cost of the
+  slowest single environment.
+* :class:`AsyncVectorEnv` — thread-pool stepping plus *double-buffered*
+  output: ``step_async``/``step_wait`` overlap environment stepping with
+  the caller's batched inference and post-processing, and the previous
+  step's returned arrays stay valid while the next step is in flight.
+
+All engines share auto-reset semantics and episode accounting (finished
+episode returns/lengths are recorded on the main thread in slot order,
+so accounting is deterministic regardless of thread scheduling).
+
+Engines register in :data:`VECTOR_ENVS` and resolve uniformly from
+declarative specs via :func:`vector_env_from_spec` — the
+``vector_env_spec`` config key accepted by the executors::
+
+    vector_env_from_spec(None, envs=envs)                  # sequential
+    vector_env_from_spec("threaded", envs=envs)
+    vector_env_from_spec({"type": "async", "num_threads": 4}, envs=envs)
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.environments.environment import Environment
 from repro.utils.errors import RLGraphError
+from repro.utils.registry import Registry
+
+VECTOR_ENVS = Registry("vector_env")
 
 
-class SequentialVectorEnv:
-    """Wraps N single environments behind a batched step interface."""
+class VectorEnv:
+    """Base class: N single environments behind a batched step interface.
+
+    The stepping contract is split in two so engines can overlap work
+    with the caller:
+
+    * :meth:`step_async` — submit one action per environment; engines
+      may begin stepping immediately on background threads.
+    * :meth:`step_wait` — block until the step completes and return
+      ``(states, rewards, terminals)`` stacked over the vector.
+
+    :meth:`step` is the fused convenience call.  Terminated environments
+    auto-reset: the returned state is the fresh post-reset state while
+    the terminal flag still reports the episode end.
+    """
 
     def __init__(self, env_fns: Sequence[Callable[[], Environment]] = None,
                  envs: Sequence[Environment] = None):
@@ -29,7 +70,7 @@ class SequentialVectorEnv:
         else:
             raise RLGraphError("Provide env_fns or envs")
         if not self.envs:
-            raise RLGraphError("SequentialVectorEnv needs >= 1 environment")
+            raise RLGraphError(f"{type(self).__name__} needs >= 1 environment")
         first = self.envs[0]
         self.state_space = first.state_space
         self.action_space = first.action_space
@@ -39,10 +80,17 @@ class SequentialVectorEnv:
         self.episode_steps = np.zeros(self.num_envs, dtype=np.int64)
         self.finished_episode_returns: List[float] = []
         self.finished_episode_steps: List[int] = []
+        self._pending_actions = None
+        self._was_reset = False
 
+    # -- stepping contract ------------------------------------------------
     def reset_all(self) -> np.ndarray:
         self.episode_returns[:] = 0.0
         self.episode_steps[:] = 0
+        self._was_reset = True
+        return self._reset_envs()
+
+    def _reset_envs(self) -> np.ndarray:
         return np.stack([env.reset() for env in self.envs])
 
     def step(self, actions):
@@ -50,28 +98,53 @@ class SequentialVectorEnv:
 
         Returns (states, rewards, terminals) stacked over the vector.
         """
+        self.step_async(actions)
+        return self.step_wait()
+
+    def step_async(self, actions) -> None:
+        """Submit the next action vector (engines may start stepping)."""
+        if not self._was_reset:
+            raise RLGraphError("Call reset_all before step")
+        if self._pending_actions is not None:
+            raise RLGraphError(
+                "step_async called with a step already in flight; call "
+                "step_wait first")
         actions = np.asarray(actions)
         if len(actions) != self.num_envs:
             raise RLGraphError(
                 f"Expected {self.num_envs} actions, got {len(actions)}")
-        states = []
-        rewards = np.empty(self.num_envs, dtype=np.float32)
-        terminals = np.empty(self.num_envs, dtype=bool)
-        for i, (env, action) in enumerate(zip(self.envs, actions)):
-            state, reward, terminal, _ = env.step(action)
-            rewards[i] = reward
-            terminals[i] = terminal
-            self.episode_returns[i] += reward
-            self.episode_steps[i] += 1
-            if terminal:
-                self.finished_episode_returns.append(
-                    float(self.episode_returns[i]))
-                self.finished_episode_steps.append(int(self.episode_steps[i]))
-                self.episode_returns[i] = 0.0
-                self.episode_steps[i] = 0
-                state = env.reset()
-            states.append(state)
-        return np.stack(states), rewards, terminals
+        self._pending_actions = actions
+
+    def step_wait(self):
+        """Block until the in-flight step completes; return its results."""
+        raise NotImplementedError
+
+    def _take_pending(self) -> np.ndarray:
+        if self._pending_actions is None:
+            raise RLGraphError("step_wait called without step_async")
+        actions, self._pending_actions = self._pending_actions, None
+        return actions
+
+    # -- episode accounting (main thread, slot order) ---------------------
+    def _record_step(self, i: int, reward: float, terminal: bool) -> None:
+        self.episode_returns[i] += reward
+        self.episode_steps[i] += 1
+        if terminal:
+            self.finished_episode_returns.append(
+                float(self.episode_returns[i]))
+            self.finished_episode_steps.append(int(self.episode_steps[i]))
+            self.episode_returns[i] = 0.0
+            self.episode_steps[i] = 0
+
+    def finished_returns_since(self, offset: int):
+        """Incremental episode-stat shipping: returns
+        ``(new_returns, new_offset)`` where ``new_returns`` are the
+        episodes finished since ``offset``.  Callers that may drop a
+        shipment (queue back-pressure) should only advance their stored
+        offset once the shipment is accepted.
+        """
+        finished = self.finished_episode_returns
+        return finished[offset:], len(finished)
 
     def mean_finished_return(self, last_n: int = 100) -> Optional[float]:
         if not self.finished_episode_returns:
@@ -81,3 +154,206 @@ class SequentialVectorEnv:
     def close(self):
         for env in self.envs:
             env.close()
+
+    def __len__(self):
+        return self.num_envs
+
+    def __repr__(self):
+        return f"{type(self).__name__}(num_envs={self.num_envs})"
+
+
+@VECTOR_ENVS.register("sequential")
+class SequentialVectorEnv(VectorEnv):
+    """The paper-faithful baseline: steps the vector in a Python loop.
+
+    ``step_async`` only validates and stores the actions; all stepping
+    happens synchronously inside ``step_wait`` on the calling thread.
+    """
+
+    def step_wait(self):
+        actions = self._take_pending()
+        states = []
+        rewards = np.empty(self.num_envs, dtype=np.float32)
+        terminals = np.empty(self.num_envs, dtype=bool)
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            state, reward, terminal, _ = env.step(action)
+            rewards[i] = reward
+            terminals[i] = terminal
+            self._record_step(i, float(reward), bool(terminal))
+            if terminal:
+                state = env.reset()
+            states.append(state)
+        return np.stack(states), rewards, terminals
+
+
+class _BatchBuffers:
+    """One set of shared output buffers, written in place by step threads."""
+
+    def __init__(self, num_envs: int, sample_state: np.ndarray):
+        sample = np.asarray(sample_state)
+        self.states = np.empty((num_envs,) + sample.shape, dtype=sample.dtype)
+        # float64 so episode accounting matches the sequential engine
+        # bit-for-bit; the step() return is cast to float32 like the base.
+        self.rewards = np.empty(num_envs, dtype=np.float64)
+        self.terminals = np.empty(num_envs, dtype=bool)
+
+
+@VECTOR_ENVS.register("threaded")
+class ThreadedVectorEnv(VectorEnv):
+    """Thread-pool stepping into shared NumPy batch buffers.
+
+    ``step_async`` dispatches one step-(and maybe reset)-task per
+    environment to a persistent pool; each task writes its slot of the
+    shared ``(N, ...)`` state/reward/terminal buffers in place.
+    ``step_wait`` joins the tasks and performs episode accounting in
+    slot order on the calling thread.
+
+    By default (``copy_output=True``) the returned states are a
+    *snapshot copy* of the shared buffer.  This matters because agents
+    whose preprocessing is the identity hand the input array straight
+    back as "preprocessed", and workers accumulate those arrays across
+    a whole rollout — aliasing the live buffer would silently turn the
+    rollout into T references to the final step.  The copy is a few
+    microseconds against a millisecond-scale env step.
+
+    ``copy_output=False`` opts into the raw zero-copy buffers for hot
+    loops that obey the in-place contract: the returned states are
+    overwritten by the *next* ``step_async`` — consume them (run
+    inference, copy what you keep) before submitting the next action
+    vector.  Rewards/terminals are always returned as fresh arrays.
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Environment]] = None,
+                 envs: Sequence[Environment] = None,
+                 num_threads: Optional[int] = None,
+                 copy_output: bool = True):
+        super().__init__(env_fns=env_fns, envs=envs)
+        self.copy_output = bool(copy_output)
+        workers = min(int(num_threads), self.num_envs) if num_threads \
+            else self.num_envs
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(workers, 1),
+            thread_name_prefix=f"{type(self).__name__.lower()}")
+        self._write: Optional[_BatchBuffers] = None
+        self._futures = None
+
+    # -- buffer management ------------------------------------------------
+    def _make_buffers(self, sample_state) -> None:
+        self._write = _BatchBuffers(self.num_envs, sample_state)
+
+    def _reset_envs(self) -> np.ndarray:
+        states = list(self._pool.map(lambda env: env.reset(), self.envs))
+        if self._write is None:
+            self._make_buffers(states[0])
+        for i, state in enumerate(states):
+            self._write.states[i] = state
+        return self._write.states.copy() if self.copy_output \
+            else self._write.states
+
+    # -- stepping ---------------------------------------------------------
+    def _step_slot(self, i: int) -> None:
+        env = self.envs[i]
+        state, reward, terminal, _ = env.step(self._pending_actions[i])
+        if terminal:
+            state = env.reset()
+        self._write.states[i] = state
+        self._write.rewards[i] = reward
+        self._write.terminals[i] = terminal
+
+    def step_async(self, actions) -> None:
+        super().step_async(actions)  # base guard ensures buffers exist
+        self._before_dispatch()
+        self._futures = [self._pool.submit(self._step_slot, i)
+                         for i in range(self.num_envs)]
+
+    def _before_dispatch(self) -> None:
+        """Hook for subclasses to adjust buffers before tasks launch."""
+
+    def step_wait(self):
+        if self._futures is None:
+            raise RLGraphError("step_wait called without step_async")
+        futures, self._futures = self._futures, None
+        # Drain every task before clearing state or re-raising: straggler
+        # threads must not keep reading actions / writing buffers while
+        # the caller handles the error and possibly resets.
+        first_error = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        self._pending_actions = None
+        if first_error is not None:
+            raise first_error
+        buf = self._write
+        for i in range(self.num_envs):
+            self._record_step(i, float(buf.rewards[i]), bool(buf.terminals[i]))
+        states = buf.states.copy() if self.copy_output else buf.states
+        return states, buf.rewards.astype(np.float32), buf.terminals.copy()
+
+    def close(self):
+        self._pool.shutdown(wait=True)
+        super().close()
+
+
+@VECTOR_ENVS.register("async")
+class AsyncVectorEnv(ThreadedVectorEnv):
+    """Double-buffered thread-pool stepping for step/act overlap.
+
+    Two buffer sets alternate as the write target: ``step_async`` flips
+    to the back buffer before dispatching, so in zero-copy mode
+    (``copy_output=False``) the arrays returned by the *previous*
+    ``step_wait`` stay valid while the next step is in flight — one
+    extra step of grace over :class:`ThreadedVectorEnv`.  The intended
+    hot loop overlaps the learner's batched inference and rollout
+    post-processing with environment stepping::
+
+        states = vec.reset_all()
+        while acting:
+            actions = agent.get_actions(states)   # batched inference
+            vec.step_async(actions)               # envs step in background
+            record(states, actions, ...)          # overlapped post-processing
+            states, rewards, terminals = vec.step_wait()
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Environment]] = None,
+                 envs: Sequence[Environment] = None,
+                 num_threads: Optional[int] = None,
+                 copy_output: bool = True):
+        super().__init__(env_fns=env_fns, envs=envs, num_threads=num_threads,
+                         copy_output=copy_output)
+        self._back: Optional[_BatchBuffers] = None
+
+    def _make_buffers(self, sample_state) -> None:
+        self._write = _BatchBuffers(self.num_envs, sample_state)
+        self._back = _BatchBuffers(self.num_envs, sample_state)
+
+    def _before_dispatch(self) -> None:
+        # Flip to the back buffer: the previously returned arrays stay
+        # valid while this step runs.
+        self._write, self._back = self._back, self._write
+
+
+def vector_env_from_spec(spec=None, envs: Sequence[Environment] = None,
+                         env_fns: Sequence[Callable] = None) -> VectorEnv:
+    """Resolve a ``vector_env_spec`` config value to an engine instance.
+
+    Accepted forms (the executors' ``vector_env_spec`` key):
+
+    * ``None`` — the paper-faithful :class:`SequentialVectorEnv` default;
+    * a string — engine type name (``"sequential"``/``"threaded"``/``"async"``);
+    * a dict — ``{"type": "threaded", "num_threads": 4}`` style;
+    * a :class:`VectorEnv` subclass, or an already-built instance
+      (returned as-is; ``envs``/``env_fns`` are ignored).
+    """
+    if isinstance(spec, VectorEnv):
+        return spec
+    if spec is None:
+        spec = "sequential"
+    built = VECTOR_ENVS.from_spec(spec, envs=envs, env_fns=env_fns)
+    if not isinstance(built, VectorEnv):
+        raise RLGraphError(
+            f"vector_env_spec resolved to {type(built).__name__}, "
+            f"which is not a VectorEnv")
+    return built

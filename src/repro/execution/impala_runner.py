@@ -23,7 +23,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.environments.vector_env import SequentialVectorEnv
+from repro.environments.vector_env import vector_env_from_spec
+from repro.execution.worker import snapshot_fn
 from repro.utils.errors import RLGraphError
 
 
@@ -34,12 +35,14 @@ class IMPALAActor(threading.Thread):
                  env_factory: Callable, rollout_queue: "queue.Queue",
                  weight_source, rollout_length: int = 20, num_envs: int = 1,
                  redundant_assignments: bool = False,
-                 stop_event: Optional[threading.Event] = None):
+                 stop_event: Optional[threading.Event] = None,
+                 vector_env_spec=None):
         super().__init__(daemon=True, name=f"impala-actor-{actor_index}")
         self.actor_index = actor_index
         self.agent = agent_factory()
         envs = [env_factory(actor_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = SequentialVectorEnv(envs=envs)
+        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
+        self._snap = snapshot_fn(self.vector_env)
         self.rollout_queue = rollout_queue
         self.weight_source = weight_source
         self.rollout_length = int(rollout_length)
@@ -47,6 +50,7 @@ class IMPALAActor(threading.Thread):
         self.stop_event = stop_event or threading.Event()
         self.env_frames = 0
         self.rollouts_produced = 0
+        self._episodes_shipped = 0
 
     def run(self):
         states = self.vector_env.reset_all()
@@ -61,15 +65,26 @@ class IMPALAActor(threading.Thread):
                     self.agent.set_weights(self.agent.get_weights())
                 actions, log_probs, preprocessed = self.agent.get_actions(
                     states)
-                next_states, rewards, terminals = self.vector_env.step(actions)
+                # Snapshot before dispatch (zero-copy buffer safety).
+                preprocessed = self._snap(preprocessed)
+                # Rollout assembly overlaps env stepping on async engines.
+                self.vector_env.step_async(actions)
                 rollout["states"].append(preprocessed)
                 rollout["actions"].append(actions)
                 rollout["behaviour_log_probs"].append(log_probs)
+                next_states, rewards, terminals = self.vector_env.step_wait()
                 rollout["rewards"].append(rewards)
                 rollout["terminals"].append(terminals)
                 states = next_states
                 self.env_frames += self.vector_env.num_envs
-            bootstrap = self.agent.get_actions(states)[-1]
+            bootstrap = self._snap(self.agent.get_actions(states)[-1])
+            # Ship only episodes finished since the last rollout — the
+            # runner accumulates across rollouts, so resending the full
+            # history would double-count old episodes in mean_return.
+            # The offset advances only after a successful put: a dropped
+            # (queue-full) rollout re-ships its episodes with the next.
+            new_returns, shipped_offset = \
+                self.vector_env.finished_returns_since(self._episodes_shipped)
             item = {
                 "states": np.asarray(rollout["states"]),
                 "actions": np.asarray(rollout["actions"]),
@@ -78,12 +93,12 @@ class IMPALAActor(threading.Thread):
                 "rewards": np.asarray(rollout["rewards"], np.float32),
                 "terminals": np.asarray(rollout["terminals"], bool),
                 "bootstrap_states": bootstrap,
-                "episode_returns": list(
-                    self.vector_env.finished_episode_returns),
+                "episode_returns": list(new_returns),
             }
             try:
                 self.rollout_queue.put(item, timeout=5.0)
                 self.rollouts_produced += 1
+                self._episodes_shipped = shipped_offset
             except queue.Full:
                 continue  # back-pressure: learner is saturated
             # Weight pull after each rollout (actor-learner lag).
@@ -99,7 +114,8 @@ class IMPALARunner:
                  env_factory: Callable, num_actors: int = 2,
                  envs_per_actor: int = 1, rollout_length: int = 20,
                  batch_size: int = 2, queue_capacity: int = 64,
-                 redundant_assignments: bool = False):
+                 redundant_assignments: bool = False,
+                 vector_env_spec=None):
         self.learner = learner_agent
         self.batch_size = int(batch_size)
         self.rollout_queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
@@ -112,7 +128,8 @@ class IMPALARunner:
                         self._get_weights, rollout_length=rollout_length,
                         num_envs=envs_per_actor,
                         redundant_assignments=redundant_assignments,
-                        stop_event=self.stop_event)
+                        stop_event=self.stop_event,
+                        vector_env_spec=vector_env_spec)
             for i in range(num_actors)
         ]
         self.episode_returns: List[float] = []

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.components.memories import PrioritizedReplayBuffer
-from repro.environments.vector_env import SequentialVectorEnv
+from repro.environments.vector_env import vector_env_from_spec
 from repro.execution.worker import SingleThreadedWorker
 
 
@@ -33,19 +33,21 @@ class ApexWorkerActor:
     """Builds a local agent + vectorized worker inside the actor thread.
 
     ``agent_factory`` may accept a ``worker_index`` kwarg to configure
-    per-worker exploration (Ape-X constant epsilons)."""
+    per-worker exploration (Ape-X constant epsilons).  ``vector_env_spec``
+    selects the vector-environment engine (``None`` keeps the sequential
+    paper baseline)."""
 
     def __init__(self, agent_factory: Callable, env_factory: Callable,
                  num_envs: int = 4, n_step: int = 3, discount: float = 0.99,
                  worker_side_prioritization: bool = True,
                  batched_postprocessing: bool = True,
-                 worker_index: int = 0):
+                 worker_index: int = 0, vector_env_spec=None):
         try:
             self.agent = agent_factory(worker_index=worker_index)
         except TypeError:
             self.agent = agent_factory()
         envs = [env_factory(worker_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = SequentialVectorEnv(envs=envs)
+        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
         self.worker = SingleThreadedWorker(
             self.agent, self.vector_env, n_step=n_step, discount=discount,
             worker_side_prioritization=worker_side_prioritization,

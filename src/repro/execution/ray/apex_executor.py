@@ -63,7 +63,7 @@ class ApexExecutor:
                  weight_sync_steps: int = 10,
                  worker_mode: str = "rlgraph",
                  frame_multiplier: int = 1,
-                 seed: int = 0):
+                 seed: int = 0, vector_env_spec=None):
         if worker_mode not in ("rlgraph", "rllib_like"):
             raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
         self.learner = learner_agent
@@ -84,7 +84,8 @@ class ApexExecutor:
                               discount=discount,
                               worker_side_prioritization=True,
                               batched_postprocessing=batched,
-                              worker_index=i)
+                              worker_index=i,
+                              vector_env_spec=vector_env_spec)
             for i in range(num_workers)
         ]
         shard_cls = raylite.remote(ReplayShardActor)

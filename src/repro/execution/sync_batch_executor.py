@@ -18,7 +18,8 @@ import numpy as np
 
 from repro import raylite
 from repro.agents.actor_critic_agent import discounted_returns
-from repro.environments.vector_env import SequentialVectorEnv
+from repro.environments.vector_env import vector_env_from_spec
+from repro.execution.worker import snapshot_fn
 from repro.utils.errors import RLGraphError
 
 
@@ -27,16 +28,18 @@ class A2CRolloutActor:
 
     def __init__(self, agent_factory: Callable, env_factory: Callable,
                  num_envs: int = 2, rollout_length: int = 32,
-                 worker_index: int = 0):
+                 worker_index: int = 0, vector_env_spec=None):
         try:
             self.agent = agent_factory(worker_index=worker_index)
         except TypeError:
             self.agent = agent_factory()
         envs = [env_factory(worker_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = SequentialVectorEnv(envs=envs)
+        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
+        self._snap = snapshot_fn(self.vector_env)
         self.rollout_length = int(rollout_length)
         self._states = self.vector_env.reset_all()
         self.env_frames = 0
+        self._episodes_shipped = 0
 
     def set_weights(self, weights) -> int:
         self.agent.set_weights(weights)
@@ -47,9 +50,13 @@ class A2CRolloutActor:
         traj = {"states": [], "actions": [], "rewards": [], "terminals": []}
         for _ in range(self.rollout_length):
             actions, pre = self.agent.get_actions(self._states)
-            next_states, rewards, terminals = self.vector_env.step(actions)
+            # Snapshot before dispatch (zero-copy buffer safety), then
+            # overlap trajectory assembly with env stepping.
+            pre = self._snap(pre)
+            self.vector_env.step_async(actions)
             traj["states"].append(pre)
             traj["actions"].append(actions)
+            next_states, rewards, terminals = self.vector_env.step_wait()
             traj["rewards"].append(rewards)
             traj["terminals"].append(terminals)
             self._states = next_states
@@ -63,11 +70,15 @@ class A2CRolloutActor:
                                                discount)
         flat = lambda arr: np.asarray(arr).reshape(
             (-1,) + np.asarray(arr).shape[2:])
+        # Ship only episodes finished since the previous rollout; the
+        # executor accumulates across iterations.
+        new_returns, self._episodes_shipped = \
+            self.vector_env.finished_returns_since(self._episodes_shipped)
         return {
             "states": flat(traj["states"]),
             "actions": flat(traj["actions"]),
             "returns": returns.reshape(-1),
-            "episode_returns": list(self.vector_env.finished_episode_returns),
+            "episode_returns": list(new_returns),
         }
 
     def get_stats(self) -> Dict:
@@ -82,14 +93,15 @@ class SyncBatchExecutor:
     def __init__(self, learner_agent, agent_factory: Callable,
                  env_factory: Callable, num_workers: int = 2,
                  envs_per_worker: int = 2, rollout_length: int = 32,
-                 discount: float = 0.99):
+                 discount: float = 0.99, vector_env_spec=None):
         self.learner = learner_agent
         self.discount = float(discount)
         actor_cls = raylite.remote(A2CRolloutActor)
         self.workers = [
             actor_cls.remote(agent_factory, env_factory,
                              num_envs=envs_per_worker,
-                             rollout_length=rollout_length, worker_index=i)
+                             rollout_length=rollout_length, worker_index=i,
+                             vector_env_spec=vector_env_spec)
             for i in range(num_workers)
         ]
 

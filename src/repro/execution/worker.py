@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.environments.vector_env import SequentialVectorEnv
+from repro.environments.vector_env import VectorEnv
 from repro.utils.errors import RLGraphError
 
 
@@ -110,13 +110,29 @@ def batched_n_step(states, actions, rewards, terminals, next_states,
             flat(n_next))
 
 
+def snapshot_fn(vector_env):
+    """Identity unless ``vector_env`` hands out live zero-copy buffers.
+
+    With ``copy_output=False`` engines, identity-preprocessing agents
+    return the engine's shared states buffer as "preprocessed"; any
+    consumer that retains those arrays across steps must snapshot them
+    or the next ``step_async`` rewrites the whole rollout in place.
+    """
+    if getattr(vector_env, "copy_output", True):
+        return lambda arr: arr
+    return lambda arr: np.array(arr, copy=True)
+
+
 class SingleThreadedWorker:
     """Acts on a vector of environments and post-processes samples.
 
     Args:
         agent: a built agent with ``get_actions`` returning
             (actions, preprocessed [, ...]) — DQN-family signature.
-        vector_env: a SequentialVectorEnv.
+        vector_env: any :class:`~repro.environments.vector_env.VectorEnv`
+            engine.  The batched collection path uses the engine's
+            ``step_async``/``step_wait`` split, so rollout bookkeeping
+            overlaps environment stepping on the threaded/async engines.
         n_step: n-step reward adjustment (Ape-X uses 3).
         worker_side_prioritization: compute initial priorities (|td|)
             before shipping samples (Ape-X heuristic).
@@ -125,7 +141,7 @@ class SingleThreadedWorker:
             (the RLlib-like pattern; ablation switch).
     """
 
-    def __init__(self, agent, vector_env: SequentialVectorEnv,
+    def __init__(self, agent, vector_env: VectorEnv,
                  n_step: int = 1, discount: float = 0.99,
                  worker_side_prioritization: bool = False,
                  batched_postprocessing: bool = True):
@@ -136,6 +152,7 @@ class SingleThreadedWorker:
         self.worker_side_prioritization = worker_side_prioritization
         self.batched_postprocessing = batched_postprocessing
         self.stats = WorkerStats()
+        self._snap = snapshot_fn(vector_env)
         self._states = vector_env.reset_all()
         self._accumulators = [NStepAccumulator(n_step, discount)
                               for _ in range(vector_env.num_envs)]
@@ -169,10 +186,15 @@ class SingleThreadedWorker:
         preprocessed = None
         for _ in range(steps):
             out = self.agent.get_actions(self._states)
-            actions, preprocessed = out[0], out[-1]
-            next_states, rewards, terminals = self.vector_env.step(actions)
+            # Snapshot before dispatch: in zero-copy mode the buffer that
+            # "preprocessed" aliases is rewritten as soon as envs step.
+            actions, preprocessed = out[0], self._snap(out[-1])
+            # Dispatch stepping, then do rollout bookkeeping while the
+            # envs run (a no-op overlap on the sequential engine).
+            self.vector_env.step_async(actions)
             pre_buf.append(preprocessed)
             action_buf.append(actions)
+            next_states, rewards, terminals = self.vector_env.step_wait()
             reward_buf.append(rewards)
             terminal_buf.append(terminals)
             self._states = next_states
@@ -205,9 +227,10 @@ class SingleThreadedWorker:
         for _ in range(steps):
             out = self.agent.get_actions(self._states)
             actions, preprocessed = out[0], out[-1]
+            preprocessed = self._snap(preprocessed)
             next_states, rewards, terminals = self.vector_env.step(actions)
             out_next = self.agent.get_actions(next_states)
-            next_pre = out_next[-1]
+            next_pre = self._snap(out_next[-1])
             # Per-env accumulation (python-loop accounting).
             for e in range(num_envs):
                 ready = self._accumulators[e].push(
@@ -257,17 +280,20 @@ class SingleThreadedWorker:
         prev_terminals = None
         for i in range(steps):
             out = self.agent.get_actions(self._states)
-            actions, preprocessed = out[0], out[-1]
+            actions, preprocessed = out[0], self._snap(out[-1])
+            # Overlap: memory insertion and the learner update run while
+            # the envs step in the background (threaded/async engines).
+            self.vector_env.step_async(actions)
             if prev_pre is not None:
                 self.agent.observe_batch(prev_pre, prev_actions, prev_rewards,
                                          prev_terminals, preprocessed)
-            next_states, rewards, terminals = self.vector_env.step(actions)
-            prev_pre, prev_actions = preprocessed, actions
-            prev_rewards, prev_terminals = rewards, terminals
-            self._states = next_states
             total = (i + 1) * num_envs
             if total > update_after and i % update_interval == 0:
                 self.agent.update()
+            next_states, rewards, terminals = self.vector_env.step_wait()
+            prev_pre, prev_actions = preprocessed, actions
+            prev_rewards, prev_terminals = rewards, terminals
+            self._states = next_states
         self.stats.wall_time += time.perf_counter() - t0
         self.stats.env_frames += steps * num_envs
         self.stats.episode_returns = self.vector_env.finished_episode_returns
