@@ -3,12 +3,16 @@
 Measures component-graph trace time and main build time for (a) a single
 PrioritizedReplay component and (b) the full dueling-DQN-with-
 prioritized-replay architecture, on the static-graph (xgraph ~ TF) and
-define-by-run (xtape ~ PT) backends.
+define-by-run (xtape ~ PT) backends. A second table breaks the static
+backend's per-fetch-set cost into plan build, compile (graph-compiler
+passes), and steady-state run time.
 
 Paper shape: single component < 100 ms total; full architecture ~1 s
 (TF) / ~650 ms (PT); define-by-run *build* is much cheaper than the
 static build because variables are plain arrays.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -83,3 +87,59 @@ def test_build_overhead(benchmark, backend, arch, table):
         table("Fig. 5a — build overheads (ms)",
               ["architecture", "backend", "trace_ms", "overhead_ms",
                "variables_ms", "components", "graph_fns"], ROWS)
+
+
+def test_compile_vs_run_breakdown(benchmark, table):
+    """One-time compile cost vs steady-state run cost per optimize level.
+
+    The graph-compiler passes add a one-off per-fetch-set cost on top of
+    plan building; this shows how many runs amortize it (it is paid once
+    per process, like the build itself)."""
+    rows = []
+    amortization = {}
+
+    def sweep():
+        for opt in ("none", "basic", "fused"):
+            agent = _build_agent_for_breakdown(opt)
+            batch = np.asarray(32)
+            t0 = time.perf_counter()
+            agent.call_api("update_from_memory", batch)  # plan+compile+run
+            first_call = time.perf_counter() - t0
+            sess = agent.graph.session
+            n, t0 = 0, time.perf_counter()
+            while time.perf_counter() - t0 < 0.4:
+                agent.call_api("update_from_memory", batch)
+                n += 1
+            per_run = (time.perf_counter() - t0) / n
+            compile_time = sess.stats.compile_time
+            rows.append([opt, f"{first_call * 1e3:.1f}",
+                         f"{compile_time * 1e3:.1f}",
+                         f"{per_run * 1e3:.2f}"])
+            amortization[opt] = (compile_time, per_run)
+        return amortization
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table("E1 follow-up — DQN update fetch-set: compile vs run (ms)",
+          ["optimize", "first call", "compile passes", "steady-state run"],
+          rows)
+    benchmark.extra_info.update(
+        {f"{opt}_compile_s": c for opt, (c, _) in amortization.items()})
+    benchmark.extra_info.update(
+        {f"{opt}_run_s": r for opt, (_, r) in amortization.items()})
+    assert amortization["none"][0] == 0.0, "optimize='none' must not compile"
+
+
+def _build_agent_for_breakdown(optimize):
+    agent = DQNAgent(
+        state_space=FloatBox(shape=(16,)), action_space=IntBox(4),
+        network_spec=[{"type": "dense", "units": 64}],
+        dueling=True, double_q=True, prioritized_replay=True,
+        memory_capacity=2048, batch_size=32, seed=0, optimize=optimize)
+    rng = np.random.default_rng(0)
+    agent.observe_batch(
+        states=rng.standard_normal((256, 16)).astype(np.float32),
+        actions=rng.integers(0, 4, 256),
+        rewards=rng.standard_normal(256).astype(np.float32),
+        terminals=rng.random(256) < 0.1,
+        next_states=rng.standard_normal((256, 16)).astype(np.float32))
+    return agent

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Quick-mode performance snapshot -> BENCH_compiler.json.
+
+Runs the three hot-path micro-benchmarks that track the repo's perf
+trajectory — `session.run` on the DQN update fetch-set (per optimize
+level), vector-env stepping, and prioritized-replay sampling — in a few
+seconds each and writes an ops/sec summary. CI calls this in a
+non-blocking step so every PR from the graph-compiler PR onward records
+a machine-readable perf point.
+
+Usage:
+    PYTHONPATH=src python scripts/run_benchmarks.py [--output BENCH_compiler.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def _measure(fn, window: float = 0.3, rounds: int = 3) -> float:
+    """Best-of-``rounds`` calls/sec for ``fn`` (robust to CPU-clock drift)."""
+    fn()  # warm
+    best = 0.0
+    for _ in range(rounds):
+        n, t0 = 0, time.perf_counter()
+        while time.perf_counter() - t0 < window:
+            fn()
+            n += 1
+        best = max(best, n / (time.perf_counter() - t0))
+    return best
+
+
+def bench_session_run() -> dict:
+    """DQN update fetch-set throughput per optimize level (batch 8)."""
+    import numpy as np
+    from repro.agents import DQNAgent
+    from repro.spaces import FloatBox, IntBox
+
+    results = {}
+    for optimize in ("none", "basic", "fused"):
+        agent = DQNAgent(
+            state_space=FloatBox(shape=(4,)), action_space=IntBox(2),
+            network_spec=[{"type": "dense", "units": 32,
+                           "activation": "relu"},
+                          {"type": "dense", "units": 32,
+                           "activation": "relu"}],
+            prioritized_replay=True, dueling=True, double_q=True,
+            batch_size=8, memory_capacity=512, seed=11, optimize=optimize)
+        rng = np.random.default_rng(0)
+        agent.observe_batch(
+            states=rng.standard_normal((128, 4)).astype(np.float32),
+            actions=rng.integers(0, 2, 128),
+            rewards=rng.standard_normal(128).astype(np.float32),
+            terminals=rng.random(128) < 0.1,
+            next_states=rng.standard_normal((128, 4)).astype(np.float32))
+        batch = np.asarray(8)
+        results[optimize] = round(_measure(
+            lambda: agent.call_api("update_from_memory", batch)), 1)
+    results["fused_speedup_vs_none"] = round(
+        results["fused"] / results["none"], 3)
+    return results
+
+
+def bench_vector_env_step() -> dict:
+    """Sequential vector-env stepping throughput (8 GridWorlds)."""
+    import numpy as np
+    from repro.environments import GridWorld, SequentialVectorEnv
+
+    vec = SequentialVectorEnv(envs=[GridWorld(seed=i) for i in range(8)])
+    vec.reset_all()
+    actions = np.zeros(vec.num_envs, dtype=np.int64)
+
+    def step():
+        vec.step_async(actions)
+        vec.step_wait()
+
+    steps_per_s = _measure(step)
+    return {"steps_per_s": round(steps_per_s, 1),
+            "env_frames_per_s": round(steps_per_s * vec.num_envs, 1)}
+
+
+def bench_per_sample() -> dict:
+    """Prioritized-replay insert/sample/update on the host-side buffer."""
+    import numpy as np
+    from repro.components.memories.python_memory import (
+        PrioritizedReplayBuffer,
+    )
+
+    rng = np.random.default_rng(0)
+    buf = PrioritizedReplayBuffer(capacity=2 ** 16, seed=0)
+    n = 2 ** 16
+    records = {
+        "states": rng.standard_normal((n, 8)).astype(np.float32),
+        "rewards": rng.standard_normal(n).astype(np.float32),
+    }
+    buf.insert(records, priorities=rng.random(n))
+    sampled = {}
+
+    def sample():
+        _, idx, _ = buf.sample(256)
+        sampled["idx"] = idx
+
+    sample_per_s = _measure(sample)
+    idx = sampled["idx"]
+    priorities = rng.random(256)
+    update_per_s = _measure(lambda: buf.update_priorities(idx, priorities))
+    chunk = {k: v[:1024] for k, v in records.items()}
+    prio_chunk = rng.random(1024)
+    insert_per_s = _measure(lambda: buf.insert(chunk, priorities=prio_chunk))
+    return {"sample256_per_s": round(sample_per_s, 1),
+            "update256_per_s": round(update_per_s, 1),
+            "insert1024_per_s": round(insert_per_s, 1)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_compiler.json",
+                        help="summary JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    summary = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "session_run_dqn_update_per_s": bench_session_run(),
+        "vector_env_step": bench_vector_env_step(),
+        "prioritized_replay": bench_per_sample(),
+    }
+    with open(args.output, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    json.dump(summary, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

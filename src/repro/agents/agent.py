@@ -37,10 +37,12 @@ class Agent:
     def __init__(self, state_space, action_space, backend: str = XGRAPH,
                  discount: float = 0.99, observe_flush_size: int = 64,
                  seed: Optional[int] = None, auto_build: bool = True,
-                 device_map: Optional[Dict[str, str]] = None):
+                 device_map: Optional[Dict[str, str]] = None,
+                 optimize: str = "fused"):
         self.state_space: Space = space_from_spec(state_space)
         self.action_space: Space = space_from_spec(action_space)
         self.backend = backend
+        self.optimize = optimize
         self.discount = float(discount)
         self.observe_flush_size = int(observe_flush_size)
         self.seeds = SeedStream(seed)
@@ -76,7 +78,8 @@ class Agent:
             raise RLGraphError("Agent already built")
         self.root = self.build_root()
         builder = GraphBuilder(backend=self.backend,
-                               seed=self.seeds.spawn("graph"))
+                               seed=self.seeds.spawn("graph"),
+                               optimize=self.optimize)
         self.graph = builder.build(self.root, self.input_spaces(),
                                    device_map=self.device_map)
         return self

@@ -90,7 +90,7 @@ class PPOAgent(Agent):
         }
         agent_kwargs = {}
         for key in ("backend", "discount", "observe_flush_size", "seed",
-                    "auto_build", "device_map"):
+                    "auto_build", "device_map", "optimize"):
             if key in kwargs:
                 agent_kwargs[key] = kwargs.pop(key)
         unknown = set(kwargs) - set(config)

@@ -23,6 +23,11 @@ from repro.backend.context import (
     no_grad,
     symbolic_mode,
 )
+from repro.backend.compiler import (
+    OPTIMIZE_LEVELS,
+    CompiledPlan,
+    compile_plan,
+)
 from repro.backend.eager import ETensor, backward, collect_leaf_grads, raw
 from repro.backend.gradients import gradients
 from repro.backend.graph import Graph, Node, Placeholder
@@ -66,6 +71,9 @@ __all__ = [
     "Placeholder",
     "Session",
     "Variable",
+    "CompiledPlan",
+    "compile_plan",
+    "OPTIMIZE_LEVELS",
     "XGRAPH",
     "XTAPE",
     "set_default_backend",

@@ -1,0 +1,495 @@
+"""Graph compiler for the symbolic backend.
+
+The paper's premise is that expressing RL logic as a component graph lets
+the backend *optimize* execution instead of replaying it op by op ("all
+relevant operations into a single session call", §1). This module is that
+optimizer: it turns a fetch-set's topological plan into a
+:class:`CompiledPlan` through classic compiler passes and then executes
+it with a flat slot-based executor instead of the per-node dict walk.
+
+Pass pipeline (levels are cumulative):
+
+``basic``
+    1. **Constant folding** — stateless nodes whose inputs are all
+       constants are evaluated once at compile time and become
+       preloaded slab constants.
+    2. **Common-subexpression elimination** — stateless nodes with
+       identical ``(op, input-ids, attrs)`` signatures are merged.
+    3. **Dead-node elimination** — nodes no longer reachable from the
+       fetches (through data *or* control edges) after folding/CSE are
+       dropped. Stateful nodes reachable from the fetches are always
+       kept, in their original relative order.
+
+``fused``
+    4. **Elementwise fusion** — chains/trees of elementwise ops whose
+       intermediates have a single consumer collapse into one fused
+       kernel (:func:`repro.backend.kernels.build_fused_kernel`), so a
+       whole arithmetic chain costs one executor step.
+
+All levels finish with:
+
+    5. **Slot allocation** — every surviving value gets an index into a
+       preallocated value slab; argument slot tuples are precomputed, and
+       slots are reused once their last consumer has run (register
+       allocation by liveness), keeping the slab small.
+
+Correctness invariants:
+
+* stateful ops (assigns, scatters, random draws, ``py_func``) are never
+  folded, merged, or fused, and the surviving steps preserve the original
+  topological order, so control-dependency semantics are unchanged;
+* folding and fusion call the *registered* op forwards, so results are
+  bitwise identical to the interpreter at every optimization level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import kernels
+from repro.backend.graph import Node
+from repro.backend.ops import OPS
+from repro.utils.errors import RLGraphError
+
+# Ops that are safe to collapse into a fused elementwise kernel: shape-
+# preserving / broadcasting NumPy calls with no state and no Python-level
+# side effects. (The "where-style" family from backend/ops.py.)
+FUSABLE_OPS = frozenset({
+    "add", "sub", "mul", "div", "neg", "mod", "power",
+    "exp", "log", "sqrt", "square", "abs", "sign", "floor",
+    "maximum", "minimum", "clip",
+    "relu", "tanh", "sigmoid", "softplus",
+    "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
+    "logical_and", "logical_or", "logical_not",
+    "cast", "where", "identity", "stop_gradient",
+})
+
+# Never constant-fold these even when their inputs are constant: their
+# output can be unboundedly larger than their inputs.
+_NO_FOLD_OPS = frozenset({"tile", "dyn_arange", "zeros2d", "broadcast_like"})
+
+# Stateful ops that do NOT mutate observable state (reads and private RNG
+# streams). Any other stateful op — assigns, scatters, py_func — is
+# treated as a mutation barrier: a value computed from mutable state on
+# one side of the barrier is not interchangeable with the "same"
+# expression on the other side, because variable buffers change in place.
+_NON_MUTATING_STATEFUL = frozenset({"read_var", "random_uniform",
+                                    "random_normal"})
+
+# Don't bake folded constants bigger than this into the plan (bytes).
+_FOLD_SIZE_LIMIT = 1 << 20
+
+OPTIMIZE_LEVELS = ("none", "basic", "fused")
+
+
+class CompileStats:
+    """Per-plan pass counters, aggregated into SessionStats."""
+
+    __slots__ = ("nodes_total", "nodes_folded", "nodes_cse", "nodes_dead",
+                 "nodes_fused", "fused_kernels", "num_steps", "slab_slots",
+                 "slab_slots_saved")
+
+    def __init__(self):
+        self.nodes_total = 0
+        self.nodes_folded = 0
+        self.nodes_cse = 0
+        self.nodes_dead = 0
+        self.nodes_fused = 0
+        self.fused_kernels = 0
+        self.num_steps = 0
+        self.slab_slots = 0
+        self.slab_slots_saved = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _freeze_attr(value) -> Any:
+    """Hashable signature of one attr value (for the CSE key)."""
+    if isinstance(value, np.ndarray):
+        if value.size <= 256:
+            return ("arr", value.tobytes(), str(value.dtype), value.shape)
+        return ("obj", id(value))
+    if isinstance(value, np.dtype):
+        return ("dt", str(value))
+    if isinstance(value, slice):
+        return ("slice", _freeze_attr(value.start), _freeze_attr(value.stop),
+                _freeze_attr(value.step))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(_freeze_attr(v) for v in value)
+    if isinstance(value, dict):
+        return ("dict",) + tuple(sorted(
+            (k, _freeze_attr(v)) for k, v in value.items()))
+    if isinstance(value, type):
+        return ("type", value.__module__, value.__qualname__)
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return value
+    if value is Ellipsis:
+        return ("ellipsis",)
+    return ("obj", id(value))
+
+
+def _cse_key(node: Node, input_ids: Sequence[int]) -> Optional[Tuple]:
+    try:
+        attr_key = tuple(sorted(
+            (k, _freeze_attr(v)) for k, v in node.attrs.items()))
+    except TypeError:
+        return None
+    return (node.op, tuple(input_ids), attr_key)
+
+
+class _Step:
+    """One executor step: precomputed forward + slot index arrays.
+
+    For a fused group, ``instructions`` holds the member ops as
+    ``(forward, attrs, refs)`` so the plan driver can inline them with
+    local temporaries; ``forward`` is then the standalone fused kernel
+    used by the non-codegen fallback path.
+    """
+
+    __slots__ = ("forward", "attrs", "arg_slots", "out_slot", "name",
+                 "instructions")
+
+    def __init__(self, forward, attrs, arg_slots, out_slot, name,
+                 instructions=None):
+        self.forward = forward
+        self.attrs = attrs
+        self.arg_slots = arg_slots
+        self.out_slot = out_slot
+        self.name = name
+        self.instructions = instructions
+
+
+# Plans beyond this many steps fall back to the interpreted step loop
+# instead of whole-plan codegen (keeps generated code bounded).
+_DRIVER_STEP_LIMIT = 20_000
+
+
+class CompiledPlan:
+    """An optimized, slot-addressed execution plan for one fetch-set."""
+
+    def __init__(self, steps: List[_Step], template: List[Any],
+                 feed_slots: List[Tuple[Node, int]], fetch_slots: List[int],
+                 stats: CompileStats):
+        self._steps = [(s.forward, s.attrs, s.arg_slots, s.out_slot)
+                       for s in steps]
+        self._template = template
+        self._feed_slots = feed_slots
+        self._fetch_slots = fetch_slots
+        self.steps = steps
+        self.stats = stats
+        self._driver = (self._build_driver()
+                        if len(steps) <= _DRIVER_STEP_LIMIT else None)
+
+    def _build_driver(self):
+        """Generate one flat function executing every step against the
+        slab — no step loop, no per-step argument-list comprehension."""
+        namespace: Dict[str, Any] = {}
+        lines = ["def _driver(slab):"]
+        for j, step in enumerate(self.steps):
+            if step.instructions is not None:
+                # Inline the fused group: intermediates live in locals
+                # (LOAD/STORE_FAST), only the root value touches the slab.
+                # Temp names t0..tN are shared across groups on purpose —
+                # reassignment drops the previous group's arrays so the
+                # allocator can recycle their buffers (refs never cross
+                # groups).
+                last = len(step.instructions) - 1
+                for k, (forward, attrs, refs) in enumerate(step.instructions):
+                    namespace[f"_f{j}_{k}"] = forward
+                    namespace[f"_a{j}_{k}"] = attrs
+                    args = ", ".join(
+                        f"slab[{step.arg_slots[r]}]" if kind == "arg"
+                        else f"t{r}"
+                        for kind, r in refs)
+                    target = (f"slab[{step.out_slot}]" if k == last
+                              else f"t{k}")
+                    lines.append(
+                        f"    {target} = _f{j}_{k}([{args}], _a{j}_{k})")
+                continue
+            namespace[f"_f{j}"] = step.forward
+            namespace[f"_a{j}"] = step.attrs
+            args = ", ".join(f"slab[{i}]" for i in step.arg_slots)
+            lines.append(f"    slab[{step.out_slot}] = _f{j}([{args}], _a{j})")
+        lines.append("    return slab")
+        exec(compile("\n".join(lines), "<compiled-plan>", "exec"), namespace)
+        return namespace["_driver"]
+
+    def run(self, feed_values: Dict[int, Any]) -> List[Any]:
+        """Execute against a ``{placeholder-id: value}`` feed map."""
+        slab = self._template.copy()
+        for ph, slot in self._feed_slots:
+            try:
+                slab[slot] = feed_values[ph.id]
+            except KeyError:
+                raise RLGraphError(
+                    f"Placeholder {ph.name} was not fed (shape {ph.shape})")
+        if self._driver is not None:
+            self._driver(slab)
+        else:
+            for forward, attrs, arg_slots, out_slot in self._steps:
+                slab[out_slot] = forward([slab[i] for i in arg_slots], attrs)
+        return [slab[s] for s in self._fetch_slots]
+
+
+def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
+                 optimize: str = "fused") -> CompiledPlan:
+    """Lower a topologically ordered node plan into a :class:`CompiledPlan`.
+
+    ``optimize`` selects the pass set: ``"basic"`` runs folding + CSE +
+    dead-node elimination, ``"fused"`` additionally fuses elementwise
+    chains. (``"none"`` never reaches this function — the Session keeps
+    the plain interpreter for it.)
+    """
+    if optimize not in ("basic", "fused"):
+        raise RLGraphError(f"Unknown optimize level {optimize!r}")
+    stats = CompileStats()
+    stats.nodes_total = len(plan)
+
+    # -- pass 0: state epochs ------------------------------------------------
+    # epoch[id] counts the mutating stateful nodes scheduled before a node;
+    # state_dep[id] marks nodes whose value transitively depends on mutable
+    # state. A state-dependent node may only be merged with (CSE) or
+    # delayed to (fusion) a position in the *same* epoch — otherwise it
+    # would observe variable buffers after an in-place write the
+    # interpreter would have sequenced after it.
+    epoch: Dict[int, int] = {}
+    state_dep: Dict[int, bool] = {}
+    current_epoch = 0
+    for node in plan:
+        state_dep[node.id] = bool(node.stateful) or any(
+            state_dep[i.id] for i in node.inputs)
+        epoch[node.id] = current_epoch
+        if node.stateful and node.op not in _NON_MUTATING_STATEFUL:
+            current_epoch += 1
+
+    # -- pass 1+2: constant folding and CSE (single topo walk) -------------
+    alias: Dict[int, int] = {}      # node id -> canonical node id (CSE)
+    const_values: Dict[int, Any] = {}  # node id -> compile-time value
+    nodes_by_id: Dict[int, Node] = {n.id: n for n in plan}
+
+    def resolve(node_id: int) -> int:
+        while node_id in alias:
+            node_id = alias[node_id]
+        return node_id
+
+    cse_table: Dict[Tuple, int] = {}
+    fetch_ids = {f.id for f in fetches}
+    for node in plan:
+        if node.op == "const":
+            const_values[node.id] = node.attrs["value"]
+            continue
+        if (node.op == "placeholder" or node.stateful or node.control_inputs):
+            continue
+        spec = OPS.get(node.op)
+        if spec is None:
+            continue
+        input_ids = [resolve(i.id) for i in node.inputs]
+        if (node.inputs and node.op not in _NO_FOLD_OPS
+                and all(i in const_values for i in input_ids)):
+            try:
+                value = spec.forward([const_values[i] for i in input_ids],
+                                     node.attrs)
+            except Exception:
+                value = None
+            if (value is not None
+                    and getattr(np.asarray(value), "nbytes", 0)
+                    <= _FOLD_SIZE_LIMIT):
+                const_values[node.id] = value
+                stats.nodes_folded += 1
+                continue
+        key = _cse_key(node, input_ids)
+        if key is not None:
+            canonical = cse_table.get(key)
+            if (canonical is not None and canonical not in const_values
+                    and (not state_dep[node.id]
+                         or epoch[node.id] == epoch[canonical])):
+                alias[node.id] = canonical
+                stats.nodes_cse += 1
+                continue
+            cse_table[key] = node.id
+
+    # -- pass 3: dead-node elimination --------------------------------------
+    live: set = set()
+    frontier = [resolve(f.id) for f in fetches]
+    while frontier:
+        node_id = frontier.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        if node_id in const_values:
+            continue  # folded: its inputs are no longer needed at runtime
+        node = nodes_by_id[node_id]
+        frontier.extend(resolve(i.id) for i in node.inputs)
+        frontier.extend(resolve(c.id) for c in node.control_inputs)
+    live_plan = [n for n in plan
+                 if n.id in live and n.id not in alias
+                 and n.id not in const_values
+                 and n.op not in ("const", "placeholder")]
+    num_meta = sum(1 for n in plan if n.op in ("const", "placeholder"))
+    stats.nodes_dead = (len(plan) - num_meta - stats.nodes_folded
+                        - stats.nodes_cse - len(live_plan))
+
+    # Placeholders that survive (must be fed at run time).
+    live_placeholders = [n for n in plan
+                         if n.op == "placeholder" and n.id in live]
+
+    # -- pass 4: elementwise fusion -----------------------------------------
+    # members[root-id] = topo-ordered node list executing as one kernel.
+    # Only pure, single-consumer intermediates fuse: nothing outside the
+    # group reads them, so delaying them to the root's schedule position
+    # can never violate an ordering constraint.
+    members: Dict[int, List[Node]] = {}
+    if optimize == "fused":
+        consumers: Dict[int, int] = {}
+        for node in live_plan:
+            for inp in node.inputs:
+                iid = resolve(inp.id)
+                consumers[iid] = consumers.get(iid, 0) + 1
+            for ctrl in node.control_inputs:
+                # A control-dep target must keep its own schedule position.
+                consumers[resolve(ctrl.id)] = 2
+        for fid in fetch_ids:
+            rid = resolve(fid)
+            consumers[rid] = consumers.get(rid, 0) + 2
+
+        for node in live_plan:
+            if (node.op not in FUSABLE_OPS or node.stateful
+                    or node.control_inputs):
+                continue
+            # Visit order is topological, so any absorbable producer
+            # already roots a (possibly singleton) group in ``members``.
+            # Distinct producer groups are mutually independent (their
+            # internals are single-consumer), so concatenation is a valid
+            # topological order for the merged group.
+            group = [node]
+            for inp in node.inputs:
+                iid = resolve(inp.id)
+                if consumers.get(iid, 0) != 1 or iid in const_values:
+                    continue
+                sub = members.get(iid)
+                # Delaying a state-dependent member to this root's
+                # schedule position must not cross a mutation barrier.
+                if sub is not None and all(
+                        not state_dep[m.id] or epoch[m.id] == epoch[node.id]
+                        for m in sub):
+                    group = sub + group
+                    del members[iid]
+            members[node.id] = group
+        for root_id in [r for r, ms in members.items() if len(ms) < 2]:
+            del members[root_id]
+        for ms in members.values():
+            stats.nodes_fused += len(ms)
+            stats.fused_kernels += 1
+
+    # -- pass 5: slot allocation + step emission ----------------------------
+    fused_internal = {m.id for ms in members.values()
+                      for m in ms[:-1]}  # all but the root
+    schedule = [n for n in live_plan if n.id not in fused_internal]
+
+    slot_of: Dict[int, int] = {}
+    template: List[Any] = []
+
+    def new_persistent_slot(value) -> int:
+        template.append(value)
+        return len(template) - 1
+
+    # Constants (original + folded) that are still referenced load into
+    # persistent template slots.
+    needed_ids: set = set()
+    for node in schedule:
+        if node.id in members:
+            for member in members[node.id]:
+                needed_ids.update(resolve(i.id) for i in member.inputs)
+        else:
+            needed_ids.update(resolve(i.id) for i in node.inputs)
+    needed_ids.update(resolve(f.id) for f in fetches)
+    for node_id, value in const_values.items():
+        if node_id in needed_ids and node_id not in alias:
+            slot_of[node_id] = new_persistent_slot(value)
+
+    feed_slots: List[Tuple[Node, int]] = []
+    for ph in live_placeholders:
+        slot = new_persistent_slot(None)
+        slot_of[ph.id] = slot
+        feed_slots.append((ph, slot))
+
+    persistent = set(slot_of.values())
+    resolved_fetch_ids = {resolve(f.id) for f in fetches}
+    base_slots = len(template)
+
+    # Liveness: last schedule index at which each produced value is read.
+    last_use: Dict[int, int] = {}
+    for index, node in enumerate(schedule):
+        sources = (members[node.id] if node.id in members else [node])
+        for member in sources:
+            for inp in member.inputs:
+                last_use[resolve(inp.id)] = index
+
+    free_slots: List[int] = []
+    steps: List[_Step] = []
+    total_outputs = 0
+    for index, node in enumerate(schedule):
+        node_id = node.id
+        if node.id in members:
+            group = members[node.id]
+            internal = {m.id for m in group}
+            ext_ids: List[int] = []
+            instructions = []
+            local_of: Dict[int, int] = {}
+            for j, member in enumerate(group):
+                refs = []
+                for inp in member.inputs:
+                    iid = resolve(inp.id)
+                    if iid in internal and iid in local_of:
+                        refs.append(("local", local_of[iid]))
+                    else:
+                        if iid not in ext_ids:
+                            ext_ids.append(iid)
+                        refs.append(("arg", ext_ids.index(iid)))
+                spec = OPS[member.op]
+                instructions.append((spec.forward, member.attrs, refs))
+                local_of[member.id] = j
+            forward = kernels.build_fused_kernel(instructions)
+            arg_slots = tuple(slot_of[i] for i in ext_ids)
+            attrs: Dict[str, Any] = {}
+            name = f"fused[{'+'.join(m.op for m in group)}]"
+            fused_instructions = instructions
+        else:
+            spec = OPS.get(node.op)
+            if spec is None:
+                raise RLGraphError(
+                    f"Unknown op {node.op!r} for node {node.name}")
+            forward = spec.forward
+            arg_slots = tuple(slot_of[resolve(i.id)] for i in node.inputs)
+            attrs = node.attrs
+            name = node.name
+            fused_instructions = None
+        total_outputs += 1
+        if free_slots:
+            out_slot = free_slots.pop()
+        else:
+            template.append(None)
+            out_slot = len(template) - 1
+        slot_of[node_id] = out_slot
+        if node_id in resolved_fetch_ids:
+            persistent.add(out_slot)  # fetched values must survive the run
+        steps.append(_Step(forward, attrs, arg_slots, out_slot, name,
+                           instructions=fused_instructions))
+        # Free slots whose value was read for the last time at this step.
+        for value_id, last in list(last_use.items()):
+            if last == index:
+                slot = slot_of.get(value_id)
+                if slot is not None and slot not in persistent:
+                    free_slots.append(slot)
+                del last_use[value_id]
+
+    fetch_slots = [slot_of[resolve(f.id)] for f in fetches]
+    stats.num_steps = len(steps)
+    stats.slab_slots = len(template)
+    # Without liveness-based reuse every step output would get its own
+    # slot; the difference is how much slab the allocator saved.
+    stats.slab_slots_saved = total_outputs - (len(template) - base_slots)
+    return CompiledPlan(steps, template, feed_slots, fetch_slots, stats)

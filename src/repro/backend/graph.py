@@ -140,7 +140,10 @@ class Graph:
 
     def constant(self, value, dtype=None, name="") -> Node:
         arr = np.asarray(value, dtype=dtype)
-        if arr.dtype == np.float64:
+        # Python floats arrive as float64; the backend's working precision
+        # is float32, so coerce — but only when the caller did not
+        # explicitly request a dtype (an explicit np.float64 must stick).
+        if dtype is None and arr.dtype == np.float64:
             arr = arr.astype(np.float32)
         key = None
         if arr.size <= 64:

@@ -193,3 +193,34 @@ def unbroadcast(grad: np.ndarray, target_shape) -> np.ndarray:
         if size == 1 and grad.shape[axis] != 1:
             grad = grad.sum(axis=axis, keepdims=True)
     return grad
+
+
+# ---------------------------------------------------------------------------
+# Fused elementwise kernels (graph compiler)
+# ---------------------------------------------------------------------------
+def build_fused_kernel(instructions):
+    """Compile a chain of elementwise ops into one Python function.
+
+    ``instructions`` is a topologically ordered list of
+    ``(forward, attrs, refs)`` tuples, where each ref is either
+    ``("arg", k)`` — the k-th external input — or ``("local", j)`` — the
+    output of instruction j. The generated function has the standard
+    op-forward signature ``fn(args, attrs)`` and calls the *registered*
+    forwards, so fused results are bitwise identical to unfused
+    execution; the win is eliminating per-node executor dispatch and
+    slab traffic for intermediates.
+    """
+    namespace = {}
+    lines = []
+    for j, (forward, attrs, refs) in enumerate(instructions):
+        namespace[f"_f{j}"] = forward
+        namespace[f"_c{j}"] = attrs
+        args = ", ".join(f"a[{k}]" if kind == "arg" else f"t{k}"
+                         for kind, k in refs)
+        lines.append(f"    t{j} = _f{j}([{args}], _c{j})")
+    lines.append(f"    return t{len(instructions) - 1}")
+    source = "def _fused(a, attrs):\n" + "\n".join(lines)
+    exec(compile(source, "<fused-kernel>", "exec"), namespace)
+    fused = namespace["_fused"]
+    fused.num_ops = len(instructions)
+    return fused

@@ -2,31 +2,47 @@
 
 The Session is the runtime half of the static-graph backend. It computes
 and caches a topological *execution plan* per fetch-set (the paper's graph
-executor batches "all relevant operations into a single session call", §1),
-then evaluates the plan with a per-run value table. Control dependencies
-order side-effecting nodes (assigns, scatters) relative to reads.
+executor batches "all relevant operations into a single session call", §1)
+and, by default, lowers that plan through the graph compiler
+(:mod:`repro.backend.compiler`): constant folding, CSE, dead-node
+elimination, elementwise fusion, and a flat slot-based executor replace
+the per-node dict walk. ``optimize="none"`` keeps the plain interpreter —
+the paper-faithful ablation baseline. Control dependencies order
+side-effecting nodes (assigns, scatters) relative to reads at every level.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend.compiler import OPTIMIZE_LEVELS, CompiledPlan, compile_plan
 from repro.backend.graph import Graph, Node, Placeholder
 from repro.backend.ops import OPS
 from repro.utils.errors import RLGraphError
 
 
 class SessionStats:
-    """Lightweight profiling counters (run calls, wall time, plan cache)."""
+    """Lightweight profiling counters (run calls, wall time, plan cache,
+    compiler pass results)."""
 
     def __init__(self):
         self.run_calls = 0
         self.total_time = 0.0
         self.plan_builds = 0
         self.nodes_executed = 0
+        # Compiler counters (aggregated over all compiled fetch-sets).
+        self.compile_time = 0.0
+        self.plans_compiled = 0
+        self.nodes_folded = 0
+        self.nodes_cse = 0
+        self.nodes_dead = 0
+        self.nodes_fused = 0
+        self.fused_kernels = 0
+        self.slab_slots = 0
+        self.slab_slots_saved = 0
 
     def as_dict(self):
         return {
@@ -34,6 +50,15 @@ class SessionStats:
             "total_time": self.total_time,
             "plan_builds": self.plan_builds,
             "nodes_executed": self.nodes_executed,
+            "compile_time": self.compile_time,
+            "plans_compiled": self.plans_compiled,
+            "nodes_folded": self.nodes_folded,
+            "nodes_cse": self.nodes_cse,
+            "nodes_dead": self.nodes_dead,
+            "nodes_fused": self.nodes_fused,
+            "fused_kernels": self.fused_kernels,
+            "slab_slots": self.slab_slots,
+            "slab_slots_saved": self.slab_slots_saved,
         }
 
     def reset(self):
@@ -45,14 +70,26 @@ class Session:
 
     Args:
         graph: the graph to execute.
-        cache_plans: keep the topological plan per fetch-set. Disabling
+        cache_plans: keep the (compiled) plan per fetch-set. Disabling
             this is the E-ablation showing per-call planning cost.
+        optimize: ``"none"`` replays the topological plan node by node
+            (the seed behavior and the paper-faithful executor ablation),
+            ``"basic"`` adds constant folding + CSE + dead-node
+            elimination with the slot executor, ``"fused"`` (default)
+            additionally fuses elementwise chains into single kernels.
     """
 
-    def __init__(self, graph: Graph, cache_plans: bool = True):
+    def __init__(self, graph: Graph, cache_plans: bool = True,
+                 optimize: str = "fused"):
+        if optimize not in OPTIMIZE_LEVELS:
+            raise RLGraphError(
+                f"Unknown optimize level {optimize!r}; use one of "
+                f"{OPTIMIZE_LEVELS}")
         self.graph = graph
         self.cache_plans = cache_plans
+        self.optimize = optimize
         self._plans: Dict[Tuple[int, ...], List[Node]] = {}
+        self._compiled: Dict[Tuple[int, ...], CompiledPlan] = {}
         self.stats = SessionStats()
 
     # -- plan construction --------------------------------------------------
@@ -90,6 +127,27 @@ class Session:
             self._plans[key] = plan
         return plan
 
+    def _get_compiled(self, fetches: Sequence[Node]) -> CompiledPlan:
+        key = tuple(f.id for f in fetches)
+        compiled = self._compiled.get(key) if self.cache_plans else None
+        if compiled is None:
+            plan = self._get_plan(fetches)
+            t0 = time.perf_counter()
+            compiled = compile_plan(plan, fetches, optimize=self.optimize)
+            self.stats.compile_time += time.perf_counter() - t0
+            self.stats.plans_compiled += 1
+            cs = compiled.stats
+            self.stats.nodes_folded += cs.nodes_folded
+            self.stats.nodes_cse += cs.nodes_cse
+            self.stats.nodes_dead += cs.nodes_dead
+            self.stats.nodes_fused += cs.nodes_fused
+            self.stats.fused_kernels += cs.fused_kernels
+            self.stats.slab_slots += cs.slab_slots
+            self.stats.slab_slots_saved += cs.slab_slots_saved
+            if self.cache_plans:
+                self._compiled[key] = compiled
+        return compiled
+
     # -- execution ------------------------------------------------------------
     def run(self, fetches, feed_dict: Optional[Dict[Node, Any]] = None):
         """Evaluate ``fetches`` (a Node or a list/tuple of Nodes).
@@ -113,16 +171,21 @@ class Session:
                     arr = arr.astype(ph.dtype)
                 values[ph.id] = arr
 
-        plan = self._get_plan(fetch_list)
-        for node in plan:
-            if node.id in values:
-                continue
-            self._execute_node(node, values)
+        if self.optimize == "none":
+            plan = self._get_plan(fetch_list)
+            for node in plan:
+                if node.id in values:
+                    continue
+                self._execute_node(node, values)
+            results = [values[f.id] for f in fetch_list]
+            self.stats.nodes_executed += len(plan)
+        else:
+            compiled = self._get_compiled(fetch_list)
+            results = compiled.run(values)
+            self.stats.nodes_executed += compiled.stats.num_steps
 
         self.stats.run_calls += 1
-        self.stats.nodes_executed += len(plan)
         self.stats.total_time += time.perf_counter() - t0
-        results = [values[f.id] for f in fetch_list]
         return results[0] if single else results
 
     def _execute_node(self, node: Node, values: Dict[int, Any]):
@@ -141,10 +204,21 @@ class Session:
 
     # -- convenience -------------------------------------------------------------
     def warm_up(self, fetches, feed_dict=None):
-        """Build (and cache) the plan without counting it as a run."""
-        self._get_plan([fetches] if isinstance(fetches, Node) else list(fetches))
+        """Build (and cache) the plan — and its compiled form — without
+        counting it as a run."""
+        fetch_list = [fetches] if isinstance(fetches, Node) else list(fetches)
+        self._get_plan(fetch_list)
+        if self.optimize != "none":
+            self._get_compiled(fetch_list)
 
     def plan_size(self, fetches) -> int:
         plan = self._get_plan([fetches] if isinstance(fetches, Node)
                               else list(fetches))
         return len(plan)
+
+    def compiled_plan(self, fetches) -> Optional[CompiledPlan]:
+        """The compiled plan for a fetch-set (None at ``optimize='none'``)."""
+        if self.optimize == "none":
+            return None
+        return self._get_compiled([fetches] if isinstance(fetches, Node)
+                                  else list(fetches))

@@ -90,11 +90,13 @@ class PrioritizedReplayBuffer(ReplayBuffer):
             priorities = records.get("priorities")
         if priorities is None:
             priorities = np.full(len(idx), self.max_priority)
-        for i, p in zip(idx, np.asarray(priorities, dtype=np.float64)):
-            p = max(float(p), 1e-8)
-            self.max_priority = max(self.max_priority, p)
-            self.sum_tree[int(i)] = p ** self.alpha
-            self.min_tree[int(i)] = p ** self.alpha
+        priorities = np.maximum(np.asarray(priorities, dtype=np.float64), 1e-8)
+        if priorities.size:
+            self.max_priority = max(self.max_priority,
+                                    float(priorities.max()))
+            scaled = priorities ** self.alpha
+            self.sum_tree.set_batch(idx, scaled)
+            self.min_tree.set_batch(idx, scaled)
         return idx
 
     def sample(self, batch_size: int):
@@ -103,10 +105,9 @@ class PrioritizedReplayBuffer(ReplayBuffer):
             raise RLGraphError("Cannot sample from an empty buffer")
         total = self.sum_tree.sum(0, self.size)
         prefixes = self.rng.uniform(0.0, total, size=batch_size)
-        idx = np.asarray([self.sum_tree.index_of_prefixsum(p) for p in prefixes],
-                         dtype=np.int64)
+        idx = self.sum_tree.index_of_prefixsum_batch(prefixes)
         idx = np.minimum(idx, self.size - 1)
-        probs = np.asarray([self.sum_tree[int(i)] for i in idx]) / max(total, 1e-12)
+        probs = self.sum_tree.get_batch(idx) / max(total, 1e-12)
         min_prob = self.min_tree.min(0, self.size) / max(total, 1e-12)
         max_weight = (min_prob * self.size) ** (-self.beta)
         weights = ((probs * self.size) ** (-self.beta)) / max(max_weight, 1e-12)
@@ -114,11 +115,15 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         return records, idx, weights.astype(np.float32)
 
     def update_priorities(self, indices: np.ndarray, priorities: np.ndarray):
-        for i, p in zip(np.asarray(indices), np.asarray(priorities,
-                                                        dtype=np.float64)):
-            p = max(float(p), 1e-8)
-            if not 0 <= int(i) < self.capacity:
-                raise RLGraphError(f"Priority index {i} out of range")
-            self.max_priority = max(self.max_priority, p)
-            self.sum_tree[int(i)] = p ** self.alpha
-            self.min_tree[int(i)] = p ** self.alpha
+        indices = np.asarray(indices, dtype=np.int64)
+        priorities = np.maximum(np.asarray(priorities, dtype=np.float64), 1e-8)
+        if indices.size == 0:
+            return
+        bad = (indices < 0) | (indices >= self.capacity)
+        if np.any(bad):
+            raise RLGraphError(
+                f"Priority index {int(indices[bad][0])} out of range")
+        self.max_priority = max(self.max_priority, float(priorities.max()))
+        scaled = priorities ** self.alpha
+        self.sum_tree.set_batch(indices, scaled)
+        self.min_tree.set_batch(indices, scaled)

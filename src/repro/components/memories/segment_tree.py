@@ -23,7 +23,7 @@ class SegmentTree:
     """
 
     def __init__(self, capacity: int, operation: Callable = operator.add,
-                 neutral_element: float = 0.0):
+                 neutral_element: float = 0.0, np_operation=None):
         if capacity <= 0 or capacity & (capacity - 1) != 0:
             raise RLGraphError(
                 f"SegmentTree capacity must be a positive power of two, "
@@ -31,6 +31,9 @@ class SegmentTree:
         self.capacity = capacity
         self.operation = operation
         self.neutral_element = neutral_element
+        # Vectorized twin of ``operation`` (e.g. np.add for a sum tree);
+        # enables the batched level-by-level updates in set_batch.
+        self.np_operation = np_operation
         self.values = np.full(2 * capacity, neutral_element, dtype=np.float64)
 
     def __setitem__(self, idx: int, value: float):
@@ -48,6 +51,40 @@ class SegmentTree:
         if not 0 <= idx < self.capacity:
             raise IndexError(idx)
         return float(self.values[idx + self.capacity])
+
+    def set_batch(self, idx, values) -> None:
+        """Vectorized ``self[idx[k]] = values[k]`` for index arrays.
+
+        Instead of one root-to-leaf walk per element, all touched leaves
+        are written at once and each affected tree level is recomputed in
+        a single NumPy operation — O(log n) array ops per batch rather
+        than O(batch * log n) Python steps. Duplicate indices follow
+        NumPy fancy-assignment semantics (last write wins), matching a
+        sequential loop.
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.capacity:
+            raise IndexError(int(idx[(idx < 0) | (idx >= self.capacity)][0]))
+        if self.np_operation is None:
+            for i, v in zip(idx, values):  # no vectorized operation known
+                self[int(i)] = float(v)
+            return
+        self.values[idx + self.capacity] = values
+        parents = np.unique(idx + self.capacity) >> 1
+        while parents[0] > 0:
+            self.values[parents] = self.np_operation(
+                self.values[2 * parents], self.values[2 * parents + 1])
+            parents = np.unique(parents >> 1)
+
+    def get_batch(self, idx) -> np.ndarray:
+        """Vectorized leaf read: ``values[idx]`` as a float64 array."""
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        if idx.size and (idx.min() < 0 or idx.max() >= self.capacity):
+            raise IndexError(int(idx[(idx < 0) | (idx >= self.capacity)][0]))
+        return self.values[idx + self.capacity]
 
     def reduce(self, start: int = 0, end: int = None) -> float:
         """Apply the operation over [start, end)."""
@@ -72,7 +109,7 @@ class SegmentTree:
 
 class SumSegmentTree(SegmentTree):
     def __init__(self, capacity: int):
-        super().__init__(capacity, operator.add, 0.0)
+        super().__init__(capacity, operator.add, 0.0, np_operation=np.add)
 
     def sum(self, start: int = 0, end: int = None) -> float:
         return self.reduce(start, end)
@@ -92,10 +129,36 @@ class SumSegmentTree(SegmentTree):
                 pos = left + 1
         return pos - self.capacity
 
+    def index_of_prefixsum_batch(self, prefixes) -> np.ndarray:
+        """Vectorized :meth:`index_of_prefixsum` for a prefix array.
+
+        One level-by-level descent over the flat tree array: every
+        iteration resolves one tree level for the whole batch (same
+        float-subtraction order as the scalar walk, so results are
+        bitwise identical).
+        """
+        prefixes = np.atleast_1d(np.asarray(prefixes, dtype=np.float64))
+        if prefixes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        total = self.sum()
+        bad = (prefixes < 0) | (prefixes > total + 1e-5)
+        if np.any(bad):
+            raise RLGraphError(f"prefixsum {float(prefixes[bad][0])} out of "
+                               f"range [0, {total}]")
+        prefixes = prefixes.copy()
+        pos = np.ones(prefixes.shape, dtype=np.int64)
+        while pos[0] < self.capacity:  # all positions share one level
+            left = 2 * pos
+            left_values = self.values[left]
+            go_left = left_values > prefixes
+            prefixes = np.where(go_left, prefixes, prefixes - left_values)
+            pos = np.where(go_left, left, left + 1)
+        return pos - self.capacity
+
 
 class MinSegmentTree(SegmentTree):
     def __init__(self, capacity: int):
-        super().__init__(capacity, min, float("inf"))
+        super().__init__(capacity, min, float("inf"), np_operation=np.minimum)
 
     def min(self, start: int = 0, end: int = None) -> float:
         return self.reduce(start, end)

@@ -317,11 +317,13 @@ class BuiltGraph:
 class GraphBuilder:
     """Builds a root component into a :class:`BuiltGraph`."""
 
-    def __init__(self, backend: str = XGRAPH, seed: Optional[int] = None):
+    def __init__(self, backend: str = XGRAPH, seed: Optional[int] = None,
+                 optimize: str = "fused"):
         if backend not in (XGRAPH, XTAPE):
             raise RLGraphError(f"Unknown backend {backend!r}")
         self.backend = backend
         self.seed = seed
+        self.optimize = optimize
         self.graph: Optional[Graph] = None
         self.nodes: List[GraphFnNode] = []
         self.stats = BuildStats()
@@ -423,7 +425,7 @@ class GraphBuilder:
         with self.graph.as_default(), symbolic_mode():
             self._assign_input_handles_symbolic(api)
             self._fixpoint(root)
-        return Session(self.graph)
+        return Session(self.graph, optimize=self.optimize)
 
     def _build_eager(self, root, api) -> None:
         self.graph = None
@@ -516,7 +518,8 @@ class GraphBuilder:
 
 def build_graph(root: Component, input_spaces: Dict[str, Any],
                 backend: str = XGRAPH, seed: Optional[int] = None,
-                device_map: Optional[Dict[str, str]] = None) -> BuiltGraph:
+                device_map: Optional[Dict[str, str]] = None,
+                optimize: str = "fused") -> BuiltGraph:
     """Convenience wrapper: build ``root`` for ``backend``."""
-    return GraphBuilder(backend=backend, seed=seed).build(
+    return GraphBuilder(backend=backend, seed=seed, optimize=optimize).build(
         root, input_spaces, device_map=device_map)

@@ -1,0 +1,276 @@
+"""Graph-compiler tests: pass correctness, executor parity, and
+bitwise-identical agent fetch results across ``optimize`` levels."""
+
+import numpy as np
+import pytest
+
+from repro.agents import DQNAgent, IMPALAAgent, PPOAgent
+from repro.backend import (
+    Graph,
+    Session,
+    Variable,
+    functional as F,
+    symbolic_mode,
+)
+from repro.spaces import FloatBox, IntBox
+from repro.utils import RLGraphError
+
+LEVELS = ("none", "basic", "fused")
+
+
+def make_graph():
+    return Graph(name="compiler-test", seed=123)
+
+
+def run_all_levels(graph, fetches, feed=None):
+    """Session.run the same fetch-set at every optimize level."""
+    return {opt: Session(graph, optimize=opt).run(fetches, feed)
+            for opt in LEVELS}
+
+
+class TestPasses:
+    def test_constant_folding(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            c = F.add(F.mul(g.constant(2.0), g.constant(3.0)), g.constant(1.0))
+            y = F.mul(x, c)
+        sess = Session(g, optimize="basic")
+        out = sess.run(y, {x: np.ones(2, np.float32)})
+        np.testing.assert_allclose(out, [7.0, 7.0])
+        assert sess.stats.nodes_folded == 2  # mul and add collapse
+
+    def test_cse(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            a = F.add(F.mul(x, 2.0), 1.0)
+            b = F.add(F.mul(x, 2.0), 1.0)
+            out = F.sub(a, b)
+        sess = Session(g, optimize="basic")
+        res = sess.run(out, {x: np.arange(3, dtype=np.float32)})
+        np.testing.assert_allclose(res, [0, 0, 0])
+        assert sess.stats.nodes_cse == 2  # duplicate mul and add merge
+
+    def test_dead_node_elimination(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            # The exp feeds only a folded const chain -> dead at runtime.
+            dead_feed = F.exp(g.constant(0.0))
+            y = F.add(x, F.mul(dead_feed, 0.0))
+        sess = Session(g, optimize="basic")
+        out = sess.run(y, {x: np.ones(2, np.float32)})
+        np.testing.assert_allclose(out, [1, 1])
+        assert sess.stats.nodes_folded >= 1
+
+    def test_fusion_produces_kernels_and_identical_values(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            y = F.relu(F.add(F.mul(F.neg(x), 0.5), 1.0))
+        ref = Session(g, optimize="none").run(y, {x: np.arange(5, dtype=np.float32)})
+        sess = Session(g, optimize="fused")
+        out = sess.run(y, {x: np.arange(5, dtype=np.float32)})
+        assert np.array_equal(ref, out) and ref.dtype == out.dtype
+        assert sess.stats.fused_kernels == 1
+        assert sess.stats.nodes_fused == 4
+
+    def test_fetch_const_placeholder_and_folded_node(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            c = g.constant(np.asarray([5.0, 6.0], np.float32))
+            folded = F.mul(c, 2.0)
+        for opt in LEVELS:
+            outs = Session(g, optimize=opt).run(
+                [x, c, folded], {x: np.asarray([1.0, 2.0], np.float32)})
+            np.testing.assert_allclose(outs[0], [1, 2])
+            np.testing.assert_allclose(outs[1], [5, 6])
+            np.testing.assert_allclose(outs[2], [10, 12])
+
+    def test_unfed_placeholder_raises_at_all_levels(self):
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((2,), np.float32)
+            y = F.mul(x, 2.0)
+        for opt in LEVELS:
+            with pytest.raises(RLGraphError):
+                Session(g, optimize=opt).run(y)
+
+    def test_unknown_optimize_level_rejected(self):
+        with pytest.raises(RLGraphError):
+            Session(make_graph(), optimize="aggressive")
+
+
+class TestStatefulParity:
+    def test_cse_does_not_cross_mutation_barrier(self):
+        # The two F.mul(read, 2.0) nodes are textually identical, but the
+        # first fetch branch runs an assign_add between them (exactly how
+        # a loss fetch interleaves with a td-error fetch around an
+        # optimizer step). Plan order: mul#1, assign, mul#2 — merging the
+        # duplicates would make mul#2 observe the pre-assign buffer.
+        g = make_graph()
+        with g.as_default(), symbolic_mode():
+            v = Variable("v", np.asarray([1.0, 2.0], np.float32),
+                         trainable=False, graph=g)
+            read = v.read()
+            y_pre = F.mul(read, 2.0)
+            bump = v.assign_add(g.constant(np.asarray([1.0, 1.0], np.float32)))
+            loss = F.with_deps(y_pre, bump)  # forces: y_pre, then assign
+            y_post = F.mul(read, 2.0)        # second fetch branch, post-assign
+        for opt in LEVELS:
+            v.set(np.asarray([1.0, 2.0], np.float32))
+            out_loss, out_post = Session(g, optimize=opt).run([loss, y_post])
+            np.testing.assert_allclose(out_loss, [2.0, 4.0], err_msg=opt)
+            np.testing.assert_allclose(out_post, [4.0, 6.0], err_msg=opt)
+
+    def test_scatter_assign_ordering_under_control_deps(self):
+        # Ring-buffer pointer semantics from the symbolic backend tests,
+        # re-checked at every optimize level.
+        for opt in LEVELS:
+            g = make_graph()
+            with g.as_default(), symbolic_mode():
+                buf = Variable("buf", np.zeros(4, np.float32),
+                               trainable=False, graph=g)
+                ptr = Variable("ptr", np.asarray(0, np.int64),
+                               trainable=False, graph=g)
+                vals = g.placeholder((None,), np.float32)
+                n = F.size_of(vals)
+                idx = F.mod(F.add(F.dyn_arange(n), ptr.read()), 4)
+                write = buf.scatter_update(idx, vals)
+                advance = ptr.assign(F.mod(F.add(ptr.read(), n), 4)).with_deps(write)
+                done = F.group(write, advance)
+            sess = Session(g, optimize=opt)
+            sess.run(done, {vals: np.asarray([1.0, 2.0, 3.0])})
+            np.testing.assert_allclose(buf.value, [1, 2, 3, 0], err_msg=opt)
+            assert ptr.value == 3
+            sess.run(done, {vals: np.asarray([9.0, 8.0])})
+            np.testing.assert_allclose(buf.value, [8, 2, 3, 9], err_msg=opt)
+            assert ptr.value == 1
+
+    def test_random_stream_parity(self):
+        # Same graph seed -> identical stateful random draws per level.
+        draws = {}
+        for opt in LEVELS:
+            g = Graph(name="rng", seed=99)
+            with g.as_default(), symbolic_mode():
+                r = F.random_uniform(shape=(4,), seed=g.next_op_seed())
+            sess = Session(g, optimize=opt)
+            draws[opt] = [sess.run(r) for _ in range(3)]
+        for opt in ("basic", "fused"):
+            for a, b in zip(draws["none"], draws[opt]):
+                assert np.array_equal(a, b)
+
+
+class TestConstantDtype:
+    def test_float64_downcast_by_default(self):
+        g = make_graph()
+        assert g.constant(1.5).attrs["value"].dtype == np.float32
+
+    def test_explicit_float64_preserved(self):
+        g = make_graph()
+        c = g.constant(1.5, dtype=np.float64)
+        assert c.attrs["value"].dtype == np.float64
+        assert c.dtype == np.float64
+
+
+def _variable_state(agent):
+    return {name: var.value.copy()
+            for name, var in agent.graph.graph.variables.items()}
+
+
+def _assert_state_equal(ref, other, context):
+    assert set(ref) == set(other)
+    for name in ref:
+        assert ref[name].dtype == other[name].dtype, (context, name)
+        assert np.array_equal(ref[name], other[name]), (context, name)
+
+
+@pytest.mark.parametrize("optimize", ["basic", "fused"])
+class TestAgentParity:
+    """Tier-1 agent smoke graphs produce bitwise-identical fetches and
+    variable states at every optimize level."""
+
+    def test_dqn_act_and_update(self, optimize):
+        rng = np.random.default_rng(0)
+        batch = {
+            "states": rng.standard_normal((64, 4)).astype(np.float32),
+            "actions": rng.integers(0, 2, 64),
+            "rewards": rng.standard_normal(64).astype(np.float32),
+            "terminals": rng.random(64) < 0.1,
+            "next_states": rng.standard_normal((64, 4)).astype(np.float32),
+        }
+
+        def drive(opt):
+            agent = DQNAgent(
+                state_space=FloatBox(shape=(4,)), action_space=IntBox(2),
+                prioritized_replay=True, dueling=True, double_q=True,
+                seed=11, batch_size=8, memory_capacity=256, sync_interval=3,
+                network_spec=[{"type": "dense", "units": 16,
+                               "activation": "relu"}],
+                optimize=opt)
+            agent.observe_batch(**batch)
+            outs = []
+            for _ in range(6):
+                actions, _ = agent.get_actions(batch["states"][:8])
+                loss, td = agent.update()
+                outs.append((np.asarray(actions), loss, td))
+            return outs, _variable_state(agent)
+
+        ref_outs, ref_state = drive("none")
+        outs, state = drive(optimize)
+        for (a0, l0, t0), (a1, l1, t1) in zip(ref_outs, outs):
+            assert np.array_equal(a0, a1)
+            assert l0 == l1
+            assert np.array_equal(t0, t1) and t0.dtype == t1.dtype
+        _assert_state_equal(ref_state, state, optimize)
+
+    def test_impala_update(self, optimize):
+        rng = np.random.default_rng(2)
+        t_steps, batch = 5, 3
+        rollout = {
+            "states": rng.standard_normal((t_steps, batch, 4)).astype(np.float32),
+            "actions": rng.integers(0, 3, (t_steps, batch)),
+            "behaviour_log_probs": np.full((t_steps, batch), -1.0, np.float32),
+            "rewards": rng.normal(size=(t_steps, batch)).astype(np.float32),
+            "terminals": np.zeros((t_steps, batch), bool),
+            "bootstrap_states": rng.standard_normal((batch, 4)).astype(np.float32),
+        }
+
+        def drive(opt):
+            agent = IMPALAAgent(state_space=(4,), action_space=IntBox(3),
+                                seed=7, optimize=opt)
+            losses = [agent.update(rollout) for _ in range(4)]
+            acts = agent.get_actions(rollout["states"][0])
+            return losses, acts, _variable_state(agent)
+
+        ref_losses, ref_acts, ref_state = drive("none")
+        losses, acts, state = drive(optimize)
+        assert losses == ref_losses
+        for a, b in zip(ref_acts, acts):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+        _assert_state_equal(ref_state, state, optimize)
+
+    def test_ppo_update(self, optimize):
+        rng = np.random.default_rng(1)
+        n = 8
+        batch = {
+            "states": rng.standard_normal((n, 4)).astype(np.float32),
+            "actions": rng.integers(0, 2, n),
+            "old_log_probs": np.full(n, -0.7, np.float32),
+            "rewards": np.ones(n, np.float32),
+            "terminals": np.zeros(n, bool),
+            "values": np.zeros(n, np.float32),
+        }
+
+        def drive(opt):
+            agent = PPOAgent(state_space=(4,), action_space=IntBox(2),
+                             seed=3, epochs=2, minibatch_size=4, optimize=opt)
+            losses = [agent.update(batch) for _ in range(3)]
+            return losses, _variable_state(agent)
+
+        ref_losses, ref_state = drive("none")
+        losses, state = drive(optimize)
+        assert losses == ref_losses
+        _assert_state_equal(ref_state, state, optimize)

@@ -76,6 +76,41 @@ class TestSegmentTree:
         assert tree.sum(0, idx) <= prefix + 1e-6
         assert tree.sum(0, idx + 1) > prefix - 1e-6
 
+    @pytest.mark.parametrize("capacity", [1, 2, 16, 256])
+    def test_set_batch_matches_scalar_writes(self, capacity):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, capacity, size=3 * capacity)  # with duplicates
+        vals = rng.random(idx.size) * 10
+        for cls in (SumSegmentTree, MinSegmentTree):
+            scalar, batch = cls(capacity), cls(capacity)
+            for i, v in zip(idx, vals):
+                scalar[int(i)] = float(v)
+            batch.set_batch(idx, vals)
+            np.testing.assert_array_equal(scalar.values, batch.values)
+            np.testing.assert_array_equal(batch.get_batch(idx),
+                                          [scalar[int(i)] for i in idx])
+
+    def test_set_batch_out_of_range(self):
+        tree = SumSegmentTree(8)
+        with pytest.raises(IndexError):
+            tree.set_batch([1, 8], [1.0, 2.0])
+
+    def test_index_of_prefixsum_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        tree = SumSegmentTree(64)
+        tree.set_batch(np.arange(40), rng.random(40) + 0.01)
+        prefixes = rng.uniform(0.0, tree.sum(), size=500)
+        batch = tree.index_of_prefixsum_batch(prefixes)
+        scalar = np.asarray([tree.index_of_prefixsum(p) for p in prefixes])
+        np.testing.assert_array_equal(batch, scalar)
+        assert tree.index_of_prefixsum_batch([]).size == 0
+
+    def test_index_of_prefixsum_batch_range_check(self):
+        tree = SumSegmentTree(8)
+        tree.set_batch([0, 1], [1.0, 2.0])
+        with pytest.raises(RLGraphError):
+            tree.index_of_prefixsum_batch([0.5, 100.0])
+
 
 # ---------------------------------------------------------------------------
 # Pure-python buffers
