@@ -1,0 +1,208 @@
+"""E11 — process-parallel execution: thread vs. process backends on
+CPU-bound pure-Python envs.
+
+The paper's Ape-X/IMPALA experiments assume truly parallel actors (Ray
+processes).  Our seed raylite ran actors on Python *threads*: NumPy-
+interpreted agents and pure-Python envs hold the GIL, so adding workers
+adds almost no actor-side sample throughput.  This bench measures the
+fix — ``parallel_spec="process"`` (raylite process actors + shared-
+memory transport) and the ``subproc`` vector-env engine — against the
+threaded baseline on a deliberately CPU-bound env
+(``RandomEnv(cpu_work=...)``: a GIL-holding busy loop per step).
+
+Acceptance (hardware-conditional, like every wall-clock bench here):
+
+* >= 4 cores: process backend >= 3x thread backend actor throughput at
+  4 workers (the ISSUE-3 bar);
+* 2-3 cores: >= 1.2x (some parallel headroom must appear);
+* 1 core: numbers are recorded for the trajectory but no ratio is
+  asserted — no backend can beat the GIL without a second core.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import raylite
+from repro.agents import ApexAgent, IMPALAAgent
+from repro.environments import RandomEnv, vector_env_from_spec
+from repro.execution.impala_runner import IMPALARunner
+from repro.execution.ray import ApexExecutor
+from repro.spaces import IntBox
+from repro.utils.seeding import SeedStream
+
+# A wedged worker process must fail the bench, not wedge CI.
+pytestmark = pytest.mark.mp_timeout(300)
+
+CPU_WORK = 2000          # pure-Python busy-loop iterations per env step
+NUM_WORKERS = 4
+ENVS_PER_WORKER = 2
+CORES = os.cpu_count() or 1
+
+
+def _assert_speedup(process_rate, thread_rate, label,
+                    multi_core_bar=3.0, dual_core_bar=1.2):
+    if CORES >= 4:
+        bar = multi_core_bar
+    elif CORES >= 2:
+        bar = dual_core_bar
+    else:
+        pytest.skip(
+            f"{label}: single-core host — recorded "
+            f"{process_rate:.0f} vs {thread_rate:.0f} frames/s, "
+            f"ratio assertion needs >= 2 cores")
+    assert process_rate >= bar * thread_rate, (
+        f"{label}: process backend {process_rate:.0f} frames/s < "
+        f"{bar}x thread backend {thread_rate:.0f} frames/s "
+        f"({CORES} cores)")
+
+
+def _env_factory(seed):
+    return RandomEnv(state_space=(8,), action_space=4, terminal_prob=0.02,
+                     cpu_work=CPU_WORK, seed=seed)
+
+
+def _agent_factory(worker_index=0):
+    return ApexAgent(state_space=(8,), action_space=IntBox(4),
+                     network_spec=[{"type": "dense", "units": 16}],
+                     seed=worker_index + 1)
+
+
+def _impala_agent_factory():
+    return IMPALAAgent(state_space=(8,), action_space=IntBox(4),
+                       network_spec=[{"type": "dense", "units": 16,
+                                      "activation": "tanh"}], seed=2)
+
+
+# ---------------------------------------------------------------------------
+# E11a — SubprocVectorEnv stepping throughput
+# ---------------------------------------------------------------------------
+def test_subproc_vector_env_cpu_bound(benchmark, table):
+    """Engine-level: stepping a CPU-bound vector in worker processes vs
+    threads vs the sequential loop."""
+    num_envs = max(NUM_WORKERS, 4)
+    steps = 60
+    # Heavier per-step spin than the executor benches: at the engine
+    # level there is no agent inference to amortize the per-step pipe
+    # round-trip against, so the env itself must dominate it.
+    cpu_work = 10 * CPU_WORK
+    results = {}
+
+    def measure(spec):
+        stream = SeedStream(17)
+        envs = [RandomEnv(state_space=(8,), action_space=4,
+                          terminal_prob=0.02, cpu_work=cpu_work,
+                          seed=stream.spawn("env", i))
+                for i in range(num_envs)]
+        vec = vector_env_from_spec(spec, envs=envs)
+        rng = np.random.default_rng(0)
+        vec.reset_all()
+        vec.step(rng.integers(0, 4, num_envs))  # warm-up (buffers, pool)
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            vec.step(rng.integers(0, 4, num_envs))
+        elapsed = time.perf_counter() - t0
+        vec.close()
+        return steps * num_envs / elapsed
+
+    def sweep():
+        results["sequential"] = measure("sequential")
+        results["threaded"] = measure("threaded")
+        results["subproc"] = measure(
+            {"type": "subproc", "num_workers": num_envs})
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(f"E11a — CPU-bound stepping, {num_envs} envs (frames/s)",
+          ["sequential", "threaded", "subproc", "sub/thr"],
+          [[f"{results['sequential']:.0f}", f"{results['threaded']:.0f}",
+            f"{results['subproc']:.0f}",
+            f"{results['subproc'] / results['threaded']:.2f}x"]])
+    benchmark.extra_info.update(
+        {k: round(v) for k, v in results.items()})
+    benchmark.extra_info["cores"] = CORES
+    _assert_speedup(results["subproc"], results["threaded"],
+                    "subproc vector env", multi_core_bar=2.0,
+                    dual_core_bar=1.1)
+
+
+# ---------------------------------------------------------------------------
+# E11b — Ape-X actor-side sample throughput
+# ---------------------------------------------------------------------------
+def test_apex_actor_throughput_thread_vs_process(benchmark, table):
+    """Executor-level: Ape-X sample collection (updates disabled) with
+    4 workers on a CPU-bound env, thread vs process actors."""
+    results = {}
+
+    def measure(parallel_spec):
+        learner = _agent_factory()
+        executor = ApexExecutor(
+            learner_agent=learner, agent_factory=_agent_factory,
+            env_factory=_env_factory, num_workers=NUM_WORKERS,
+            envs_per_worker=ENVS_PER_WORKER, num_replay_shards=2,
+            task_size=50, batch_size=16, replay_capacity=4096,
+            learning_starts=10 ** 9, parallel_spec=parallel_spec)
+        try:
+            result = executor.execute_workload(duration=2.5,
+                                               updates_enabled=False)
+            return result.env_frames_per_second
+        finally:
+            raylite.shutdown()
+
+    def sweep():
+        results["thread"] = measure("thread")
+        results["process"] = measure(
+            {"backend": "process", "env_backend": "subproc",
+             "env_workers": ENVS_PER_WORKER})
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(f"E11b — Ape-X actor throughput, {NUM_WORKERS} workers (frames/s)",
+          ["thread", "process", "proc/thr"],
+          [[f"{results['thread']:.0f}", f"{results['process']:.0f}",
+            f"{results['process'] / results['thread']:.2f}x"]])
+    benchmark.extra_info.update(
+        {k: round(v) for k, v in results.items()})
+    benchmark.extra_info["cores"] = CORES
+    assert results["thread"] > 0 and results["process"] > 0
+    _assert_speedup(results["process"], results["thread"], "Ape-X actors")
+
+
+# ---------------------------------------------------------------------------
+# E11c — IMPALA actor rollout throughput
+# ---------------------------------------------------------------------------
+def test_impala_actor_throughput_thread_vs_process(benchmark, table):
+    """Executor-level: IMPALA rollout production (updates disabled) with
+    4 actors on a CPU-bound env, thread vs process actors."""
+    results = {}
+
+    def measure(parallel_spec):
+        runner = IMPALARunner(
+            learner_agent=_impala_agent_factory(),
+            agent_factory=_impala_agent_factory,
+            env_factory=_env_factory, num_actors=NUM_WORKERS,
+            envs_per_actor=ENVS_PER_WORKER, rollout_length=10,
+            batch_size=2, parallel_spec=parallel_spec)
+        try:
+            result = runner.run(duration=2.5, updates_enabled=False)
+            return result["env_frames_per_second"]
+        finally:
+            raylite.shutdown()
+
+    def sweep():
+        results["thread"] = measure("thread")
+        results["process"] = measure("process")
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(f"E11c — IMPALA actor throughput, {NUM_WORKERS} actors (frames/s)",
+          ["thread", "process", "proc/thr"],
+          [[f"{results['thread']:.0f}", f"{results['process']:.0f}",
+            f"{results['process'] / results['thread']:.2f}x"]])
+    benchmark.extra_info.update(
+        {k: round(v) for k, v in results.items()})
+    benchmark.extra_info["cores"] = CORES
+    assert results["thread"] > 0 and results["process"] > 0
+    _assert_speedup(results["process"], results["thread"], "IMPALA actors")

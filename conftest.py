@@ -1,0 +1,39 @@
+"""Repo-wide pytest fixtures.
+
+The multiprocess suites (raylite process backend, SubprocVectorEnv, the
+E11 process-parallel bench) talk to worker processes over pipes; a
+deadlocked or wedged worker would hang ``conn.recv`` and wedge the
+whole CI run.  Tests marked ``@pytest.mark.mp_timeout(seconds)`` get a
+SIGALRM-based guard that fails them fast with a clear error instead (no
+third-party pytest-timeout dependency; platforms without SIGALRM skip
+the guard).
+"""
+
+import signal
+
+import pytest
+
+_DEFAULT_TIMEOUT = 60
+
+
+@pytest.fixture(autouse=True)
+def _mp_deadlock_guard(request):
+    marker = request.node.get_closest_marker("mp_timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else \
+        int(marker.kwargs.get("seconds", _DEFAULT_TIMEOUT))
+
+    def _abort(signum, frame):
+        raise RuntimeError(
+            f"mp_timeout: {request.node.nodeid} exceeded {seconds}s — "
+            f"a worker process or actor is likely deadlocked")
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,15 +1,19 @@
 #!/usr/bin/env python
-"""Quick-mode performance snapshot -> BENCH_compiler.json.
+"""Quick-mode performance snapshots -> BENCH_compiler.json + BENCH_parallel.json.
 
-Runs the three hot-path micro-benchmarks that track the repo's perf
+Runs the hot-path micro-benchmarks that track the repo's perf
 trajectory — `session.run` on the DQN update fetch-set (per optimize
-level), vector-env stepping, and prioritized-replay sampling — in a few
-seconds each and writes an ops/sec summary. CI calls this in a
-non-blocking step so every PR from the graph-compiler PR onward records
-a machine-readable perf point.
+level), vector-env stepping, and prioritized-replay sampling — plus a
+thread-vs-process snapshot of Ape-X/IMPALA actor-side sample throughput
+on a CPU-bound env (the ISSUE-3 axis), each in a few seconds, and
+writes ops/sec summaries. CI calls this in a non-blocking step so every
+PR from the graph-compiler PR onward records machine-readable perf
+points.
 
 Usage:
-    PYTHONPATH=src python scripts/run_benchmarks.py [--output BENCH_compiler.json]
+    PYTHONPATH=src python scripts/run_benchmarks.py \
+        [--output BENCH_compiler.json] \
+        [--parallel-output BENCH_parallel.json] [--skip-parallel]
 """
 
 from __future__ import annotations
@@ -116,15 +120,99 @@ def bench_per_sample() -> dict:
             "insert1024_per_s": round(insert_per_s, 1)}
 
 
+def bench_parallel_backends(duration: float = 2.0) -> dict:
+    """Ape-X/IMPALA actor-side throughput, thread vs. process backends.
+
+    CPU-bound pure-Python env (GIL-holding spin): the thread backend
+    serializes its actors; the process backend scales with cores.
+    Updates are disabled so the numbers isolate sample collection.
+    """
+    import os
+
+    from repro import raylite
+    from repro.agents import ApexAgent, IMPALAAgent
+    from repro.environments import RandomEnv
+    from repro.execution.impala_runner import IMPALARunner
+    from repro.execution.ray import ApexExecutor
+    from repro.spaces import IntBox
+
+    def env_factory(seed):
+        return RandomEnv(state_space=(8,), action_space=4,
+                         terminal_prob=0.02, cpu_work=2000, seed=seed)
+
+    def apex_agent_factory(worker_index=0):
+        return ApexAgent(state_space=(8,), action_space=IntBox(4),
+                         network_spec=[{"type": "dense", "units": 16}],
+                         seed=worker_index + 1)
+
+    def impala_agent_factory():
+        return IMPALAAgent(state_space=(8,), action_space=IntBox(4),
+                           network_spec=[{"type": "dense", "units": 16,
+                                          "activation": "tanh"}], seed=2)
+
+    def apex_rate(parallel_spec):
+        executor = ApexExecutor(
+            learner_agent=apex_agent_factory(),
+            agent_factory=apex_agent_factory, env_factory=env_factory,
+            num_workers=4, envs_per_worker=2, num_replay_shards=2,
+            task_size=50, batch_size=16, replay_capacity=4096,
+            learning_starts=10 ** 9, parallel_spec=parallel_spec)
+        try:
+            result = executor.execute_workload(duration=duration,
+                                               updates_enabled=False)
+            return round(result.env_frames_per_second, 1)
+        finally:
+            raylite.shutdown()
+
+    def impala_rate(parallel_spec):
+        runner = IMPALARunner(
+            learner_agent=impala_agent_factory(),
+            agent_factory=impala_agent_factory, env_factory=env_factory,
+            num_actors=4, envs_per_actor=2, rollout_length=10,
+            batch_size=2, parallel_spec=parallel_spec)
+        try:
+            result = runner.run(duration=duration, updates_enabled=False)
+            return round(result["env_frames_per_second"], 1)
+        finally:
+            raylite.shutdown()
+
+    summary = {
+        "cores": os.cpu_count() or 1,
+        "cpu_work": 2000,
+        "num_workers": 4,
+        "apex_frames_per_s": {
+            "thread": apex_rate("thread"),
+            "process": apex_rate({"backend": "process",
+                                  "env_backend": "subproc",
+                                  "env_workers": 2}),
+        },
+        "impala_frames_per_s": {
+            "thread": impala_rate("thread"),
+            "process": impala_rate("process"),
+        },
+    }
+    for key in ("apex_frames_per_s", "impala_frames_per_s"):
+        rates = summary[key]
+        rates["process_speedup"] = round(
+            rates["process"] / rates["thread"], 3) if rates["thread"] else None
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_compiler.json",
                         help="summary JSON path (default: %(default)s)")
+    parser.add_argument("--parallel-output", default="BENCH_parallel.json",
+                        help="thread-vs-process snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="skip the thread-vs-process actor snapshot")
     args = parser.parse_args(argv)
 
+    host = {"python": platform.python_version(),
+            "platform": platform.platform()}
     summary = {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        **host,
         "session_run_dqn_update_per_s": bench_session_run(),
         "vector_env_step": bench_vector_env_step(),
         "prioritized_replay": bench_per_sample(),
@@ -134,6 +222,13 @@ def main(argv=None) -> int:
         f.write("\n")
     json.dump(summary, sys.stdout, indent=2)
     print()
+    if not args.skip_parallel:
+        parallel = {**host, **bench_parallel_backends()}
+        with open(args.parallel_output, "w") as f:
+            json.dump(parallel, f, indent=2)
+            f.write("\n")
+        json.dump(parallel, sys.stdout, indent=2)
+        print()
     return 0
 
 

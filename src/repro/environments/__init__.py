@@ -24,6 +24,7 @@ from repro.environments.vector_env import (
     VectorEnv,
     vector_env_from_spec,
 )
+from repro.environments.subproc_vector_env import SubprocVectorEnv
 
 __all__ = [
     "ENVIRONMENTS",
@@ -38,5 +39,6 @@ __all__ = [
     "SequentialVectorEnv",
     "ThreadedVectorEnv",
     "AsyncVectorEnv",
+    "SubprocVectorEnv",
     "vector_env_from_spec",
 ]

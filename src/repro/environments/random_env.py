@@ -22,12 +22,16 @@ class RandomEnv(Environment):
 
     def __init__(self, state_space=(4,), action_space=2,
                  terminal_prob: float = 0.05, step_cost: float = 0.0,
-                 seed: Optional[int] = None):
+                 cpu_work: int = 0, seed: Optional[int] = None):
         super().__init__(seed=seed)
         self.state_space = space_from_spec(state_space)
         self.action_space = space_from_spec(action_space)
         self.terminal_prob = float(terminal_prob)
         self.step_cost = float(step_cost)
+        # Pure-Python spin per step: models a CPU-bound env that *holds*
+        # the GIL (thread engines serialize on it; process engines
+        # scale).  Contrast with step_cost, which sleeps (GIL released).
+        self.cpu_work = int(cpu_work)
 
     def reset(self):
         self._track_reset()
@@ -36,6 +40,11 @@ class RandomEnv(Environment):
     def step(self, action):
         if self.step_cost > 0:
             time.sleep(self.step_cost)
+        if self.cpu_work > 0:
+            acc = 0
+            for i in range(self.cpu_work):
+                acc += i  # GIL-holding busy loop by design
+
         state = self.state_space.sample(rng=self.rng)
         reward = float(self.rng.normal())
         terminal = bool(self.rng.random() < self.terminal_prob)

@@ -1,0 +1,372 @@
+"""SubprocVectorEnv: env shards stepped in worker processes.
+
+The thread-based engines in :mod:`repro.environments.vector_env` only
+parallelize environments that release the GIL.  CPU-bound pure-Python
+environments — exactly the kind the paper's Ape-X/IMPALA experiments
+hammer with many actors — serialize on it.  This engine moves the env
+shards onto real processes while keeping the data path allocation-free:
+
+* N environments are split into contiguous shards over W worker
+  processes (default: one worker per core, capped at N);
+* the parent preallocates shared ``(N, ...)`` state/reward/terminal
+  buffers plus an action buffer in ``multiprocessing.shared_memory``;
+  per step, the parent writes the action vector in place and sends each
+  worker a 1-byte-ish "step" message; workers step their shard and
+  write observations/rewards/terminals **in place** into their slice —
+  no pickling of NumPy data in either direction, ever;
+* auto-reset, slot-order episode accounting, and the
+  snapshot-copy-by-default / ``copy_output=False`` zero-copy contract
+  mirror :class:`~repro.environments.vector_env.ThreadedVectorEnv`
+  exactly, so trajectories are bitwise-identical to the sequential
+  baseline for identically seeded envs.
+
+Buffers are sized lazily on the first ``reset_all`` from the actual
+reset states (a probe reset would perturb env RNG streams and break
+parity).  A crashed worker surfaces as a descriptive
+:class:`RLGraphError` naming the worker and its env slice instead of a
+hang.  Spawn-safe: the worker entry point is module-level and all env
+payloads ship through ``Process(args=)`` (inherited under fork, pickled
+once under spawn).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.environments.environment import Environment
+from repro.environments.vector_env import VECTOR_ENVS, VectorEnv
+from repro.utils.errors import RLGraphError
+
+from repro.utils.procutil import default_start_method
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+
+class _BufferSpec:
+    """Picklable description of one shared array: (name, shape, dtype)."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def attach(self):
+        shm = shared_memory.SharedMemory(name=self.name)
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                           buffer=shm.buf)
+        return shm, array
+
+
+def _subproc_worker(conn, env_payload, payload_is_fns: bool,
+                    start_index: int) -> None:
+    """Worker entry point: build the env shard, serve step commands.
+
+    Shared buffers are global (N, ...) arrays; this worker only touches
+    rows ``start_index : start_index + len(envs)``.
+    """
+    shms: list = []
+    try:
+        if payload_is_fns:
+            envs = [fn() for fn in env_payload]
+        else:
+            envs = list(env_payload)
+        conn.send(("ready", (envs[0].state_space, envs[0].action_space)))
+    except BaseException as exc:
+        import traceback
+        conn.send(("err", exc, traceback.format_exc()))
+        conn.close()
+        return
+    states_arr = rewards_arr = terminals_arr = actions_arr = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind, arg = message
+        try:
+            if kind == "close":
+                break
+            elif kind == "attach":
+                for shm in shms:
+                    shm.close()
+                shms.clear()
+                shm_s, states_arr = arg["states"].attach()
+                shm_r, rewards_arr = arg["rewards"].attach()
+                shm_t, terminals_arr = arg["terminals"].attach()
+                shms.extend([shm_s, shm_r, shm_t])
+                conn.send(("ok", None))
+            elif kind == "actions":
+                shm_a, actions_arr = arg.attach()
+                shms.append(shm_a)
+                conn.send(("ok", None))
+            elif kind == "reset":
+                states = [env.reset() for env in envs]
+                if states_arr is None:
+                    # First reset: buffers do not exist yet; ship states
+                    # once so the parent can size them from real data.
+                    conn.send(("states", states))
+                else:
+                    for j, state in enumerate(states):
+                        states_arr[start_index + j] = state
+                    conn.send(("ok", None))
+            elif kind == "step":
+                for j, env in enumerate(envs):
+                    i = start_index + j
+                    state, reward, terminal, _ = env.step(actions_arr[i])
+                    if terminal:
+                        state = env.reset()
+                    states_arr[i] = state
+                    rewards_arr[i] = reward
+                    terminals_arr[i] = terminal
+                conn.send(("ok", None))
+            else:
+                raise RLGraphError(f"Unknown worker command {kind!r}")
+        except BaseException as exc:
+            import traceback
+            try:
+                conn.send(("err", exc, traceback.format_exc()))
+            except Exception:
+                conn.send(("err",
+                           RLGraphError(f"{type(exc).__name__}: {exc}"),
+                           traceback.format_exc()))
+    for env in envs:
+        env.close()
+    for shm in shms:
+        shm.close()
+    conn.close()
+
+
+@VECTOR_ENVS.register("subproc")
+class SubprocVectorEnv(VectorEnv):
+    """Process-parallel stepping into shared ``(N, ...)`` buffers.
+
+    Mirrors :class:`ThreadedVectorEnv` semantics (auto-reset, slot-order
+    accounting, ``copy_output`` snapshot/zero-copy contract) with env
+    shards living in worker processes.  Prefer this engine when env
+    stepping is CPU-bound pure Python; prefer the threaded engines when
+    envs release the GIL (native code / IO), where threads are cheaper.
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Environment]] = None,
+                 envs: Sequence[Environment] = None,
+                 num_workers: Optional[int] = None,
+                 copy_output: bool = True,
+                 start_method: Optional[str] = None):
+        if shared_memory is None:  # pragma: no cover
+            raise RLGraphError(
+                "SubprocVectorEnv requires multiprocessing.shared_memory")
+        if envs is not None:
+            payload: Sequence = list(envs)
+            payload_is_fns = False
+        elif env_fns is not None:
+            payload = list(env_fns)
+            payload_is_fns = True
+        else:
+            raise RLGraphError("Provide env_fns or envs")
+        if not payload:
+            raise RLGraphError(
+                f"{type(self).__name__} needs >= 1 environment")
+        self.envs: List[Environment] = []  # live in the workers
+        self.copy_output = bool(copy_output)
+        num_envs = len(payload)
+        workers = min(int(num_workers), num_envs) if num_workers \
+            else min(os.cpu_count() or 1, num_envs)
+        workers = max(workers, 1)
+        # Start the resource tracker *before* forking so every worker
+        # shares it; a worker forked first would lazily spawn a private
+        # tracker on attach and spuriously warn about "leaked" blocks
+        # it does not own at exit.
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover
+            pass
+        ctx = multiprocessing.get_context(
+            start_method or default_start_method())
+        self._conns = []
+        self._procs = []
+        self._shard_bounds: List[Tuple[int, int]] = []
+        shard_sizes = [len(part) for part in
+                       np.array_split(np.arange(num_envs), workers)]
+        start = 0
+        for w, size in enumerate(shard_sizes):
+            shard = payload[start:start + size]
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_subproc_worker,
+                args=(child_conn, shard, payload_is_fns, start),
+                name=f"subproc-vec-env-{w}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+            self._shard_bounds.append((start, start + size))
+            start += size
+        state_space = action_space = None
+        for w in range(workers):
+            reply = self._recv(w)
+            if w == 0:
+                state_space, action_space = reply
+        self._init_accounting(num_envs, state_space, action_space)
+        self._shms: List = []       # parent-owned blocks (unlinked on close)
+        self._states = None         # (N, ...) view over shared memory
+        self._rewards = None        # float64: accounting parity with threaded
+        self._terminals = None
+        self._actions = None
+        self._action_spec = None
+        self._inflight = False
+        self._closed = False
+
+    # -- worker plumbing ----------------------------------------------------
+    def _worker_desc(self, w: int) -> str:
+        lo, hi = self._shard_bounds[w]
+        return f"worker {w} (envs {lo}..{hi - 1})"
+
+    def _recv(self, w: int):
+        """Receive one reply from worker ``w``; raise descriptively on
+        actor errors or a dead process."""
+        try:
+            reply = self._conns[w].recv()
+        except (EOFError, OSError):
+            self._procs[w].join(timeout=1.0)
+            raise RLGraphError(
+                f"SubprocVectorEnv {self._worker_desc(w)} died unexpectedly "
+                f"(exit code {self._procs[w].exitcode}); the env shard is "
+                f"lost — recreate the vector env") from None
+        if reply[0] == "err":
+            _, exc, tb = reply
+            raise RLGraphError(
+                f"SubprocVectorEnv {self._worker_desc(w)} failed:\n{tb}"
+            ) from exc
+        return reply[1]
+
+    def _send_all(self, message) -> None:
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                raise RLGraphError(
+                    f"SubprocVectorEnv {self._worker_desc(w)} is gone; "
+                    f"cannot send {message[0]!r}") from None
+
+    def _alloc(self, shape: Tuple[int, ...], dtype) -> Tuple[_BufferSpec,
+                                                             np.ndarray]:
+        nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._shms.append(shm)
+        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        return _BufferSpec(shm.name, shape, np.dtype(dtype).str), array
+
+    # -- stepping contract --------------------------------------------------
+    def _reset_envs(self) -> np.ndarray:
+        self._send_all(("reset", None))
+        if self._states is None:
+            shard_states = [self._recv(w) for w in range(len(self._conns))]
+            sample = np.asarray(shard_states[0][0])
+            states_spec, self._states = self._alloc(
+                (self.num_envs,) + sample.shape, sample.dtype)
+            rewards_spec, self._rewards = self._alloc(
+                (self.num_envs,), np.float64)
+            terminals_spec, self._terminals = self._alloc(
+                (self.num_envs,), bool)
+            for (lo, _), states in zip(self._shard_bounds, shard_states):
+                for j, state in enumerate(states):
+                    self._states[lo + j] = state
+            self._send_all(("attach", {"states": states_spec,
+                                       "rewards": rewards_spec,
+                                       "terminals": terminals_spec}))
+            for w in range(len(self._conns)):
+                self._recv(w)
+        else:
+            for w in range(len(self._conns)):
+                self._recv(w)
+        return self._states.copy() if self.copy_output else self._states
+
+    def step_async(self, actions) -> None:
+        super().step_async(actions)
+        actions = self._pending_actions
+        if (self._action_spec is None
+                or self._action_spec.shape != actions.shape
+                or np.dtype(self._action_spec.dtype) != actions.dtype):
+            spec, self._actions = self._alloc(actions.shape, actions.dtype)
+            self._action_spec = spec
+            self._send_all(("actions", spec))
+            for w in range(len(self._conns)):
+                self._recv(w)
+        np.copyto(self._actions, actions)
+        self._send_all(("step", None))
+        self._inflight = True
+
+    def step_wait(self):
+        if not self._inflight:
+            raise RLGraphError("step_wait called without step_async")
+        self._inflight = False
+        self._pending_actions = None
+        # Drain every worker before re-raising so stragglers are not
+        # left mid-write while the caller handles the error.
+        first_error = None
+        for w in range(len(self._conns)):
+            try:
+                self._recv(w)
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        for i in range(self.num_envs):
+            self._record_step(i, float(self._rewards[i]),
+                              bool(self._terminals[i]))
+        states = self._states.copy() if self.copy_output else self._states
+        return (states, self._rewards.astype(np.float32),
+                self._terminals.copy())
+
+    # -- teardown -----------------------------------------------------------
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Drop our views first so the blocks have no exported buffers.
+        self._states = self._rewards = self._terminals = None
+        self._actions = None
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except BufferError:
+                # A zero-copy caller still holds returned views; leave
+                # the block registered so the resource tracker reaps it
+                # at interpreter exit.
+                pass
+        self._shms = []
+
+    def __del__(self):  # belt and braces; close() is idempotent
+        try:
+            self.close()
+        except Exception:
+            pass

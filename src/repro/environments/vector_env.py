@@ -72,9 +72,17 @@ class VectorEnv:
         if not self.envs:
             raise RLGraphError(f"{type(self).__name__} needs >= 1 environment")
         first = self.envs[0]
-        self.state_space = first.state_space
-        self.action_space = first.action_space
-        self.num_envs = len(self.envs)
+        self._init_accounting(len(self.envs), first.state_space,
+                              first.action_space)
+
+    def _init_accounting(self, num_envs: int, state_space,
+                         action_space) -> None:
+        """Shared slot-order episode accounting state.  Engines that do
+        not build envs on the calling process (:class:`SubprocVectorEnv`)
+        call this directly instead of ``VectorEnv.__init__``."""
+        self.state_space = state_space
+        self.action_space = action_space
+        self.num_envs = num_envs
         # Episode accounting (batched, the fast path RLgraph workers use).
         self.episode_returns = np.zeros(self.num_envs, dtype=np.float64)
         self.episode_steps = np.zeros(self.num_envs, dtype=np.int64)
@@ -357,3 +365,8 @@ def vector_env_from_spec(spec=None, envs: Sequence[Environment] = None,
             f"vector_env_spec resolved to {type(built).__name__}, "
             f"which is not a VectorEnv")
     return built
+
+
+# Registered on import so "subproc" resolves from specs; imported last
+# to avoid a cycle (the module subclasses VectorEnv above).
+from repro.environments import subproc_vector_env  # noqa: E402,F401

@@ -1,7 +1,14 @@
 """Execution layer: workers, device strategies, distributed executors."""
 
-from repro.execution.worker import NStepAccumulator, SingleThreadedWorker, WorkerStats
+from repro.execution.parallel import ParallelSpec, resolve_parallel_spec
+from repro.execution.worker import (
+    NStepAccumulator,
+    SingleThreadedWorker,
+    WorkerStats,
+    build_vector_env,
+)
 from repro.execution.sync_batch_executor import A2CRolloutActor, SyncBatchExecutor
 
 __all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
-           "A2CRolloutActor", "SyncBatchExecutor"]
+           "A2CRolloutActor", "SyncBatchExecutor",
+           "ParallelSpec", "resolve_parallel_spec", "build_vector_env"]

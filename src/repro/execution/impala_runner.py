@@ -12,6 +12,18 @@ found in DeepMind's reference actor ("unneeded variable assignments in
 the actor", §5.1): every acting step re-assigns the full policy weight
 set, exactly the memcpy the reference implementation wasted. Removing it
 "yielded 20% improvement in a single-worker setting" — bench E8.
+
+Two parallel backends share one rollout-production core
+(:class:`IMPALAActorCore`):
+
+* ``parallel_spec=None``/``"thread"`` — one Python thread per actor
+  (the seed behavior; fine when acting releases the GIL);
+* ``parallel_spec="process"`` — each actor is a raylite **process**
+  actor; a feeder thread keeps one ``rollout()`` task in flight per
+  actor, drains completed rollouts (shipped through shared memory,
+  decoded zero-copy) into the same FIFO queue, and pushes fresh weights
+  whenever the learner has published a new version — preserving the
+  pull-after-every-rollout weight-lag semantics v-trace corrects for.
 """
 
 from __future__ import annotations
@@ -23,88 +35,160 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.environments.vector_env import vector_env_from_spec
-from repro.execution.worker import snapshot_fn
+from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
 
 
+class IMPALAActorCore:
+    """Rollout production for one IMPALA actor: local agent copy + env
+    vector + the acting loop.  Backend-agnostic — the thread actor wraps
+    it directly; the process mode runs it as a raylite actor."""
+
+    def __init__(self, actor_index: int, agent_factory: Callable,
+                 env_factory: Callable, rollout_length: int = 20,
+                 num_envs: int = 1, redundant_assignments: bool = False,
+                 vector_env_spec=None, parallel_spec=None):
+        self.actor_index = actor_index
+        self.agent = agent_factory()
+        self.vector_env = build_vector_env(
+            env_factory, num_envs, actor_index * 1000,
+            vector_env_spec=vector_env_spec, parallel_spec=parallel_spec)
+        self._snap = snapshot_fn(self.vector_env)
+        self.rollout_length = int(rollout_length)
+        self.redundant_assignments = redundant_assignments
+        self.env_frames = 0
+        self.rollouts_produced = 0
+        self._episodes_shipped = 0
+        self._pending_offset: Optional[int] = None
+        self._states = None
+
+    def set_weights(self, weights) -> int:
+        self.agent.set_weights(weights)
+        return self.actor_index
+
+    def rollout(self, auto_commit: bool = True) -> Dict:
+        """Produce one time-major rollout item.
+
+        ``auto_commit=False`` defers the episode-shipping offset until
+        :meth:`commit_episodes` — callers that may *drop* the item
+        (queue back-pressure in the thread actor) re-ship its finished
+        episodes with the next rollout instead of losing them.
+        """
+        if self._states is None:
+            self._states = self.vector_env.reset_all()
+        states = self._states
+        rollout = {k: [] for k in ["states", "actions",
+                                   "behaviour_log_probs", "rewards",
+                                   "terminals"]}
+        for _ in range(self.rollout_length):
+            if self.redundant_assignments:
+                # The DM-reference wasted memcpy: re-assign the full
+                # weight set every acting step.
+                self.agent.set_weights(self.agent.get_weights())
+            actions, log_probs, preprocessed = self.agent.get_actions(states)
+            # Snapshot before dispatch (zero-copy buffer safety).
+            preprocessed = self._snap(preprocessed)
+            # Rollout assembly overlaps env stepping on async engines.
+            self.vector_env.step_async(actions)
+            rollout["states"].append(preprocessed)
+            rollout["actions"].append(actions)
+            rollout["behaviour_log_probs"].append(log_probs)
+            next_states, rewards, terminals = self.vector_env.step_wait()
+            rollout["rewards"].append(rewards)
+            rollout["terminals"].append(terminals)
+            states = next_states
+            self.env_frames += self.vector_env.num_envs
+        self._states = states
+        bootstrap = self._snap(self.agent.get_actions(states)[-1])
+        # Ship only episodes finished since the last committed rollout —
+        # the runner accumulates across rollouts, so resending the full
+        # history would double-count old episodes in mean_return.
+        new_returns, offset = \
+            self.vector_env.finished_returns_since(self._episodes_shipped)
+        if auto_commit:
+            self._episodes_shipped = offset
+            # Seed semantics: rollouts_produced counts *delivered*
+            # rollouts; deferred-commit callers count at commit time so
+            # a dropped (queue-full) rollout is not counted.
+            self.rollouts_produced += 1
+        else:
+            self._pending_offset = offset
+        return {
+            "states": np.asarray(rollout["states"]),
+            "actions": np.asarray(rollout["actions"]),
+            "behaviour_log_probs": np.asarray(
+                rollout["behaviour_log_probs"], np.float32),
+            "rewards": np.asarray(rollout["rewards"], np.float32),
+            "terminals": np.asarray(rollout["terminals"], bool),
+            "bootstrap_states": bootstrap,
+            "episode_returns": list(new_returns),
+        }
+
+    def commit_episodes(self) -> None:
+        """Advance the episode-shipping offset after a successful put."""
+        if self._pending_offset is not None:
+            self._episodes_shipped = self._pending_offset
+            self._pending_offset = None
+            self.rollouts_produced += 1
+
+    def get_stats(self) -> Dict:
+        return {"env_frames": self.env_frames,
+                "rollouts_produced": self.rollouts_produced}
+
+
 class IMPALAActor(threading.Thread):
-    """One acting thread: local agent copy + env vector + rollout loop."""
+    """Thread-backend actor: an :class:`IMPALAActorCore` on a loop."""
 
     def __init__(self, actor_index: int, agent_factory: Callable,
                  env_factory: Callable, rollout_queue: "queue.Queue",
                  weight_source, rollout_length: int = 20, num_envs: int = 1,
                  redundant_assignments: bool = False,
                  stop_event: Optional[threading.Event] = None,
-                 vector_env_spec=None):
+                 vector_env_spec=None, parallel_spec=None):
         super().__init__(daemon=True, name=f"impala-actor-{actor_index}")
         self.actor_index = actor_index
-        self.agent = agent_factory()
-        envs = [env_factory(actor_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
-        self._snap = snapshot_fn(self.vector_env)
+        self.core = IMPALAActorCore(
+            actor_index, agent_factory, env_factory,
+            rollout_length=rollout_length, num_envs=num_envs,
+            redundant_assignments=redundant_assignments,
+            vector_env_spec=vector_env_spec, parallel_spec=parallel_spec)
         self.rollout_queue = rollout_queue
         self.weight_source = weight_source
-        self.rollout_length = int(rollout_length)
-        self.redundant_assignments = redundant_assignments
         self.stop_event = stop_event or threading.Event()
-        self.env_frames = 0
-        self.rollouts_produced = 0
-        self._episodes_shipped = 0
+
+    # Back-compat accessors (runner stats, tests):
+    @property
+    def agent(self):
+        return self.core.agent
+
+    @property
+    def vector_env(self):
+        return self.core.vector_env
+
+    @property
+    def env_frames(self) -> int:
+        return self.core.env_frames
+
+    @property
+    def rollouts_produced(self) -> int:
+        return self.core.rollouts_produced
 
     def run(self):
-        states = self.vector_env.reset_all()
         while not self.stop_event.is_set():
-            rollout = {k: [] for k in ["states", "actions",
-                                       "behaviour_log_probs", "rewards",
-                                       "terminals"]}
-            for _ in range(self.rollout_length):
-                if self.redundant_assignments:
-                    # The DM-reference wasted memcpy: re-assign the full
-                    # weight set every acting step.
-                    self.agent.set_weights(self.agent.get_weights())
-                actions, log_probs, preprocessed = self.agent.get_actions(
-                    states)
-                # Snapshot before dispatch (zero-copy buffer safety).
-                preprocessed = self._snap(preprocessed)
-                # Rollout assembly overlaps env stepping on async engines.
-                self.vector_env.step_async(actions)
-                rollout["states"].append(preprocessed)
-                rollout["actions"].append(actions)
-                rollout["behaviour_log_probs"].append(log_probs)
-                next_states, rewards, terminals = self.vector_env.step_wait()
-                rollout["rewards"].append(rewards)
-                rollout["terminals"].append(terminals)
-                states = next_states
-                self.env_frames += self.vector_env.num_envs
-            bootstrap = self._snap(self.agent.get_actions(states)[-1])
-            # Ship only episodes finished since the last rollout — the
-            # runner accumulates across rollouts, so resending the full
-            # history would double-count old episodes in mean_return.
-            # The offset advances only after a successful put: a dropped
-            # (queue-full) rollout re-ships its episodes with the next.
-            new_returns, shipped_offset = \
-                self.vector_env.finished_returns_since(self._episodes_shipped)
-            item = {
-                "states": np.asarray(rollout["states"]),
-                "actions": np.asarray(rollout["actions"]),
-                "behaviour_log_probs": np.asarray(
-                    rollout["behaviour_log_probs"], np.float32),
-                "rewards": np.asarray(rollout["rewards"], np.float32),
-                "terminals": np.asarray(rollout["terminals"], bool),
-                "bootstrap_states": bootstrap,
-                "episode_returns": list(new_returns),
-            }
+            item = self.core.rollout(auto_commit=False)
             try:
                 self.rollout_queue.put(item, timeout=5.0)
-                self.rollouts_produced += 1
-                self._episodes_shipped = shipped_offset
+                # The offset advances only after a successful put: a
+                # dropped (queue-full) rollout re-ships its episodes
+                # with the next one.
+                self.core.commit_episodes()
             except queue.Full:
                 continue  # back-pressure: learner is saturated
             # Weight pull after each rollout (actor-learner lag).
             weights = self.weight_source()
             if weights is not None:
-                self.agent.set_weights(weights)
+                self.core.agent.set_weights(weights)
 
 
 class IMPALARunner:
@@ -115,23 +199,40 @@ class IMPALARunner:
                  envs_per_actor: int = 1, rollout_length: int = 20,
                  batch_size: int = 2, queue_capacity: int = 64,
                  redundant_assignments: bool = False,
-                 vector_env_spec=None):
+                 vector_env_spec=None, parallel_spec=None):
         self.learner = learner_agent
         self.batch_size = int(batch_size)
+        self.parallel = resolve_parallel_spec(parallel_spec)
         self.rollout_queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
         self.stop_event = threading.Event()
         self._weights_lock = threading.Lock()
         self._weights = learner_agent.get_weights()
+        self._weights_version = 0
         self._staged: Optional[List[Dict]] = None  # one-slot staging area
-        self.actors = [
-            IMPALAActor(i, agent_factory, env_factory, self.rollout_queue,
-                        self._get_weights, rollout_length=rollout_length,
-                        num_envs=envs_per_actor,
-                        redundant_assignments=redundant_assignments,
-                        stop_event=self.stop_event,
-                        vector_env_spec=vector_env_spec)
-            for i in range(num_actors)
-        ]
+        self.actors: List[IMPALAActor] = []
+        self.actor_handles: List = []
+        if self.parallel.is_process:
+            factory = self.parallel.actor_factory(IMPALAActorCore)
+            self.actor_handles = [
+                factory.remote(i, agent_factory, env_factory,
+                               rollout_length=rollout_length,
+                               num_envs=envs_per_actor,
+                               redundant_assignments=redundant_assignments,
+                               vector_env_spec=vector_env_spec,
+                               parallel_spec=self.parallel)
+                for i in range(num_actors)
+            ]
+        else:
+            self.actors = [
+                IMPALAActor(i, agent_factory, env_factory, self.rollout_queue,
+                            self._get_weights, rollout_length=rollout_length,
+                            num_envs=envs_per_actor,
+                            redundant_assignments=redundant_assignments,
+                            stop_event=self.stop_event,
+                            vector_env_spec=vector_env_spec,
+                            parallel_spec=self.parallel)
+                for i in range(num_actors)
+            ]
         self.episode_returns: List[float] = []
 
     def _get_weights(self):
@@ -141,6 +242,41 @@ class IMPALARunner:
     def _publish_weights(self):
         with self._weights_lock:
             self._weights = self.learner.get_weights()
+            self._weights_version += 1
+
+    # -- process-mode feeder ------------------------------------------------
+    def _feed_from_handles(self):
+        """Keep one rollout task in flight per process actor; drain
+        completed rollouts (shared-memory transport, zero-copy decode)
+        into the learner queue; push weights when a new version is out."""
+        from repro import raylite
+        synced = {id(h): 0 for h in self.actor_handles}
+        in_flight = {h.rollout.remote(): h for h in self.actor_handles}
+        while in_flight and not self.stop_event.is_set():
+            ready, _ = raylite.wait(list(in_flight.keys()), num_returns=1,
+                                    timeout=0.1)
+            for ref in ready:
+                handle = in_flight.pop(ref)
+                try:
+                    item = raylite.get(ref)
+                except BaseException:
+                    continue  # actor died/shutdown: stop re-arming it
+                delivered = False
+                while not self.stop_event.is_set():
+                    try:
+                        self.rollout_queue.put(item, timeout=0.2)
+                        delivered = True
+                        break
+                    except queue.Full:
+                        continue  # back-pressure: learner is saturated
+                if not delivered:
+                    break
+                with self._weights_lock:
+                    version, weights = self._weights_version, self._weights
+                if version > synced[id(handle)]:
+                    handle.set_weights.remote(weights)
+                    synced[id(handle)] = version
+                in_flight[handle.rollout.remote()] = handle
 
     def _dequeue_batch(self) -> Optional[List[Dict]]:
         items = []
@@ -156,6 +292,11 @@ class IMPALARunner:
     def run(self, duration: float = 5.0,
             updates_enabled: bool = True) -> Dict:
         """Run actors + learner loop for ``duration`` seconds."""
+        feeder = None
+        if self.parallel.is_process:
+            feeder = threading.Thread(target=self._feed_from_handles,
+                                      daemon=True, name="impala-feeder")
+            feeder.start()
         for actor in self.actors:
             actor.start()
         t_start = time.perf_counter()
@@ -185,8 +326,12 @@ class IMPALARunner:
         self.stop_event.set()
         for actor in self.actors:
             actor.join(timeout=5.0)
-        wall = time.perf_counter() - t_start
         env_frames = sum(a.env_frames for a in self.actors)
+        if self.parallel.is_process:
+            if feeder is not None:
+                feeder.join(timeout=5.0)
+            env_frames += self._drain_handle_stats()
+        wall = time.perf_counter() - t_start
         return {
             "env_frames": env_frames,
             "env_frames_per_second": env_frames / wall,
@@ -197,6 +342,24 @@ class IMPALARunner:
             "mean_return": (float(np.mean(self.episode_returns[-20:]))
                             if self.episode_returns else None),
         }
+
+    def _drain_handle_stats(self) -> int:
+        """Collect env-frame counts from process actors, then reap them."""
+        from repro import raylite
+        env_frames = 0
+        refs = [h.get_stats.remote() for h in self.actor_handles]
+        for ref in refs:
+            try:
+                env_frames += raylite.get(ref, timeout=5.0)["env_frames"]
+            except Exception:
+                continue  # actor died mid-run; its frames are lost
+        for handle in self.actor_handles:
+            try:
+                raylite.kill(handle)
+            except Exception:
+                pass
+        self.actor_handles = []
+        return env_frames
 
 
 def _merge_rollouts(items: List[Dict]) -> Dict:

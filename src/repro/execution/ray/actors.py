@@ -15,8 +15,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.components.memories import PrioritizedReplayBuffer
-from repro.environments.vector_env import vector_env_from_spec
-from repro.execution.worker import SingleThreadedWorker
+from repro.execution.worker import SingleThreadedWorker, build_vector_env
 
 
 def apex_worker_epsilon(worker_index: int, num_workers: int,
@@ -35,19 +34,22 @@ class ApexWorkerActor:
     ``agent_factory`` may accept a ``worker_index`` kwarg to configure
     per-worker exploration (Ape-X constant epsilons).  ``vector_env_spec``
     selects the vector-environment engine (``None`` keeps the sequential
-    paper baseline)."""
+    paper baseline); ``parallel_spec`` supplies engine defaults (e.g.
+    ``env_backend="subproc"`` steps the vector in worker processes)."""
 
     def __init__(self, agent_factory: Callable, env_factory: Callable,
                  num_envs: int = 4, n_step: int = 3, discount: float = 0.99,
                  worker_side_prioritization: bool = True,
                  batched_postprocessing: bool = True,
-                 worker_index: int = 0, vector_env_spec=None):
+                 worker_index: int = 0, vector_env_spec=None,
+                 parallel_spec=None):
         try:
             self.agent = agent_factory(worker_index=worker_index)
         except TypeError:
             self.agent = agent_factory()
-        envs = [env_factory(worker_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
+        self.vector_env = build_vector_env(
+            env_factory, num_envs, worker_index * 1000,
+            vector_env_spec=vector_env_spec, parallel_spec=parallel_spec)
         self.worker = SingleThreadedWorker(
             self.agent, self.vector_env, n_step=n_step, discount=discount,
             worker_side_prioritization=worker_side_prioritization,

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import raylite
+from repro.execution.parallel import resolve_parallel_spec
 from repro.execution.ray.actors import ApexWorkerActor, ReplayShardActor
 from repro.utils.errors import RLGraphError
 
@@ -63,10 +64,11 @@ class ApexExecutor:
                  weight_sync_steps: int = 10,
                  worker_mode: str = "rlgraph",
                  frame_multiplier: int = 1,
-                 seed: int = 0, vector_env_spec=None):
+                 seed: int = 0, vector_env_spec=None, parallel_spec=None):
         if worker_mode not in ("rlgraph", "rllib_like"):
             raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
         self.learner = learner_agent
+        self.parallel = resolve_parallel_spec(parallel_spec)
         self.batch_size = int(batch_size)
         self.task_size = int(task_size)
         self.learning_starts = int(learning_starts)
@@ -77,7 +79,10 @@ class ApexExecutor:
         self.frame_multiplier = int(frame_multiplier)
 
         batched = worker_mode == "rlgraph"
-        worker_cls = raylite.remote(ApexWorkerActor)
+        # parallel_spec selects the raylite backend: thread actors (seed
+        # behavior) or process actors whose sample batches travel through
+        # shared memory and decode zero-copy on the learner side.
+        worker_cls = self.parallel.actor_factory(ApexWorkerActor)
         self.workers = [
             worker_cls.remote(agent_factory, env_factory,
                               num_envs=envs_per_worker, n_step=n_step,
@@ -85,10 +90,11 @@ class ApexExecutor:
                               worker_side_prioritization=True,
                               batched_postprocessing=batched,
                               worker_index=i,
-                              vector_env_spec=vector_env_spec)
+                              vector_env_spec=vector_env_spec,
+                              parallel_spec=self.parallel)
             for i in range(num_workers)
         ]
-        shard_cls = raylite.remote(ReplayShardActor)
+        shard_cls = self.parallel.actor_factory(ReplayShardActor)
         self.shards = [
             shard_cls.remote(capacity=replay_capacity, seed=seed + 17 * i,
                              min_sample_size=batch_size)
@@ -157,7 +163,10 @@ class ApexExecutor:
                         result.loss_timeline.append(
                             (time.perf_counter() - t_start, loss))
 
-            # 3. Broadcast weights.
+            # 3. Broadcast weights.  (Process backend: each .remote()
+            # packs its own shared-memory copy of the dict — N memcpys
+            # per sync; a multi-receiver block would need a receiver-
+            # counting lease, not worth it at every-N-updates cadence.)
             if updates_since_sync >= self.weight_sync_steps:
                 updates_since_sync = 0
                 # Learner and workers are instances of the same agent

@@ -18,8 +18,8 @@ import numpy as np
 
 from repro import raylite
 from repro.agents.actor_critic_agent import discounted_returns
-from repro.environments.vector_env import vector_env_from_spec
-from repro.execution.worker import snapshot_fn
+from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
 
 
@@ -28,13 +28,15 @@ class A2CRolloutActor:
 
     def __init__(self, agent_factory: Callable, env_factory: Callable,
                  num_envs: int = 2, rollout_length: int = 32,
-                 worker_index: int = 0, vector_env_spec=None):
+                 worker_index: int = 0, vector_env_spec=None,
+                 parallel_spec=None):
         try:
             self.agent = agent_factory(worker_index=worker_index)
         except TypeError:
             self.agent = agent_factory()
-        envs = [env_factory(worker_index * 1000 + i) for i in range(num_envs)]
-        self.vector_env = vector_env_from_spec(vector_env_spec, envs=envs)
+        self.vector_env = build_vector_env(
+            env_factory, num_envs, worker_index * 1000,
+            vector_env_spec=vector_env_spec, parallel_spec=parallel_spec)
         self._snap = snapshot_fn(self.vector_env)
         self.rollout_length = int(rollout_length)
         self._states = self.vector_env.reset_all()
@@ -93,15 +95,18 @@ class SyncBatchExecutor:
     def __init__(self, learner_agent, agent_factory: Callable,
                  env_factory: Callable, num_workers: int = 2,
                  envs_per_worker: int = 2, rollout_length: int = 32,
-                 discount: float = 0.99, vector_env_spec=None):
+                 discount: float = 0.99, vector_env_spec=None,
+                 parallel_spec=None):
         self.learner = learner_agent
         self.discount = float(discount)
-        actor_cls = raylite.remote(A2CRolloutActor)
+        self.parallel = resolve_parallel_spec(parallel_spec)
+        actor_cls = self.parallel.actor_factory(A2CRolloutActor)
         self.workers = [
             actor_cls.remote(agent_factory, env_factory,
                              num_envs=envs_per_worker,
                              rollout_length=rollout_length, worker_index=i,
-                             vector_env_spec=vector_env_spec)
+                             vector_env_spec=vector_env_spec,
+                             parallel_spec=self.parallel)
             for i in range(num_workers)
         ]
 

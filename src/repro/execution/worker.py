@@ -11,13 +11,14 @@ worker to the incremental mode for the ablation.
 
 from __future__ import annotations
 
+import functools
 import time
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.environments.vector_env import VectorEnv
+from repro.environments.vector_env import VectorEnv, vector_env_from_spec
 from repro.utils.errors import RLGraphError
 
 
@@ -108,6 +109,36 @@ def batched_n_step(states, actions, rewards, terminals, next_states,
     flat = lambda arr: arr.reshape((-1,) + arr.shape[2:])
     return (flat(states), flat(actions), flat(n_rewards), flat(n_terminals),
             flat(n_next))
+
+
+def _spec_engine_name(spec) -> Optional[str]:
+    if isinstance(spec, str):
+        return spec
+    if isinstance(spec, dict):
+        return spec.get("type")
+    return None
+
+
+def build_vector_env(env_factory: Callable, num_envs: int, base_seed: int,
+                     vector_env_spec=None, parallel_spec=None) -> VectorEnv:
+    """Build an actor's env vector honoring both spec layers.
+
+    ``env_factory(seed)`` constructs one environment.  ``parallel_spec``
+    (see :mod:`repro.execution.parallel`) supplies the engine *default*
+    via ``env_backend`` — an explicit ``vector_env_spec`` always wins.
+    For process engines (``"subproc"``) the factory calls are deferred
+    as ``env_fns`` so environments are constructed **inside** the worker
+    processes; thread engines build them eagerly on this thread, which
+    keeps per-engine seeding byte-identical.
+    """
+    from repro.execution.parallel import resolve_parallel_spec
+    spec = resolve_parallel_spec(parallel_spec).vector_env_spec_default(
+        vector_env_spec)
+    seeds = [base_seed + i for i in range(num_envs)]
+    if _spec_engine_name(spec) == "subproc":
+        env_fns = [functools.partial(env_factory, seed) for seed in seeds]
+        return vector_env_from_spec(spec, env_fns=env_fns)
+    return vector_env_from_spec(spec, envs=[env_factory(s) for s in seeds])
 
 
 def snapshot_fn(vector_env):

@@ -1,10 +1,14 @@
-"""raylite: a minimal in-process actor framework (Ray substitute).
+"""raylite: a minimal actor framework (Ray substitute).
 
 Implements the slice of Ray's API the paper's distributed executors rely
 on (DESIGN.md §2): actor handles with ``.remote()`` method calls returning
-futures (ObjectRef), ``get``/``wait``, and an object store. Each actor
-runs a dedicated thread with a mailbox, so NumPy-heavy actor methods
-(which release the GIL) execute with real parallelism.
+futures (ObjectRef), ``get``/``wait``, and an object store.  Two
+backends share that surface: ``"thread"`` runs each actor on a
+dedicated thread with a mailbox (NumPy-heavy methods, which release the
+GIL, execute with real parallelism), and ``"process"`` runs each actor
+in a ``multiprocessing`` worker with a shared-memory data path so
+pure-Python/CPU-bound actors scale with cores.  Select via
+``init(backend=...)`` or ``remote(Cls).options(backend=...)``.
 """
 
 from repro.raylite.core import (
@@ -13,14 +17,17 @@ from repro.raylite.core import (
     RayliteError,
     get,
     init,
+    kill,
     put,
     remote,
     shutdown,
     wait,
 )
+from repro.raylite.process_backend import ProcessActorHandle
 
 __all__ = [
     "ActorHandle",
+    "ProcessActorHandle",
     "ObjectRef",
     "RayliteError",
     "remote",
@@ -28,5 +35,6 @@ __all__ = [
     "put",
     "wait",
     "init",
+    "kill",
     "shutdown",
 ]

@@ -3,22 +3,41 @@
 Semantics follow Ray where it matters for the executors:
 
 * ``remote(Cls)`` returns a factory; ``factory.remote(*args)`` constructs
-  the actor in its own thread and returns an :class:`ActorHandle`;
+  the actor in its own worker and returns an :class:`ActorHandle`;
 * ``handle.method.remote(*args)`` enqueues a task and returns an
   :class:`ObjectRef` immediately; tasks of one actor run in FIFO order;
-* ``get(ref)`` blocks; ``wait(refs, num_returns)`` splits ready/pending;
+* ``get(ref)`` blocks; ``wait(refs, num_returns)`` splits ready/pending —
+  both are event-driven (ObjectRef completion callbacks), never polling;
+* :class:`ObjectRef` arguments to ``.remote()`` calls are resolved to
+  their values at submission time (Ray's by-value task-argument rule),
+  which is also what carries object-store values across the process
+  boundary;
 * exceptions raised in actor methods surface at ``get`` time;
 * an optional serialization round-trip (``init(serialize=True)``) models
   Ray's object-store copy costs for transfer-sensitive benchmarks.
+
+Two execution backends share this surface:
+
+* ``backend="thread"`` (default) — one Python thread per actor.  NumPy
+  code that releases the GIL runs in parallel; pure-Python actor code
+  serializes.
+* ``backend="process"`` — one ``multiprocessing`` worker per actor with
+  a shared-memory data path (:mod:`repro.raylite.process_backend`).
+  Pure-Python/CPU-bound actors scale with cores.
+
+Select globally via ``init(backend=...)`` or per-actor via
+``remote(Cls).options(backend="process")``.  ``shutdown()`` reaps every
+worker (thread or process) and fails still-pending refs with a clear
+:class:`RayliteError` so no caller is left hanging.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import pickle
 import queue
 import threading
-import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.utils.errors import RLGraphError
@@ -28,29 +47,72 @@ class RayliteError(RLGraphError):
     """Raised for framework-level failures (not actor exceptions)."""
 
 
+_BACKENDS = ("thread", "process")
+
+
 class _Config:
     serialize = False
     initialized = True
+    backend = "thread"
+    start_method: Optional[str] = None
 
 
 _config = _Config()
-_actors: List["ActorHandle"] = []
+_actors: List[Any] = []
 _actors_lock = threading.Lock()
 
 
-def init(serialize: bool = False) -> None:
-    """Configure the runtime (optional; defaults are live)."""
+def init(serialize: bool = False, backend: Optional[str] = None,
+         start_method: Optional[str] = None) -> None:
+    """Configure the runtime (optional; defaults are live).
+
+    ``backend`` sets the default actor backend (``"thread"`` or
+    ``"process"``); ``None`` leaves the current default untouched.
+    ``start_method`` picks the multiprocessing start method for process
+    actors (default: fork where available, else spawn).
+    """
     _config.serialize = serialize
+    if backend is not None:
+        if backend not in _BACKENDS:
+            raise RayliteError(
+                f"Unknown backend {backend!r}; expected one of {_BACKENDS}")
+        _config.backend = backend
+    if start_method is not None:
+        _config.start_method = start_method
     _config.initialized = True
 
 
+def register_actor(handle) -> None:
+    with _actors_lock:
+        _actors.append(handle)
+
+
 def shutdown() -> None:
-    """Stop all actor threads."""
+    """Reap all actor workers (threads and processes).
+
+    Queued-but-unfinished tasks fail with :class:`RayliteError`; callers
+    blocked in ``get``/``wait`` on those refs wake up immediately
+    instead of hanging.  Registered via ``atexit`` so stray
+    non-daemonic actor processes cannot wedge interpreter exit.
+    """
     with _actors_lock:
         actors = list(_actors)
         _actors.clear()
     for actor in actors:
         actor._stop()
+
+
+atexit.register(shutdown)
+
+
+def kill(handle) -> None:
+    """Stop one actor (Ray's ``ray.kill``); pending tasks fail."""
+    with _actors_lock:
+        try:
+            _actors.remove(handle)
+        except ValueError:
+            pass
+    handle._stop()
 
 
 def _maybe_copy(value):
@@ -60,7 +122,13 @@ def _maybe_copy(value):
 
 
 class ObjectRef:
-    """A future for a task result (or a ``put`` value)."""
+    """A future for a task result (or a ``put`` value).
+
+    Completion is event-based: waiters either block on the internal
+    event (:meth:`result`) or register callbacks
+    (:meth:`add_done_callback`, used by :func:`wait`) — there is no
+    polling loop anywhere in the runtime.
+    """
 
     _ids = itertools.count()
 
@@ -69,14 +137,41 @@ class ObjectRef:
         self._event = threading.Event()
         self._value = None
         self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._callbacks: List[Callable[["ObjectRef"], None]] = []
+
+    def _settle(self, value, error: Optional[BaseException]) -> None:
+        with self._lock:
+            if self._event.is_set():  # first settle wins (e.g. shutdown race)
+                return
+            self._value = value
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for callback in callbacks:
+            callback(self)
 
     def _resolve(self, value):
-        self._value = value
-        self._event.set()
+        self._settle(value, None)
 
     def _fail(self, error: BaseException):
-        self._error = error
-        self._event.set()
+        self._settle(None, error)
+
+    def add_done_callback(self, callback: Callable[["ObjectRef"], None]):
+        """Run ``callback(self)`` on completion (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def remove_done_callback(self, callback) -> None:
+        """Detach a pending callback (no-op if already fired/absent)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
 
     def ready(self) -> bool:
         return self._event.is_set()
@@ -112,20 +207,55 @@ def wait(refs: Sequence[ObjectRef], num_returns: int = 1,
     """Block until ``num_returns`` refs are ready (or timeout).
 
     Returns (ready, pending) preserving input order within each list.
+    Event-based: completion callbacks trip one shared event, so waiting
+    costs no CPU regardless of how long the tasks run.
     """
     if num_returns > len(refs):
         raise RayliteError(
             f"num_returns {num_returns} > number of refs {len(refs)}")
-    deadline = None if timeout is None else time.monotonic() + timeout
-    while True:
-        ready = [r for r in refs if r.ready()]
-        if len(ready) >= num_returns:
-            ready_ids = {r.id for r in ready}
-            return ready, [r for r in refs if r.id not in ready_ids]
-        if deadline is not None and time.monotonic() >= deadline:
-            ready_ids = {r.id for r in ready}
-            return ready, [r for r in refs if r.id not in ready_ids]
-        time.sleep(0.0005)
+    target = threading.Event()
+    unique = {r.id: r for r in refs}
+    _on_done = None
+    if num_returns <= 0:
+        target.set()
+    else:
+        # A ref listed twice counts twice toward num_returns (it will
+        # appear twice in the ready list), but registers one callback.
+        multiplicity: Dict[int, int] = {}
+        for ref in refs:
+            multiplicity[ref.id] = multiplicity.get(ref.id, 0) + 1
+        state = {"remaining": num_returns}
+        state_lock = threading.Lock()
+
+        def _on_done(ref: ObjectRef) -> None:
+            with state_lock:
+                state["remaining"] -= multiplicity[ref.id]
+                if state["remaining"] > 0:
+                    return
+            target.set()
+
+        for ref in unique.values():
+            ref.add_done_callback(_on_done)
+    target.wait(timeout)
+    if _on_done is not None:
+        # Detach from still-pending refs: polling callers (executors
+        # re-waiting every few ms) must not accumulate dead closures.
+        for ref in unique.values():
+            ref.remove_done_callback(_on_done)
+    ready = [r for r in refs if r.ready()]
+    ready_ids = {r.id for r in ready}
+    return ready, [r for r in refs if r.id not in ready_ids]
+
+
+def _resolve_ref_args(args, kwargs):
+    """Ray's by-value rule: ObjectRef task arguments resolve to values
+    before the task ships (this is what carries object-store entries
+    across the process boundary)."""
+    def _res(value):
+        return value.result() if isinstance(value, ObjectRef) else value
+
+    return (tuple(_res(a) for a in args),
+            {k: _res(v) for k, v in kwargs.items()})
 
 
 class _Task:
@@ -141,11 +271,12 @@ class _Task:
 class _RemoteMethod:
     """Bound ``.remote()`` callable for one actor method."""
 
-    def __init__(self, handle: "ActorHandle", name: str):
+    def __init__(self, handle, name: str):
         self._handle = handle
         self._name = name
 
     def remote(self, *args, **kwargs) -> ObjectRef:
+        args, kwargs = _resolve_ref_args(args, kwargs)
         return self._handle._submit(self._name, args, kwargs)
 
     def __call__(self, *args, **kwargs):
@@ -164,6 +295,8 @@ class ActorHandle:
         self._init_error: Optional[BaseException] = None
         self._started = threading.Event()
         self._stopped = threading.Event()
+        self._pending: Dict[int, ObjectRef] = {}
+        self._pending_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self._run, args=(args, kwargs), daemon=True,
             name=f"raylite-{self._name}")
@@ -171,8 +304,7 @@ class ActorHandle:
         self._started.wait()
         if self._init_error is not None:
             raise self._init_error
-        with _actors_lock:
-            _actors.append(self)
+        register_actor(self)
 
     # -- actor loop ---------------------------------------------------------
     def _run(self, args, kwargs):
@@ -195,6 +327,9 @@ class ActorHandle:
                 task.ref._resolve(method(*task.args, **task.kwargs))
             except BaseException as exc:
                 task.ref._fail(exc)
+            finally:
+                with self._pending_lock:
+                    self._pending.pop(task.ref.id, None)
 
     def _submit(self, method_name: str, args, kwargs) -> ObjectRef:
         if self._stopped.is_set():
@@ -205,6 +340,8 @@ class ActorHandle:
         ref = ObjectRef()
         args = tuple(_maybe_copy(a) for a in args)
         kwargs = {k: _maybe_copy(v) for k, v in kwargs.items()}
+        with self._pending_lock:
+            self._pending[ref.id] = ref
         self._mailbox.put(_Task(method_name, args, kwargs, ref))
         return ref
 
@@ -212,6 +349,14 @@ class ActorHandle:
         self._stopped.set()
         self._mailbox.put(None)
         self._thread.join(timeout=5.0)
+        # Fail whatever never ran (queued tasks, or an in-flight task on
+        # a wedged thread): blocked getters wake with a clear error.
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for ref in pending.values():
+            ref._fail(RayliteError(
+                f"raylite.shutdown: actor {self._name} stopped; "
+                f"pending tasks cancelled"))
 
     def __getattr__(self, name: str) -> _RemoteMethod:
         if name.startswith("_"):
@@ -222,21 +367,44 @@ class ActorHandle:
         return f"<ActorHandle {self._name}>"
 
 
+def _make_handle(cls: type, args, kwargs, name: str = "",
+                 backend: Optional[str] = None,
+                 start_method: Optional[str] = None):
+    backend = backend or _config.backend
+    if backend == "thread":
+        return ActorHandle(cls, args, kwargs, name=name)
+    if backend == "process":
+        from repro.raylite.process_backend import ProcessActorHandle
+        return ProcessActorHandle(
+            cls, args, kwargs, name=name,
+            start_method=start_method or _config.start_method)
+    raise RayliteError(
+        f"Unknown backend {backend!r}; expected one of {_BACKENDS}")
+
+
 class _ActorFactory:
     def __init__(self, cls: type):
         self._cls = cls
 
-    def remote(self, *args, **kwargs) -> ActorHandle:
-        return ActorHandle(self._cls, args, kwargs)
+    def remote(self, *args, **kwargs):
+        return _make_handle(self._cls, args, kwargs)
 
-    def options(self, name: str = ""):
+    def options(self, name: str = "", backend: Optional[str] = None,
+                start_method: Optional[str] = None):
+        """Per-actor overrides (Ray's ``.options()``): display ``name``,
+        execution ``backend`` and process ``start_method``."""
         factory = self
+        if backend is not None and backend not in _BACKENDS:
+            raise RayliteError(
+                f"Unknown backend {backend!r}; expected one of {_BACKENDS}")
 
-        class _Named:
+        class _Configured:
             def remote(self, *args, **kwargs):
-                return ActorHandle(factory._cls, args, kwargs, name=name)
+                return _make_handle(factory._cls, args, kwargs, name=name,
+                                    backend=backend,
+                                    start_method=start_method)
 
-        return _Named()
+        return _Configured()
 
 
 def remote(cls: type) -> _ActorFactory:

@@ -1,0 +1,218 @@
+"""Shared-memory payload codec for the raylite process backend.
+
+Messages between the driver and process actors travel over a
+``multiprocessing`` pipe.  Pickling NumPy payloads (weight dicts,
+trajectory batches) through that pipe costs two serialization passes and
+two chunked copies per transfer.  This codec strips large ndarrays out
+of a payload, packs them into **one** ``multiprocessing.shared_memory``
+block, and sends only a lightweight placeholder tree over the pipe:
+
+* :func:`encode` — walk the payload (dicts/lists/tuples/ndarrays, any
+  depth); every C-contiguous-able array of at least
+  :data:`SHM_THRESHOLD` bytes is copied once into a freshly created
+  shared block at a 64-byte-aligned offset and replaced by a
+  :class:`ShmArray` token.  Everything else rides along pickled as-is.
+* :func:`decode` — attach the block and rebuild the arrays as
+  **zero-copy views** over the shared buffer.  A :class:`_Lease`
+  refcounts the decoded arrays via ``weakref.finalize``: when the last
+  array dies, the block is closed and unlinked.  Consumers therefore
+  treat decoded arrays like any other ndarray — lifetime is automatic.
+
+Ownership protocol: the sender unregisters the block from its own
+``resource_tracker`` (ownership transfers with the message) and closes
+its mapping after the copy; the receiver's lease performs the unlink.
+If shared memory is unavailable (``/dev/shm`` missing or exhausted) the
+codec degrades to inline pickling — correctness never depends on it.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - ancient/exotic platforms
+    shared_memory = None
+    resource_tracker = None
+
+#: Arrays at or above this many bytes go through shared memory; smaller
+#: ones are cheaper to pickle inline than to align and map.
+SHM_THRESHOLD = 2048
+
+_ALIGN = 64
+
+
+class ShmArray:
+    """Pipe-picklable placeholder for one array stored in the block."""
+
+    __slots__ = ("offset", "shape", "dtype")
+
+    def __init__(self, offset: int, shape: Tuple[int, ...], dtype: str):
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.offset, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.offset, self.shape, self.dtype = state
+
+
+class _Lease:
+    """Closes + unlinks one attached block once every decoded array dies."""
+
+    def __init__(self, shm, count: int):
+        self._shm = shm
+        self._remaining = count
+        self._lock = threading.Lock()
+
+    def release(self):
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining > 0:
+                return
+        try:
+            self._shm.close()
+        except BufferError:  # stray export; leave for process teardown
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            # Raced with a sender-side discard(): the block is gone but
+            # unlink() bailed before unregistering — balance the
+            # tracker entry ourselves or it warns at exit.
+            disown(self._shm)
+
+
+def _shm_eligible(value: Any) -> bool:
+    return (isinstance(value, np.ndarray) and not value.dtype.hasobject
+            and value.nbytes >= SHM_THRESHOLD)
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _strip(node: Any, arrays: List[np.ndarray], offsets: List[int],
+           cursor: List[int]) -> Any:
+    """Replace large arrays with ShmArray tokens; rebuild containers."""
+    if _shm_eligible(node):
+        arr = np.ascontiguousarray(node)
+        offset = cursor[0]
+        cursor[0] += _aligned(arr.nbytes)
+        arrays.append(arr)
+        offsets.append(offset)
+        return ShmArray(offset, arr.shape, arr.dtype.str)
+    if isinstance(node, dict):
+        return {k: _strip(v, arrays, offsets, cursor) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_strip(v, arrays, offsets, cursor) for v in node]
+    if isinstance(node, tuple):
+        return tuple(_strip(v, arrays, offsets, cursor) for v in node)
+    return node
+
+
+def _graft(node: Any, buf, views: List[np.ndarray]) -> Any:
+    """Inverse of :func:`_strip`: tokens become views over ``buf``."""
+    if isinstance(node, ShmArray):
+        view = np.ndarray(node.shape, dtype=np.dtype(node.dtype),
+                          buffer=buf, offset=node.offset)
+        views.append(view)
+        return view
+    if isinstance(node, dict):
+        return {k: _graft(v, buf, views) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_graft(v, buf, views) for v in node]
+    if isinstance(node, tuple):
+        return tuple(_graft(v, buf, views) for v in node)
+    return node
+
+
+def disown(shm) -> None:
+    """Transfer block ownership out of the resource tracker.
+
+    Called on the **creating** side only: ownership moves with the
+    message, and the receiver's attach re-registers the name (the
+    eventual ``unlink()`` unregisters it again, keeping the tracker
+    balanced — attaching sides must therefore *not* call this).
+    """
+    if resource_tracker is not None:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+
+
+def encode(payload: Any) -> Tuple[Any, Optional[str]]:
+    """Pack ``payload`` for the pipe.
+
+    Returns ``(tree, block_name)``.  ``tree`` is pipe-picklable (large
+    arrays replaced by tokens); ``block_name`` names the shared block,
+    or is None when nothing crossed the threshold (or shm is
+    unavailable), in which case ``tree`` is the payload unchanged.
+    """
+    if shared_memory is None:
+        return payload, None
+    arrays: List[np.ndarray] = []
+    offsets: List[int] = []
+    cursor = [0]
+    tree = _strip(payload, arrays, offsets, cursor)
+    if not arrays:
+        return payload, None
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=cursor[0])
+    except (OSError, ValueError):  # no /dev/shm or exhausted: pickle inline
+        return payload, None
+    for arr, offset in zip(arrays, offsets):
+        dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                         offset=offset)
+        np.copyto(dst, arr)
+        del dst
+    name = shm.name
+    disown(shm)
+    shm.close()
+    return tree, name
+
+
+def decode(tree: Any, block_name: Optional[str]) -> Any:
+    """Rebuild a payload; arrays become zero-copy views into the block.
+
+    The block is closed + unlinked automatically once every decoded
+    array has been garbage collected (see :class:`_Lease`).
+    """
+    if block_name is None:
+        return tree
+    shm = shared_memory.SharedMemory(name=block_name)
+    views: List[np.ndarray] = []
+    payload = _graft(tree, shm.buf, views)
+    if not views:  # token-free tree with a block should not happen
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        return payload
+    lease = _Lease(shm, len(views))
+    for view in views:
+        weakref.finalize(view, lease.release)
+    return payload
+
+
+def discard(tree: Any, block_name: Optional[str]) -> None:
+    """Drop an encoded-but-undeliverable message's block (sender side)."""
+    if block_name is None or shared_memory is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=block_name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass

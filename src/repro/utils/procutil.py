@@ -1,0 +1,13 @@
+"""Multiprocessing helpers shared by the process-parallel subsystems
+(raylite process actors, SubprocVectorEnv) without coupling them to
+each other."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def default_start_method() -> str:
+    """Prefer fork (cheap, closure-friendly factories) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"

@@ -151,7 +151,8 @@ class TestSingleThreadedWorker:
 # ---------------------------------------------------------------------------
 # Ape-X executor on raylite
 # ---------------------------------------------------------------------------
-def _apex_setup(num_workers=2, executor_cls=ApexExecutor, backend=XGRAPH):
+def _apex_setup(num_workers=2, executor_cls=ApexExecutor, backend=XGRAPH,
+                **kwargs):
     def env_factory(seed):
         return GridWorld(seed=seed)
 
@@ -165,7 +166,8 @@ def _apex_setup(num_workers=2, executor_cls=ApexExecutor, backend=XGRAPH):
         learner_agent=learner, agent_factory=agent_factory,
         env_factory=env_factory, num_workers=num_workers, envs_per_worker=2,
         num_replay_shards=2, task_size=40, batch_size=16,
-        replay_capacity=4096, learning_starts=80, weight_sync_steps=5)
+        replay_capacity=4096, learning_starts=80, weight_sync_steps=5,
+        **kwargs)
     return executor
 
 
@@ -197,10 +199,61 @@ class TestApexExecutor:
                          env_factory=None, worker_mode="bogus")
 
 
+@pytest.mark.mp_timeout(180)
+class TestProcessBackendExecutors:
+    """parallel_spec="process": the same coordination loops on raylite
+    process actors with shared-memory sample/weight transport."""
+
+    def test_apex_process_backend_collects_and_updates(self):
+        executor = _apex_setup(parallel_spec={"backend": "process",
+                                              "env_backend": "subproc"})
+        try:
+            result = executor.execute_workload(num_samples=300)
+            assert result.env_frames > 0
+            assert result.learner_updates > 0
+        finally:
+            raylite.shutdown()
+
+    def test_impala_process_backend_runs_and_updates(self):
+        runner = _impala_setup(parallel_spec="process")
+        try:
+            result = runner.run(duration=2.0)
+            assert result["env_frames"] > 0
+            assert result["learner_updates"] > 0
+            assert all(np.isfinite(l) for l in result["losses"])
+        finally:
+            raylite.shutdown()
+
+    def test_sync_batch_process_backend(self):
+        from repro.agents import ActorCriticAgent
+        from repro.execution import SyncBatchExecutor
+
+        def env_factory(seed):
+            return GridWorld(seed=seed)
+
+        def agent_factory(worker_index=0):
+            return ActorCriticAgent(
+                state_space=(16,), action_space=IntBox(4),
+                network_spec=[{"type": "dense", "units": 16,
+                               "activation": "tanh"}], seed=5)
+
+        executor = SyncBatchExecutor(
+            learner_agent=agent_factory(), agent_factory=agent_factory,
+            env_factory=env_factory, num_workers=2, envs_per_worker=2,
+            rollout_length=8, parallel_spec="process")
+        try:
+            result = executor.execute_workload(num_iterations=3)
+            assert result["env_frames"] == 3 * 2 * 2 * 8
+            assert result["updates"] == 3
+        finally:
+            raylite.shutdown()
+
+
 # ---------------------------------------------------------------------------
 # IMPALA runner
 # ---------------------------------------------------------------------------
-def _impala_setup(runner_cls=IMPALARunner, num_actors=2, backend=XGRAPH):
+def _impala_setup(runner_cls=IMPALARunner, num_actors=2, backend=XGRAPH,
+                  **kwargs):
     def env_factory(seed):
         return GridWorld(seed=seed)
 
@@ -213,7 +266,7 @@ def _impala_setup(runner_cls=IMPALARunner, num_actors=2, backend=XGRAPH):
     learner = agent_factory()
     return runner_cls(learner_agent=learner, agent_factory=agent_factory,
                       env_factory=env_factory, num_actors=num_actors,
-                      rollout_length=8, batch_size=2)
+                      rollout_length=8, batch_size=2, **kwargs)
 
 
 class TestIMPALARunner:

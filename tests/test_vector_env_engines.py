@@ -2,6 +2,9 @@
 sequential baseline, determinism under utils.seeding, and the
 step_async/step_wait contract."""
 
+import functools
+import os
+
 import numpy as np
 import pytest
 
@@ -11,6 +14,7 @@ from repro.environments import (
     GridWorld,
     RandomEnv,
     SequentialVectorEnv,
+    SubprocVectorEnv,
     ThreadedVectorEnv,
     VectorEnv,
     vector_env_from_spec,
@@ -19,7 +23,10 @@ from repro.execution import SingleThreadedWorker
 from repro.utils import RLGraphError
 from repro.utils.seeding import SeedStream
 
-ENGINES = ["sequential", "threaded", "async"]
+# The subproc engine talks to worker processes; fail fast on deadlock.
+pytestmark = pytest.mark.mp_timeout(120)
+
+ENGINES = ["sequential", "threaded", "async", "subproc"]
 
 
 def _random_envs(n, stream_seed=7, terminal_prob=0.15):
@@ -133,7 +140,12 @@ class TestEngineSemantics:
             np.testing.assert_array_equal(a, b)
 
 
-@pytest.mark.parametrize("engine", ["threaded", "async"])
+@pytest.mark.parametrize("engine", [
+    "threaded",
+    "async",
+    "subproc",
+    {"type": "subproc", "num_workers": 2},  # shard-boundary coverage
+])
 class TestParityWithSequential:
     def test_trajectory_and_episode_parity(self, engine):
         ref = SequentialVectorEnv(envs=_random_envs(4))
@@ -156,7 +168,7 @@ class TestOutputAliasing:
         """Accumulating returned states across steps must not alias the
         engine's live buffer (identity-preprocessing agents hand the
         input array straight back into rollout buffers)."""
-        for engine in ("threaded", "async"):
+        for engine in ("threaded", "async", "subproc"):
             vec = vector_env_from_spec(engine, envs=_random_envs(3))
             rows = [vec.reset_all()]
             for _ in range(5):
@@ -170,13 +182,15 @@ class TestOutputAliasing:
             vec.close()
 
     def test_zero_copy_opt_in_reuses_buffers(self):
-        vec = vector_env_from_spec(
-            {"type": "threaded", "copy_output": False}, envs=_random_envs(2))
-        vec.reset_all()
-        s1, _, _ = vec.step([0, 0])
-        s2, _, _ = vec.step([1, 1])
-        assert s1 is s2  # the documented in-place contract
-        vec.close()
+        for engine in ("threaded", "subproc"):
+            vec = vector_env_from_spec(
+                {"type": engine, "copy_output": False}, envs=_random_envs(2))
+            vec.reset_all()
+            s1, _, _ = vec.step([0, 0])
+            s2, _, _ = vec.step([1, 1])
+            assert s1 is s2, engine  # the documented in-place contract
+            del s1, s2  # release the shared views before close()
+            vec.close()
 
 
 class TestAsyncContract:
@@ -231,8 +245,10 @@ class _ScriptedAgent:
 @pytest.mark.parametrize("engine", [
     "threaded",
     "async",
+    "subproc",
     {"type": "threaded", "copy_output": False},
     {"type": "async", "copy_output": False},
+    {"type": "subproc", "copy_output": False, "num_workers": 2},
 ])
 def test_worker_batch_parity_across_engines(engine):
     """SingleThreadedWorker collects identical batches on every engine —
@@ -250,6 +266,93 @@ def test_worker_batch_parity_across_engines(engine):
     assert set(ref) == set(got)
     for key in ref:
         np.testing.assert_array_equal(ref[key], got[key])
+
+
+class _RaisingEnv(RandomEnv):
+    """Steps normally, then raises inside the worker process."""
+
+    def __init__(self, fuse: int = 3, **kwargs):
+        super().__init__(**kwargs)
+        self.fuse = fuse
+
+    def step(self, action):
+        self.fuse -= 1
+        if self.fuse < 0:
+            raise ValueError("env exploded")
+        return super().step(action)
+
+
+class _CrashingEnv(RandomEnv):
+    """Kills its worker process outright (no exception to ship)."""
+
+    def __init__(self, fuse: int = 3, **kwargs):
+        super().__init__(**kwargs)
+        self.fuse = fuse
+
+    def step(self, action):
+        self.fuse -= 1
+        if self.fuse < 0:
+            os._exit(13)
+        return super().step(action)
+
+
+class TestSubprocFailures:
+    def test_env_exception_surfaces_descriptively(self):
+        vec = SubprocVectorEnv(envs=[_RaisingEnv(fuse=2, seed=0),
+                                     RandomEnv(seed=1)], num_workers=2)
+        vec.reset_all()
+        vec.step([0, 0])
+        vec.step([0, 0])
+        with pytest.raises(RLGraphError, match="worker 0") as excinfo:
+            vec.step([0, 0])
+        assert "env exploded" in str(excinfo.value)
+        vec.close()
+
+    def test_crashed_worker_reports_dead_worker(self):
+        vec = SubprocVectorEnv(envs=[_CrashingEnv(fuse=1, seed=0)])
+        vec.reset_all()
+        vec.step([0])
+        with pytest.raises(RLGraphError, match="worker 0.*died"):
+            vec.step([0])
+        vec.close()  # reaping a dead worker must not raise or hang
+
+    def test_worker_count_clamped_to_envs(self):
+        vec = SubprocVectorEnv(envs=_random_envs(2), num_workers=8)
+        assert len(vec._procs) == 2
+        vec.close()
+
+
+class TestSubprocSeeding:
+    def test_env_fns_seeding_determinism(self):
+        """Envs constructed *inside* the workers from seeded factories
+        replay the sequential baseline bitwise."""
+        def factory(seed):
+            return RandomEnv(state_space=(4,), action_space=2,
+                             terminal_prob=0.15, seed=seed)
+
+        stream = SeedStream(11)
+        seeds = [stream.spawn("env", i) for i in range(4)]
+        ref = SequentialVectorEnv(
+            env_fns=[functools.partial(factory, s) for s in seeds])
+        vec = SubprocVectorEnv(
+            env_fns=[functools.partial(factory, s) for s in seeds],
+            num_workers=2)
+        for a, b in zip(_rollout(ref, 30), _rollout(vec, 30)):
+            np.testing.assert_array_equal(a, b)
+        vec.close()
+        ref.close()
+
+    def test_spawn_start_method_parity(self):
+        """Spawn-safety: picklable env_fns reproduce the same rollout."""
+        fns = [functools.partial(RandomEnv, state_space=(4,), action_space=2,
+                                 terminal_prob=0.15, seed=100 + i)
+               for i in range(2)]
+        ref = SequentialVectorEnv(env_fns=fns)
+        vec = SubprocVectorEnv(env_fns=fns, start_method="spawn")
+        for a, b in zip(_rollout(ref, 10), _rollout(vec, 10)):
+            np.testing.assert_array_equal(a, b)
+        vec.close()
+        ref.close()
 
 
 @pytest.mark.parametrize("engine", ENGINES)
