@@ -17,6 +17,20 @@ _DEFAULT_TIMEOUT = 60
 
 
 @pytest.fixture(autouse=True)
+def _deterministic_eager_seeds():
+    """Eager-mode random ops draw their seeds from a process-global
+    counter (`repro.backend.functional._eager_seed_counter`).  Reset it
+    per test so every test sees the exact RNG stream of an isolated run
+    — without this, timed benchmark windows advance the counter by a
+    nondeterministic amount and seed-sensitive learning tests
+    (e.g. test_multi_device_learns[xtape]) flake depending on suite
+    order and machine speed."""
+    from repro.backend import functional
+    functional._eager_seed_counter[0] = 0
+    yield
+
+
+@pytest.fixture(autouse=True)
 def _mp_deadlock_guard(request):
     marker = request.node.get_closest_marker("mp_timeout")
     if marker is None or not hasattr(signal, "SIGALRM"):

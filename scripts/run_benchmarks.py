@@ -1,19 +1,22 @@
 #!/usr/bin/env python
-"""Quick-mode performance snapshots -> BENCH_compiler.json + BENCH_parallel.json.
+"""Quick-mode performance snapshots -> BENCH_compiler.json +
+BENCH_parallel.json + BENCH_learner.json.
 
 Runs the hot-path micro-benchmarks that track the repo's perf
 trajectory — `session.run` on the DQN update fetch-set (per optimize
 level), vector-env stepping, and prioritized-replay sampling — plus a
 thread-vs-process snapshot of Ape-X/IMPALA actor-side sample throughput
-on a CPU-bound env (the ISSUE-3 axis), each in a few seconds, and
-writes ops/sec summaries. CI calls this in a non-blocking step so every
-PR from the graph-compiler PR onward records machine-readable perf
-points.
+on a CPU-bound env (the ISSUE-3 axis) and the learner-path snapshot
+(fused vs per-variable optimizer step, dict vs flat weight push — the
+ISSUE-4 axis), each in a few seconds, and writes ops/sec summaries. CI
+calls this in a non-blocking step so every PR from the graph-compiler
+PR onward records machine-readable perf points.
 
 Usage:
     PYTHONPATH=src python scripts/run_benchmarks.py \
         [--output BENCH_compiler.json] \
-        [--parallel-output BENCH_parallel.json] [--skip-parallel]
+        [--parallel-output BENCH_parallel.json] [--skip-parallel] \
+        [--learner-output BENCH_learner.json] [--skip-learner]
 """
 
 from __future__ import annotations
@@ -198,6 +201,102 @@ def bench_parallel_backends(duration: float = 2.0) -> dict:
     return summary
 
 
+def bench_learner_path() -> dict:
+    """Flat-parameter learner path: fused vs per-variable update step
+    (K=100 Adam variables) and dict vs flat weight push (thread
+    backend; the E12 bench covers the process backend)."""
+    import numpy as np
+
+    from repro import raylite
+    from repro.agents import DQNAgent
+    from repro.backend import functional as F
+    from repro.components.optimizers import Adam
+    from repro.core import Component, graph_fn, rlgraph_api
+    from repro.core.graph_builder import build_graph
+    from repro.spaces import FloatBox, IntBox
+
+    class KVar(Component):
+        def __init__(self, optimizer, num_vars, scope="kvar"):
+            super().__init__(scope=scope)
+            self.optimizer = optimizer
+            self.num_vars = num_vars
+            self.add_components(optimizer)
+
+        def create_variables(self, input_spaces):
+            ws = [self.get_variable(f"w-{i:03d}", shape=(16,),
+                                    initializer="normal")
+                  for i in range(self.num_vars)]
+            self.optimizer.set_variables(ws)
+
+        @rlgraph_api
+        def update(self, target):
+            loss = self._graph_fn_loss(target)
+            return self._graph_fn_result(loss, self.optimizer.step(loss))
+
+        @graph_fn
+        def _graph_fn_loss(self, target):
+            total = None
+            for name in sorted(self.variables):
+                var = self.variables[name]
+                term = F.reduce_sum(F.square(F.sub(var.read(), target)))
+                total = term if total is None else F.add(total, term)
+            return total
+
+        @graph_fn(requires_variables=False)
+        def _graph_fn_result(self, loss, step_op):
+            return F.with_deps(loss, step_op) if step_op is not None else loss
+
+    target = np.zeros(16, np.float32)
+    update_rates = {}
+    update_nodes = {}
+    for optimize in ("none", "fused"):
+        problem = KVar(Adam(learning_rate=1e-3), num_vars=100)
+        built = build_graph(problem, {"target": FloatBox(shape=(16,))},
+                            seed=1, optimize=optimize)
+        update_rates[optimize] = round(
+            _measure(lambda: built.execute("update", target)), 1)
+        update_nodes[optimize] = problem.optimizer.update_node_count
+
+    def agent_factory():
+        return DQNAgent(
+            state_space=FloatBox(shape=(8,)), action_space=IntBox(4),
+            network_spec=[{"type": "dense", "units": 128,
+                           "activation": "relu"}], seed=5)
+
+    class Sink:
+        def __init__(self, factory):
+            self.agent = factory()
+
+        def set_weights(self, weights) -> int:
+            self.agent.set_weights(weights)
+            return 0
+
+    learner = agent_factory()
+    sink = raylite.remote(Sink).remote(agent_factory)
+    push_rates = {}
+    try:
+        for kind in ("dict", "flat"):
+            def push():
+                weights = learner.get_weights(flat=(kind == "flat"))
+                raylite.get(sink.set_weights.remote(weights))
+            push_rates[kind] = round(_measure(push), 1)
+    finally:
+        raylite.shutdown()
+
+    summary = {
+        "update_step_k100_per_s": update_rates,
+        "update_graph_nodes_k100": update_nodes,
+        "weight_push_thread_per_s": push_rates,
+    }
+    summary["fused_update_speedup"] = round(
+        update_rates["fused"] / update_rates["none"], 3) \
+        if update_rates["none"] else None
+    summary["flat_push_speedup"] = round(
+        push_rates["flat"] / push_rates["dict"], 3) \
+        if push_rates["dict"] else None
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_compiler.json",
@@ -207,6 +306,11 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--skip-parallel", action="store_true",
                         help="skip the thread-vs-process actor snapshot")
+    parser.add_argument("--learner-output", default="BENCH_learner.json",
+                        help="learner-path snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-learner", action="store_true",
+                        help="skip the learner-path snapshot")
     args = parser.parse_args(argv)
 
     host = {"python": platform.python_version(),
@@ -228,6 +332,13 @@ def main(argv=None) -> int:
             json.dump(parallel, f, indent=2)
             f.write("\n")
         json.dump(parallel, sys.stdout, indent=2)
+        print()
+    if not args.skip_learner:
+        learner = {**host, **bench_learner_path()}
+        with open(args.learner_output, "w") as f:
+            json.dump(learner, f, indent=2)
+            f.write("\n")
+        json.dump(learner, sys.stdout, indent=2)
         print()
     return 0
 

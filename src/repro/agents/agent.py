@@ -50,6 +50,7 @@ class Agent:
 
         self.root: Optional[Component] = None
         self.graph: Optional[BuiltGraph] = None
+        self._flat_layout = None
         self.timesteps = 0
         self.updates = 0
 
@@ -175,10 +176,31 @@ class Agent:
         raise NotImplementedError
 
     # -- weights -----------------------------------------------------------------
-    def get_weights(self) -> Dict[str, np.ndarray]:
+    def flat_layout(self):
+        """The cached flat packing of this agent's trainable variables —
+        identical across same-architecture agents, so a flat vector from
+        a learner scatters correctly into an actor's variables."""
+        if self._flat_layout is None:
+            if self.root is None:
+                raise RLGraphError("Agent not built; call build() first")
+            self._flat_layout = self.root.flat_layout()
+        return self._flat_layout
+
+    def get_weights(self, flat: bool = False):
+        """All trainable weights: a per-variable dict (default; used by
+        checkpoints), or with ``flat=True`` ONE float32 vector in the
+        deterministic :meth:`flat_layout` order — the zero-copy sync
+        path executors ship as a single shared-memory block."""
+        if flat:
+            return self.flat_layout().gather()
         return self.root.get_weights()
 
-    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+    def set_weights(self, weights) -> None:
+        """Accepts a per-variable dict or a flat vector from
+        :meth:`get_weights(flat=True) <get_weights>`."""
+        if isinstance(weights, np.ndarray) and weights.ndim == 1:
+            self.flat_layout().scatter(weights)
+            return
         self.root.set_weights(weights)
 
     def export_model(self, path: str) -> None:

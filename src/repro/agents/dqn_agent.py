@@ -182,7 +182,7 @@ class DQNRoot(Component):
 
     @graph_fn(requires_variables=False)
     def _graph_fn_ones_like(self, rewards):
-        return F.add(F.mul(rewards, 0.0), 1.0)
+        return F.ones_like(rewards, dtype=np.float32)
 
     @graph_fn(requires_variables=False)
     def _graph_fn_mean_losses(self, *losses):

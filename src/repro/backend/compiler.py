@@ -63,7 +63,7 @@ FUSABLE_OPS = frozenset({
     "relu", "tanh", "sigmoid", "softplus",
     "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
     "logical_and", "logical_or", "logical_not",
-    "cast", "where", "identity", "stop_gradient",
+    "cast", "where", "identity", "stop_gradient", "ones_like",
 })
 
 # Never constant-fold these even when their inputs are constant: their
@@ -287,6 +287,23 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
         if spec is None:
             continue
         input_ids = [resolve(i.id) for i in node.inputs]
+        if node.op == "anchor":
+            # Pass-through whose extra inputs only thread a data
+            # dependency (e.g. a memory's size read anchored on the
+            # batch-size placeholder): alias to the carried value and
+            # let DNE drop the now-unreferenced anchor inputs. A
+            # state-DEPENDENT payload keeps its (copying) anchor node —
+            # aliasing it would hand fetch consumers the live variable
+            # buffer, which later in-place writes mutate retroactively.
+            target = input_ids[0]
+            if target in const_values:
+                const_values[node.id] = const_values[target]
+                stats.nodes_cse += 1
+                continue
+            if not state_dep.get(target, False):
+                alias[node.id] = target
+                stats.nodes_cse += 1
+                continue
         if (node.inputs and node.op not in _NO_FOLD_OPS
                 and all(i in const_values for i in input_ids)):
             try:

@@ -247,6 +247,24 @@ def identity(x):
     return _op("identity", [x])
 
 
+def ones_like(x, dtype=np.float32):
+    """Ones with the runtime shape of ``x`` (one cheap kernel, and the
+    compiler constant-folds it when ``x`` has a constant shape)."""
+    return _op("ones_like", [x], {"dtype": np.dtype(dtype)})
+
+
+def anchor(x, *deps):
+    """Pass ``x`` through while data-depending on ``deps``. The graph
+    compiler elides the node entirely; the interpreter forwards ``x``."""
+    return _op("anchor", [x, *deps])
+
+
+def flatcat(handles: Sequence):
+    """Coalesce tensors into one flat float32 vector — a single graph
+    node regardless of the number of inputs (fused optimizer path)."""
+    return _op("flatcat", list(handles))
+
+
 def stop_gradient(x):
     return _op("stop_gradient", [x])
 
@@ -363,6 +381,29 @@ def vtrace(log_rhos, discounts, rewards, values, bootstrap_value,
 def zeros2d(n, cols: int):
     """A (n, cols) float32 zero matrix with runtime row count."""
     return _op("zeros2d", [n], {"cols": int(cols)})
+
+
+# -- fused optimizer updates (flat-parameter learner path) --------------------
+def fused_sgd(flat_grad, var, lr, momentum=0.0, momentum_var=None):
+    """In-place SGD over a whole parameter slab: one stateful node."""
+    return _op("fused_sgd", [flat_grad],
+               {"var": var, "lr": float(lr), "momentum": float(momentum),
+                "momentum_var": momentum_var})
+
+
+def fused_adam(flat_grad, t, var, m, v, lr, beta1, beta2, epsilon):
+    """In-place Adam over a whole parameter slab: one stateful node."""
+    return _op("fused_adam", [flat_grad, t],
+               {"var": var, "m": m, "v": v, "lr": float(lr),
+                "beta1": float(beta1), "beta2": float(beta2),
+                "epsilon": float(epsilon)})
+
+
+def fused_rmsprop(flat_grad, var, ms, lr, decay, epsilon):
+    """In-place RMSProp over a whole parameter slab: one stateful node."""
+    return _op("fused_rmsprop", [flat_grad],
+               {"var": var, "ms": ms, "lr": float(lr), "decay": float(decay),
+                "epsilon": float(epsilon)})
 
 
 def py_func(fn, inputs=(), shape=None, dtype=None):

@@ -11,6 +11,8 @@ paper's time-major space option.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
@@ -193,6 +195,56 @@ def unbroadcast(grad: np.ndarray, target_shape) -> np.ndarray:
         if size == 1 and grad.shape[axis] != 1:
             grad = grad.sum(axis=axis, keepdims=True)
     return grad
+
+
+# ---------------------------------------------------------------------------
+# Multi-tensor fused optimizer kernels (flat-parameter learner path)
+# ---------------------------------------------------------------------------
+# Each kernel updates a whole parameter slab (and its slot slabs) in
+# place from one flat gradient vector. Arithmetic mirrors the
+# per-variable op chains in components/optimizers/optimizer.py constant
+# for constant (python floats cast to float32 exactly like
+# graph.constant does), so fused results are bitwise identical to the
+# per-variable path — elementwise ops cannot mix elements across the
+# concatenated segments.
+
+def fused_sgd(grad: np.ndarray, params: np.ndarray, lr: float,
+              momentum: float = 0.0,
+              momentum_buf: Optional[np.ndarray] = None) -> None:
+    g = np.asarray(grad, dtype=np.float32)
+    if momentum:
+        new_m = np.float32(momentum) * momentum_buf + g
+        momentum_buf[...] = new_m
+        params += np.float32(-lr) * new_m
+    else:
+        params += np.float32(-lr) * g
+
+
+def fused_adam(grad: np.ndarray, t, params: np.ndarray, m: np.ndarray,
+               v: np.ndarray, lr: float, beta1: float, beta2: float,
+               epsilon: float) -> None:
+    g = np.asarray(grad, dtype=np.float32)
+    t = np.float32(t)
+    new_m = np.float32(beta1) * m + np.float32(1.0 - beta1) * g
+    new_v = np.float32(beta2) * v + np.float32(1.0 - beta2) * np.square(g)
+    # beta^t via exp(t * log(beta)) — matches the per-variable graph.
+    bc1 = np.float32(1.0) - np.exp(t * np.float32(np.log(beta1)))
+    bc2 = np.float32(1.0) - np.exp(t * np.float32(np.log(beta2)))
+    m_hat = new_m / np.maximum(bc1, np.float32(1e-8))
+    v_hat = new_v / np.maximum(bc2, np.float32(1e-8))
+    delta = np.float32(-lr) * (m_hat / (np.sqrt(v_hat) + np.float32(epsilon)))
+    m[...] = new_m
+    v[...] = new_v
+    params += delta
+
+
+def fused_rmsprop(grad: np.ndarray, params: np.ndarray, ms: np.ndarray,
+                  lr: float, decay: float, epsilon: float) -> None:
+    g = np.asarray(grad, dtype=np.float32)
+    new_ms = np.float32(decay) * ms + np.float32(1.0 - decay) * np.square(g)
+    delta = np.float32(-lr) * (g / (np.sqrt(new_ms) + np.float32(epsilon)))
+    ms[...] = new_ms
+    params += delta
 
 
 # ---------------------------------------------------------------------------

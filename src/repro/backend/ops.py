@@ -634,6 +634,20 @@ register_op("stop_gradient", lambda i, a: i[0], None, _first_shape,
             dtype_fn=_first_dtype)
 register_op("tile", lambda i, a: np.tile(i[0], a["reps"]), None, None)
 
+# ``ones_like``: shape-tracking constants (e.g. unit importance weights)
+# without burning elementwise kernels on a mul/add chain. ``anchor``
+# threads a data dependency through; the compiler elides it to its
+# first input when that input is pure, and keeps it otherwise — the
+# forward COPIES, so a fetched value anchored on mutable state (e.g. a
+# memory's size read) is a snapshot, not an alias into the live
+# variable buffer.
+register_op("ones_like",
+            lambda i, a: np.ones(np.shape(i[0]), dtype=a["dtype"]),
+            None, _first_shape, dtype_fn=lambda d, a: np.dtype(a["dtype"]))
+register_op("anchor", lambda i, a: np.array(i[0]),
+            lambda inp, out, g, a: (g,) + (None,) * (len(inp) - 1),
+            _first_shape, dtype_fn=_first_dtype)
+
 # ======================= backward-only helpers ===============================
 register_op("unbroadcast_like_op",
             lambda i, a: kernels.unbroadcast(i[0], np.shape(i[1])),
@@ -827,6 +841,70 @@ def _vtrace_fwd(i, a):
 
 register_op("vtrace", _vtrace_fwd, None,
             lambda shapes, a: shapes[3], dtype_fn=_float_dtype)
+
+# ======================= flat-parameter learner path ==========================
+# ``flatcat`` coalesces the reverse pass's per-variable gradients into
+# one flat float32 buffer with a SINGLE graph node regardless of how
+# many variables feed it — the front half of the fused optimizer path.
+def _flatcat_fwd(i, a):
+    if len(i) == 1:
+        return np.asarray(i[0], dtype=np.float32).reshape(-1)
+    return np.concatenate(
+        [np.asarray(x, dtype=np.float32).reshape(-1) for x in i])
+
+
+def _flatcat_shape(shapes, attrs):
+    total = 0
+    for s in shapes:
+        if s is None or any(d is None for d in s):
+            return (None,)
+        total += int(np.prod(s)) if s else 1
+    return (total,)
+
+
+register_op("flatcat", _flatcat_fwd, None, _flatcat_shape,
+            dtype_fn=_float_dtype)
+
+
+# Multi-tensor fused optimizer ops: ONE stateful node updates the whole
+# parameter slab (plus its optimizer-slot slabs) in place from the flat
+# gradient, replacing the per-variable chains of ~10+ nodes each. The
+# slab handles travel in attrs like the assign/scatter family's
+# ``var`` attr; kernels live in backend/kernels.py. Returns the slab
+# size so the node has a value for control-dependency grouping.
+def _fused_update_shape(shapes, attrs):
+    return ()
+
+
+def _fused_sgd_fwd(i, a):
+    var = a["var"]
+    mom = a.get("momentum_var")
+    kernels.fused_sgd(i[0], var.value, a["lr"], a.get("momentum", 0.0),
+                      mom.value if mom is not None else None)
+    return np.asarray(var.value.size, dtype=np.int64)
+
+
+def _fused_adam_fwd(i, a):
+    var = a["var"]
+    kernels.fused_adam(i[0], i[1], var.value, a["m"].value, a["v"].value,
+                       a["lr"], a["beta1"], a["beta2"], a["epsilon"])
+    return np.asarray(var.value.size, dtype=np.int64)
+
+
+def _fused_rmsprop_fwd(i, a):
+    var = a["var"]
+    kernels.fused_rmsprop(i[0], var.value, a["ms"].value, a["lr"],
+                          a["decay"], a["epsilon"])
+    return np.asarray(var.value.size, dtype=np.int64)
+
+
+register_op("fused_sgd", _fused_sgd_fwd, None, _fused_update_shape,
+            dtype_fn=_int_dtype, stateful=True)
+register_op("fused_adam", _fused_adam_fwd, None, _fused_update_shape,
+            dtype_fn=_int_dtype, stateful=True)
+register_op("fused_rmsprop", _fused_rmsprop_fwd, None, _fused_update_shape,
+            dtype_fn=_int_dtype, stateful=True)
+
 
 # ======================= python escape hatch ==================================
 # TF-style py_func: wraps arbitrary Python callables as (stateful) graph

@@ -4,13 +4,24 @@ Used for DQN target networks and for worker <- learner weight pulls in
 the distributed executors. Pairing is by variable name suffix (the part
 below each component's scope), so structurally identical components sync
 regardless of where they sit in the tree.
+
+The sorted key pairing is computed and validated ONCE (first sync build
+/ call) and cached — the seed re-sorted and re-validated shapes on every
+define-by-run sync call. Validation reports *all* mismatched keys in one
+aggregated error. When the build's ``optimize`` level is not ``"none"``,
+both sides coalesce into flat parameter slabs
+(:class:`~repro.backend.variables.ParamSlab`) and the sync moves ONE
+flat ndarray (a single assign, or three nodes for a Polyak blend)
+instead of a per-variable copy loop; ``optimize="none"`` keeps the seed
+per-variable construction.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.backend import functional as F
+from repro.backend.variables import ParamSlab, Variable
 from repro.core import Component, graph_fn, rlgraph_api
 from repro.utils.errors import RLGraphError
 
@@ -41,29 +52,87 @@ class Synchronizer(Component):
         self.tau = tau
         # Both components' variables must exist before our sync ops build.
         self.build_dependencies = [source, target]
+        # Build-time caches: sorted (src, dst) variable pairing and,
+        # on the flat path, the two coalesced slabs.
+        self._pairs: Optional[List[Tuple[Variable, Variable]]] = None
+        self._slabs: Optional[Tuple[ParamSlab, ParamSlab]] = None
+        self._use_flat: Optional[bool] = None
 
     @rlgraph_api
     def sync(self):
         return self._graph_fn_sync()
 
-    @graph_fn(requires_variables=False)
-    def _graph_fn_sync(self):
+    def _build_pairs(self) -> None:
+        """Compute + validate the sorted key pairing once; raise one
+        aggregated error listing every structural/shape mismatch."""
         src = _relative_names(self.source)
         dst = _relative_names(self.target)
-        if set(src) != set(dst):
-            raise RLGraphError(
-                f"Synchronizer: variable structure mismatch "
-                f"{sorted(src)} vs {sorted(dst)}")
-        ops = []
-        for key in sorted(src):
+        problems = []
+        only_src = sorted(set(src) - set(dst))
+        only_dst = sorted(set(dst) - set(src))
+        if only_src:
+            problems.append(f"only in source: {only_src}")
+        if only_dst:
+            problems.append(f"only in target: {only_dst}")
+        for key in sorted(set(src) & set(dst)):
             if src[key].shape != dst[key].shape:
-                raise RLGraphError(
-                    f"Synchronizer: shape mismatch for {key}: "
-                    f"{src[key].shape} vs {dst[key].shape}")
+                problems.append(
+                    f"shape mismatch for {key!r}: {src[key].shape} vs "
+                    f"{dst[key].shape}")
+        if problems:
+            raise RLGraphError(
+                f"Synchronizer {self.global_scope}: variable structure "
+                f"mismatch — " + "; ".join(problems))
+        self._pairs = [(src[key], dst[key]) for key in sorted(src)]
+
+    def _resolve_flat(self) -> bool:
+        """Flat slab sync unless the build runs at ``optimize="none"``
+        (the paper-faithful ablation) or the sides cannot coalesce."""
+        if self._use_flat is not None:
+            return self._use_flat
+        from repro.core.component import get_current_build
+        build = get_current_build()
+        level = getattr(build, "optimize", "fused") \
+            if build is not None else "fused"
+        use = level != "none"
+        if use:
+            try:
+                # Sorted by full name == sorted by relative name (the
+                # scope prefix is constant per side), so segment i of
+                # the source slab pairs with segment i of the target.
+                src_slab = ParamSlab.ensure(
+                    [s for s, _ in self._pairs],
+                    name=f"{self.source.global_scope}/slab")
+                dst_slab = ParamSlab.ensure(
+                    [d for _, d in self._pairs],
+                    name=f"{self.target.global_scope}/slab")
+                self._slabs = (src_slab, dst_slab)
+            except RLGraphError:
+                use = False  # mixed dtypes / partial slab: per-var path
+        self._use_flat = use
+        return use
+
+    @graph_fn(requires_variables=False)
+    def _graph_fn_sync(self):
+        if self._pairs is None:
+            self._build_pairs()
+        if self._resolve_flat():
+            src_slab, dst_slab = self._slabs
+            src_flat = src_slab.flat_variable().read()
+            dst_var = dst_slab.flat_variable()
             if self.tau is None:
-                ops.append(dst[key].assign(src[key].read()))
+                op = dst_var.assign(src_flat)
             else:
-                blended = F.add(F.mul(self.tau, src[key].read()),
-                                F.mul(1.0 - self.tau, dst[key].read()))
-                ops.append(dst[key].assign(blended))
+                blended = F.add(F.mul(self.tau, src_flat),
+                                F.mul(1.0 - self.tau, dst_var.read()))
+                op = dst_var.assign(blended)
+            return F.group(*([op] if op is not None else []))
+        ops = []
+        for src_var, dst_var in self._pairs:
+            if self.tau is None:
+                ops.append(dst_var.assign(src_var.read()))
+            else:
+                blended = F.add(F.mul(self.tau, src_var.read()),
+                                F.mul(1.0 - self.tau, dst_var.read()))
+                ops.append(dst_var.assign(blended))
         return F.group(*ops)

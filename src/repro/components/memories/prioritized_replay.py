@@ -56,7 +56,7 @@ class PrioritizedReplay(Memory):
         ops, idx = self._insert_ops(records)
         # New records enter at max priority so they are seen at least once.
         maxp = self.max_priority_var.read()
-        pvals = F.add(F.mul(F.cast(idx, np.float32), 0.0), maxp)
+        pvals = F.mul(F.ones_like(idx, dtype=np.float32), maxp)
         pw = self.priority_var.scatter_update(idx, pvals)
         if pw is not None:
             ops.append(pw)

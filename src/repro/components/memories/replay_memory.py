@@ -43,10 +43,13 @@ class ReplayMemory(Memory):
     def _graph_fn_sample(self, batch_size):
         idx = self._uniform_indices(batch_size)
         records = self._read_records(idx)
-        weights = F.add(F.mul(F.cast(idx, np.float32), 0.0), 1.0)
+        # Unit importance weights: one cheap shape-tracking kernel (the
+        # seed burned a cast + mul + add chain per sample).
+        weights = F.ones_like(idx, dtype=np.float32)
         return records, idx, weights
 
     @graph_fn
     def _graph_fn_size(self, batch_size):
-        return F.add(self.size_var.read(),
-                     F.mul(F.cast(batch_size, np.int64), np.int64(0)))
+        # `anchor` threads the batch_size dependency through at zero
+        # runtime cost — the compiler elides it to the size read.
+        return F.anchor(self.size_var.read(), batch_size)

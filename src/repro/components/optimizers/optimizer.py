@@ -8,6 +8,22 @@ in define-by-run mode — paper Fig. 3, line 11.
 
 Tower averaging for the synchronous multi-device strategy is exposed as
 ``step_towers(*losses)`` (gradients averaged before applying).
+
+Two update constructions exist:
+
+* **fused** (default whenever the build's ``optimize`` level is not
+  ``"none"``) — the variable list is coalesced into one contiguous
+  :class:`~repro.backend.variables.ParamSlab`, per-variable gradients
+  collapse into a flat buffer through a single ``flatcat`` node, global
+  norm clipping becomes one squared-norm reduction plus one scale over
+  the slab, and the whole update is ONE multi-tensor op
+  (``fused_adam``/``fused_rmsprop``/``fused_sgd``) — O(1) graph nodes
+  regardless of the number of variables K, vs O(10·K) per-variable.
+* **per-variable** (``optimize="none"``, or ``fused=False``) — the seed
+  construction, kept as the paper-faithful ablation baseline.
+
+Both produce identical weights (bitwise without clipping; the flat
+global-norm reduction reorders one summation).
 """
 
 from __future__ import annotations
@@ -16,9 +32,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend import context
 from repro.backend import functional as F
 from repro.backend.gradients import grads_of
-from repro.backend.variables import Variable
+from repro.backend.variables import ParamSlab, Variable
 from repro.core import Component, graph_fn, rlgraph_api
 from repro.utils.errors import RLGraphError
 from repro.utils.registry import Registry
@@ -35,13 +52,22 @@ class Optimizer(Component):
     """
 
     def __init__(self, learning_rate: float = 1e-3, clip_grad_norm: Optional[float] = None,
-                 scope: str = "optimizer", **kwargs):
+                 fused: Optional[bool] = None, scope: str = "optimizer",
+                 **kwargs):
         super().__init__(scope=scope, **kwargs)
         self.learning_rate = float(learning_rate)
         self.clip_grad_norm = clip_grad_norm
+        # None = auto: fused unless the build runs at optimize="none"
+        # (the paper-faithful per-variable ablation).
+        self.fused = fused
+        self._use_fused: Optional[bool] = None
+        self._param_slab: Optional[ParamSlab] = None
         self._variables: List[Variable] = []
         self._variables_provider = None
         self._step_var = None
+        # Nodes added by the update construction itself (everything past
+        # the gradient computation) — the O(10·K) vs O(1) metric.
+        self.update_node_count: Optional[int] = None
 
     def set_variables(self, variables: Sequence[Variable]) -> None:
         self._variables = list(variables)
@@ -75,6 +101,88 @@ class Optimizer(Component):
                 f"Optimizer {self.global_scope}: set_variables() was never "
                 f"called")
         tower_grads = [grads_of(loss, self._variables) for loss in losses]
+        graph = context.current_graph() if context.is_symbolic() else None
+        base_nodes = len(graph.nodes) if graph is not None else 0
+        if self._resolve_fused():
+            out = self._fused_step(tower_grads)
+        else:
+            out = self._per_variable_step(tower_grads)
+        if graph is not None:
+            self.update_node_count = len(graph.nodes) - base_nodes
+        return out
+
+    def _resolve_fused(self) -> bool:
+        """Decide (once) between the fused and per-variable paths.
+
+        Explicit ``fused=`` wins; otherwise fused unless the owning
+        build runs at ``optimize="none"``. Falls back to per-variable
+        when the subclass has no fused rule or a variable cannot
+        coalesce (non-float32)."""
+        if self._use_fused is not None:
+            return self._use_fused
+        if self.fused is not None:
+            use = bool(self.fused)
+        else:
+            from repro.core.component import get_current_build
+            build = get_current_build()
+            level = getattr(build, "optimize", "fused") \
+                if build is not None else "fused"
+            use = level != "none"
+        if use and type(self)._apply_fused_update \
+                is Optimizer._apply_fused_update:
+            use = False
+        if use and any(v.dtype != np.float32 for v in self._variables):
+            use = False
+        self._use_fused = use
+        return use
+
+    # -- fused (flat-parameter) construction ------------------------------------
+    def _fused_step(self, tower_grads):
+        slab = self._ensure_param_slab()
+        # Gradients arrive in self._variables order; the slab layout is
+        # sorted by name — reorder so segment i belongs to member i.
+        by_var = [{id(v): g for v, g in zip(self._variables, tg)}
+                  for tg in tower_grads]
+        flats = [F.flatcat([bv[id(m)] for m in slab.members])
+                 for bv in by_var]
+        if len(flats) == 1:
+            flat = flats[0]
+        else:
+            flat = F.mul(1.0 / len(flats), _sum_handles(flats))
+        if self.clip_grad_norm is not None:
+            # One squared-norm reduction + one scale over the slab.
+            total = F.reduce_sum(F.square(flat))
+            norm = F.sqrt(F.maximum(total, 1e-12))
+            scale = F.minimum(1.0, F.div(float(self.clip_grad_norm), norm))
+            flat = F.mul(flat, scale)
+        step_read = self._step_var.read()
+        bumped = F.add(step_read, np.int64(1))
+        t = F.cast(bumped, np.float32)
+        bump = self._step_var.assign(bumped)
+        ops = [bump] if bump is not None else []
+        update = self._apply_fused_update(slab, flat, t)
+        if update is not None:
+            ops.append(update)
+        return F.group(*ops)
+
+    def _ensure_param_slab(self) -> ParamSlab:
+        if self._param_slab is None:
+            self._param_slab = ParamSlab.ensure(
+                self._variables, name=f"{self.global_scope}/slab")
+        return self._param_slab
+
+    def _flat_slot(self, kind: str, slab: ParamSlab) -> Variable:
+        """One flat slot variable matching the whole parameter slab."""
+        return self.get_variable(f"{kind}-slab", shape=(slab.size,),
+                                 dtype=np.float32, trainable=False,
+                                 initializer="zeros")
+
+    def _apply_fused_update(self, slab: ParamSlab, flat_grad, t):
+        """Build the single multi-tensor update op (subclass hook)."""
+        raise NotImplementedError
+
+    # -- per-variable construction (seed behavior; optimize="none") -------------
+    def _per_variable_step(self, tower_grads):
         if len(tower_grads) == 1:
             grads = tower_grads[0]
         else:
@@ -87,12 +195,16 @@ class Optimizer(Component):
         if self.clip_grad_norm is not None:
             grads = self._clip_by_global_norm(grads)
         ops = []
-        # `t` derives from the pre-bump read; the bump's value depends on
-        # the same read node, so execution order is data-driven in the
-        # static graph (no read-after-write hazard).
+        # `t` and the bump share ONE add node: the add is the assign's
+        # input, so its value is fixed before the in-place bump and
+        # every consumer sees t = step + 1 regardless of schedule. (Two
+        # separate add nodes — the seed construction — left the second
+        # one free to execute after the assign and read the already
+        # bumped step through the live read_var buffer.)
         step_read = self._step_var.read()
-        t = F.cast(F.add(step_read, np.int64(1)), np.float32)
-        bump = self._step_var.assign(F.add(step_read, np.int64(1)))
+        bumped = F.add(step_read, np.int64(1))
+        t = F.cast(bumped, np.float32)
+        bump = self._step_var.assign(bumped)
         if bump is not None:
             ops.append(bump)
         for i, (var, grad) in enumerate(zip(self._variables, grads)):
@@ -141,6 +253,12 @@ class GradientDescent(Optimizer):
             return [op1, op2]
         return [var.assign_add(F.mul(-self.learning_rate, grad))]
 
+    def _apply_fused_update(self, slab, flat_grad, t):
+        mom = self._flat_slot("momentum", slab) if self.momentum else None
+        return F.fused_sgd(flat_grad, slab.flat_variable(),
+                           lr=self.learning_rate, momentum=self.momentum,
+                           momentum_var=mom)
+
 
 @OPTIMIZERS.register("adam")
 class Adam(Optimizer):
@@ -170,6 +288,13 @@ class Adam(Optimizer):
                       F.div(m_hat, F.add(F.sqrt(v_hat), self.epsilon)))
         return [m.assign(new_m), v.assign(new_v), var.assign_add(delta)]
 
+    def _apply_fused_update(self, slab, flat_grad, t):
+        m = self._flat_slot("m", slab)
+        v = self._flat_slot("v", slab)
+        return F.fused_adam(flat_grad, t, slab.flat_variable(), m, v,
+                            lr=self.learning_rate, beta1=self.beta1,
+                            beta2=self.beta2, epsilon=self.epsilon)
+
 
 @OPTIMIZERS.register("rmsprop")
 class RMSProp(Optimizer):
@@ -188,3 +313,9 @@ class RMSProp(Optimizer):
         delta = F.mul(-self.learning_rate,
                       F.div(grad, F.add(F.sqrt(new_ms), self.epsilon)))
         return [ms.assign(new_ms), var.assign_add(delta)]
+
+    def _apply_fused_update(self, slab, flat_grad, t):
+        ms = self._flat_slot("mean-square", slab)
+        return F.fused_rmsprop(flat_grad, slab.flat_variable(), ms,
+                               lr=self.learning_rate, decay=self.decay,
+                               epsilon=self.epsilon)

@@ -309,6 +309,22 @@ class Component:
                 out[name] = var
         return out
 
+    def coalesce_variables(self, trainable_only: bool = True):
+        """Coalesce this component tree's variables into one contiguous
+        :class:`~repro.backend.variables.ParamSlab` (sorted by name).
+        Each Variable becomes a zero-copy view into the slab; returns
+        the slab (cached — repeated calls reuse it)."""
+        from repro.backend.variables import ParamSlab
+        registry = self.variable_registry(trainable_only=trainable_only)
+        return ParamSlab.ensure(list(registry.values()),
+                                name=f"{self.global_scope}/slab")
+
+    def flat_layout(self):
+        """Deterministic flat packing of this tree's trainable variables
+        (no storage claim) — the layout flat weight sync agrees on."""
+        from repro.backend.variables import FlatLayout
+        return FlatLayout(self.variable_registry(trainable_only=True))
+
     def get_weights(self) -> Dict[str, np.ndarray]:
         return {name: var.value.copy()
                 for name, var in self.variable_registry().items()}

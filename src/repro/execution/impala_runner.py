@@ -206,7 +206,10 @@ class IMPALARunner:
         self.rollout_queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
         self.stop_event = threading.Event()
         self._weights_lock = threading.Lock()
-        self._weights = learner_agent.get_weights()
+        # Versioned pushes travel flat: one ndarray per publish (one
+        # shared-memory block in process mode), scattered in place on
+        # the actor side. Checkpoints keep the dict path.
+        self._weights = learner_agent.get_weights(flat=True)
         self._weights_version = 0
         self._staged: Optional[List[Dict]] = None  # one-slot staging area
         self.actors: List[IMPALAActor] = []
@@ -241,7 +244,7 @@ class IMPALARunner:
 
     def _publish_weights(self):
         with self._weights_lock:
-            self._weights = self.learner.get_weights()
+            self._weights = self.learner.get_weights(flat=True)
             self._weights_version += 1
 
     # -- process-mode feeder ------------------------------------------------

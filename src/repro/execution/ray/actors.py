@@ -59,7 +59,9 @@ class ApexWorkerActor:
     def collect(self, num_samples: int) -> Dict[str, np.ndarray]:
         return self.worker.collect_samples(num_samples)
 
-    def set_weights(self, weights: Dict[str, np.ndarray]) -> int:
+    def set_weights(self, weights) -> int:
+        """Apply a learner weight push: a flat vector (the executors'
+        single-shm-block path) or a per-variable dict."""
         self.agent.set_weights(weights)
         return self.worker_index
 

@@ -163,15 +163,14 @@ class ApexExecutor:
                         result.loss_timeline.append(
                             (time.perf_counter() - t_start, loss))
 
-            # 3. Broadcast weights.  (Process backend: each .remote()
-            # packs its own shared-memory copy of the dict — N memcpys
-            # per sync; a multi-receiver block would need a receiver-
-            # counting lease, not worth it at every-N-updates cadence.)
+            # 3. Broadcast weights — as ONE flat ndarray (the learner's
+            # deterministic flat layout matches the workers', same agent
+            # class), so the process backend ships exactly one
+            # shared-memory block per push and the receiver scatters it
+            # with a handful of memcpys instead of a sorted dict walk.
             if updates_since_sync >= self.weight_sync_steps:
                 updates_since_sync = 0
-                # Learner and workers are instances of the same agent
-                # class, so variable names line up directly.
-                weights = self.learner.get_weights()
+                weights = self.learner.get_weights(flat=True)
                 for worker in self.workers:
                     worker.set_weights.remote(weights)
 

@@ -127,7 +127,8 @@ class SyncBatchExecutor:
             }
             total, _, _ = self.learner.update(merged)
             losses.append(total)
-            weights = self.learner.get_weights()
+            # Flat broadcast: one ndarray (one shm block in process mode).
+            weights = self.learner.get_weights(flat=True)
             raylite.get([w.set_weights.remote(weights)
                          for w in self.workers])
         stats = raylite.get([w.get_stats.remote() for w in self.workers])

@@ -176,8 +176,28 @@ class TestConstantDtype:
 
 
 def _variable_state(agent):
-    return {name: var.value.copy()
-            for name, var in agent.graph.graph.variables.items()}
+    state = {name: var.value.copy()
+             for name, var in agent.graph.graph.variables.items()}
+    # The fused learner path stores optimizer slots as one flat slab per
+    # kind ("m-slab") where the per-variable ablation keeps "m-0..K".
+    # Canonicalize slabs to the per-variable naming so slot VALUES still
+    # compare bitwise across optimize levels.
+    from repro.components.optimizers.optimizer import Optimizer
+    for comp in agent.root.get_all_components():
+        if not isinstance(comp, Optimizer) or comp._param_slab is None:
+            continue
+        slab = comp._param_slab
+        index_of = {id(v): i for i, v in enumerate(comp._variables)}
+        prefix = comp.global_scope + "/"
+        for name in [n for n in state
+                     if n.startswith(prefix) and n.endswith("-slab")]:
+            kind = name[len(prefix):-len("-slab")]
+            flat = state.pop(name)
+            for member, (_, off, shape) in zip(slab.members, slab.layout):
+                size = int(np.prod(shape)) if shape else 1
+                state[f"{prefix}{kind}-{index_of[id(member)]}"] = \
+                    flat[off:off + size].reshape(shape)
+    return state
 
 
 def _assert_state_equal(ref, other, context):
