@@ -16,7 +16,8 @@ Usage:
     PYTHONPATH=src python scripts/run_benchmarks.py \
         [--output BENCH_compiler.json] \
         [--parallel-output BENCH_parallel.json] [--skip-parallel] \
-        [--learner-output BENCH_learner.json] [--skip-learner]
+        [--learner-output BENCH_learner.json] [--skip-learner] \
+        [--serving-output BENCH_serving.json] [--skip-serving]
 """
 
 from __future__ import annotations
@@ -297,6 +298,52 @@ def bench_learner_path() -> dict:
     return summary
 
 
+def bench_serving(duration: float = 1.0, num_clients: int = 6) -> dict:
+    """Policy-serving snapshot (the E13 axis): req/s and client-side
+    p50/p99 latency, micro-batched vs unbatched single-call serving,
+    under closed-loop concurrent clients.  Ratios are recorded, not
+    asserted — like E11/E12 the batched/unbatched bar only means much
+    on multi-core hosts (though the batching win is per-call overhead
+    amortization and usually shows even on one core)."""
+    import os
+
+    import numpy as np
+
+    from repro.agents import DQNAgent
+    from repro.serving import PolicyServer, drive_concurrent_load
+    from repro.spaces import FloatBox, IntBox
+
+    def agent():
+        return DQNAgent(state_space=FloatBox(shape=(8,)),
+                        action_space=IntBox(4),
+                        network_spec=[{"type": "dense", "units": 64,
+                                       "activation": "relu"}], seed=3)
+
+    rng = np.random.default_rng(0)
+    observations = rng.standard_normal((num_clients, 8)).astype(np.float32)
+
+    def drive(server):
+        load = drive_concurrent_load(server, num_clients, duration,
+                                     observations=observations)
+        return {"req_per_s": round(load["req_per_s"], 1),
+                "p50_ms": round(load["p50_ms"], 3),
+                "p99_ms": round(load["p99_ms"], 3)}
+
+    summary = {"cores": os.cpu_count() or 1, "clients": num_clients}
+    server = PolicyServer(agent(), max_batch_size=1, batch_window=0.0)
+    summary["unbatched"] = drive(server)
+    server.stop()
+    server = PolicyServer(agent(), max_batch_size=16, batch_window=0.0)
+    summary["batched"] = drive(server)
+    summary["batched"]["mean_batch_size"] = round(
+        server.stats.mean_batch_size, 2)
+    server.stop()
+    base = summary["unbatched"]["req_per_s"]
+    summary["batched_speedup"] = round(
+        summary["batched"]["req_per_s"] / base, 3) if base else None
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_compiler.json",
@@ -311,6 +358,11 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--skip-learner", action="store_true",
                         help="skip the learner-path snapshot")
+    parser.add_argument("--serving-output", default="BENCH_serving.json",
+                        help="policy-serving snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-serving", action="store_true",
+                        help="skip the policy-serving snapshot")
     args = parser.parse_args(argv)
 
     host = {"python": platform.python_version(),
@@ -339,6 +391,13 @@ def main(argv=None) -> int:
             json.dump(learner, f, indent=2)
             f.write("\n")
         json.dump(learner, sys.stdout, indent=2)
+        print()
+    if not args.skip_serving:
+        serving = {**host, **bench_serving()}
+        with open(args.serving_output, "w") as f:
+            json.dump(serving, f, indent=2)
+            f.write("\n")
+        json.dump(serving, sys.stdout, indent=2)
         print()
     return 0
 

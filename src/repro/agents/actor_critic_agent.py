@@ -126,10 +126,7 @@ class ActorCriticAgent(Agent):
         }
 
     def get_actions(self, states, explore: bool = True, preprocess: bool = True):
-        states = np.asarray(states)
-        single = states.shape == self.state_space.shape
-        if single:
-            states = states[None]
+        states, single = self._batch_states(states)
         api = "get_actions" if explore else "get_greedy_actions"
         actions, preprocessed = self.call_api(api, states,
                                               np.asarray(self.timesteps))

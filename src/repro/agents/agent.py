@@ -99,6 +99,56 @@ class Agent:
                     preprocess: bool = True):
         raise NotImplementedError
 
+    def _batch_states(self, states):
+        """Normalize an act input to a batch: returns (batched, single).
+
+        A single unbatched observation (serving's shape) is auto-expanded
+        with a leading batch axis; callers squeeze the result when
+        ``single`` is True.  Anything that is neither one observation nor
+        a batch of them fails *here* with the shapes spelled out, instead
+        of surfacing as a broadcasting error deep inside the graph.
+        """
+        states = np.asarray(states)
+        expected = self.state_space.shape
+        if states.shape == expected:
+            return states[None], True
+        if states.shape[1:] == expected and states.ndim == len(expected) + 1:
+            return states, False
+        raise RLGraphError(
+            f"{type(self).__name__}.get_actions: observation of shape "
+            f"{states.shape} matches neither one observation of the state "
+            f"space (shape {expected}) nor a batch of them "
+            f"(shape (N,{', '.join(str(d) for d in expected)}))")
+
+    def serving_act_fn(self, explore: bool = False):
+        """A batched act callable for the serving hot path.
+
+        Returns ``fn(states) -> actions`` over an already-batched state
+        array.  With ``explore=False`` (the serving default) the greedy
+        endpoint executes through the cached compiled plumbing of
+        :meth:`BuiltGraph.make_callable` — no per-call feed/fetch
+        bookkeeping — so micro-batched inference amortizes to one
+        session dispatch per batch.  Greedy serving is eval traffic,
+        not experience: it does NOT advance :attr:`timesteps`, so
+        exploration schedules and exported checkpoint counters only
+        reflect training steps.  The explore variant keeps the training
+        semantics (schedules advance per acted row).
+        """
+        if self.graph is None:
+            raise RLGraphError("Agent not built; call build() first")
+        if explore:
+            def act(states):
+                out = self.get_actions(states, explore=True)
+                return np.asarray(out[0] if isinstance(out, tuple) else out)
+            return act
+        fn = self.graph.make_callable("get_greedy_actions")
+
+        def act(states):
+            out = fn(states, np.asarray(self.timesteps))
+            actions = out[0] if isinstance(out, tuple) else out
+            return np.asarray(actions)
+        return act
+
     def act(self, vector_env, num_steps: int, explore: bool = True) -> Dict:
         """Batched acting loop over a vector-env engine (no learning).
 

@@ -120,10 +120,7 @@ class PPOAgent(Agent):
 
     def get_actions(self, states, explore: bool = True, preprocess: bool = True):
         """Returns (actions, log_probs, values, preprocessed)."""
-        states = np.asarray(states)
-        single = states.shape == self.state_space.shape
-        if single:
-            states = states[None]
+        states, single = self._batch_states(states)
         if explore:
             out = self.call_api("act_with_log_probs", states,
                                 np.asarray(self.timesteps))

@@ -1,6 +1,10 @@
 """Execution layer: workers, device strategies, distributed executors."""
 
-from repro.execution.parallel import ParallelSpec, resolve_parallel_spec
+from repro.execution.parallel import (
+    ParallelSpec,
+    notify_weight_listeners,
+    resolve_parallel_spec,
+)
 from repro.execution.worker import (
     NStepAccumulator,
     SingleThreadedWorker,
@@ -11,4 +15,5 @@ from repro.execution.sync_batch_executor import A2CRolloutActor, SyncBatchExecut
 
 __all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
            "A2CRolloutActor", "SyncBatchExecutor",
-           "ParallelSpec", "resolve_parallel_spec", "build_vector_env"]
+           "ParallelSpec", "resolve_parallel_spec", "build_vector_env",
+           "notify_weight_listeners"]

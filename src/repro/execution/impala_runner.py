@@ -35,7 +35,10 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.parallel import (
+    notify_weight_listeners,
+    resolve_parallel_spec,
+)
 from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
 
@@ -199,9 +202,13 @@ class IMPALARunner:
                  envs_per_actor: int = 1, rollout_length: int = 20,
                  batch_size: int = 2, queue_capacity: int = 64,
                  redundant_assignments: bool = False,
-                 vector_env_spec=None, parallel_spec=None):
+                 vector_env_spec=None, parallel_spec=None,
+                 weight_listeners=None):
         self.learner = learner_agent
         self.batch_size = int(batch_size)
+        # Eval-during-training hook: every published weight version also
+        # goes to these listeners (e.g. a serving PolicyServer).
+        self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
         self.rollout_queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
         self.stop_event = threading.Event()
@@ -246,6 +253,8 @@ class IMPALARunner:
         with self._weights_lock:
             self._weights = self.learner.get_weights(flat=True)
             self._weights_version += 1
+            weights = self._weights
+        notify_weight_listeners(self.weight_listeners, weights)
 
     # -- process-mode feeder ------------------------------------------------
     def _feed_from_handles(self):

@@ -80,6 +80,28 @@ class ParallelSpec:
                 f"env_workers={self.env_workers!r})")
 
 
+def notify_weight_listeners(listeners, weights) -> None:
+    """Push freshly published learner weights to eval-traffic listeners.
+
+    Executors call this at every weight-publication point so a policy
+    server (:mod:`repro.serving`) can serve eval traffic *while* training
+    — each listener is either a callable taking the flat weight vector or
+    an object with ``set_weights`` (e.g. a ``PolicyServer`` or an
+    ``InferenceWorkerPool``).  Listener failures must never take down the
+    training loop; they surface as a warning on stderr instead.
+    """
+    if not listeners:
+        return
+    for listener in listeners:
+        push = getattr(listener, "set_weights", listener)
+        try:
+            push(weights)
+        except Exception as exc:  # pragma: no cover - defensive
+            import sys
+            print(f"weight listener {listener!r} failed: {exc}",
+                  file=sys.stderr)
+
+
 def resolve_parallel_spec(spec) -> ParallelSpec:
     """Resolve a ``parallel_spec`` config value (see module docstring)."""
     if isinstance(spec, ParallelSpec):

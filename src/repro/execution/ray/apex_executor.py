@@ -22,7 +22,10 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import raylite
-from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.parallel import (
+    notify_weight_listeners,
+    resolve_parallel_spec,
+)
 from repro.execution.ray.actors import ApexWorkerActor, ReplayShardActor
 from repro.utils.errors import RLGraphError
 
@@ -64,10 +67,14 @@ class ApexExecutor:
                  weight_sync_steps: int = 10,
                  worker_mode: str = "rlgraph",
                  frame_multiplier: int = 1,
-                 seed: int = 0, vector_env_spec=None, parallel_spec=None):
+                 seed: int = 0, vector_env_spec=None, parallel_spec=None,
+                 weight_listeners=None):
         if worker_mode not in ("rlgraph", "rllib_like"):
             raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
         self.learner = learner_agent
+        # Eval-during-training hook: every weight broadcast also goes to
+        # these listeners (e.g. a serving PolicyServer).
+        self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
         self.batch_size = int(batch_size)
         self.task_size = int(task_size)
@@ -173,6 +180,7 @@ class ApexExecutor:
                 weights = self.learner.get_weights(flat=True)
                 for worker in self.workers:
                     worker.set_weights.remote(weights)
+                notify_weight_listeners(self.weight_listeners, weights)
 
         # Drain: collect final stats from workers.
         stats = raylite.get([w.get_stats.remote() for w in self.workers])

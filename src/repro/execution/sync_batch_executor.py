@@ -18,7 +18,10 @@ import numpy as np
 
 from repro import raylite
 from repro.agents.actor_critic_agent import discounted_returns
-from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.parallel import (
+    notify_weight_listeners,
+    resolve_parallel_spec,
+)
 from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
 
@@ -96,9 +99,12 @@ class SyncBatchExecutor:
                  env_factory: Callable, num_workers: int = 2,
                  envs_per_worker: int = 2, rollout_length: int = 32,
                  discount: float = 0.99, vector_env_spec=None,
-                 parallel_spec=None):
+                 parallel_spec=None, weight_listeners=None):
         self.learner = learner_agent
         self.discount = float(discount)
+        # Eval-during-training hook: every published weight vector also
+        # goes to these listeners (e.g. a serving PolicyServer).
+        self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
         actor_cls = self.parallel.actor_factory(A2CRolloutActor)
         self.workers = [
@@ -131,6 +137,7 @@ class SyncBatchExecutor:
             weights = self.learner.get_weights(flat=True)
             raylite.get([w.set_weights.remote(weights)
                          for w in self.workers])
+            notify_weight_listeners(self.weight_listeners, weights)
         stats = raylite.get([w.get_stats.remote() for w in self.workers])
         wall = time.perf_counter() - t0
         env_frames = sum(s["env_frames"] for s in stats)

@@ -345,6 +345,12 @@ class ActorHandle:
         self._mailbox.put(_Task(method_name, args, kwargs, ref))
         return ref
 
+    def num_pending(self) -> int:
+        """Tasks submitted but not yet completed (mailbox depth + any
+        in-flight task) — the load signal schedulers route on."""
+        with self._pending_lock:
+            return len(self._pending)
+
     def _stop(self):
         self._stopped.set()
         self._mailbox.put(None)

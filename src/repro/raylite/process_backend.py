@@ -207,6 +207,12 @@ class ProcessActorHandle:
                 f"{method_name!r}"))
         return ref
 
+    def num_pending(self) -> int:
+        """Tasks submitted but not yet completed (same load signal as the
+        thread backend's :meth:`ActorHandle.num_pending`)."""
+        with self._lock:
+            return len(self._pending)
+
     # -- teardown -----------------------------------------------------------
     def _stop(self) -> None:
         """Reap the worker.  Idle actors exit gracefully; an actor with

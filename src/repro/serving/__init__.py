@@ -1,0 +1,37 @@
+"""Policy serving: dynamic micro-batching inference for trained agents.
+
+The missing half of the ROADMAP's "serve heavy traffic" goal: training
+produces weights, this package serves them to many concurrent clients.
+
+* :class:`PolicyServer` — collects concurrent single-observation
+  requests into micro-batches (batch window + max-batch-size knobs) and
+  executes ONE compiled act call per batch.
+* :class:`InferenceWorkerPool` — the same front end sharded over
+  raylite thread/process actor replicas with least-loaded routing.
+* :class:`PolicyClient` — synchronous ``act(obs)`` over either, in
+  process or across the raylite boundary.
+* Flat weight hot-swap (:meth:`PolicyServer.set_weights`) updates a
+  running server mid-traffic without dropping requests; executors push
+  into it via their ``weight_listeners`` hook (eval-during-training).
+
+See ``docs/serving.md`` for the architecture and the latency/throughput
+tradeoff of the batching knobs.
+"""
+
+from repro.serving.policy_server import (
+    PolicyServer,
+    ServerStats,
+    bucket_size,
+)
+from repro.serving.worker_pool import InferenceWorkerPool, PolicyServerActor
+from repro.serving.client import PolicyClient, drive_concurrent_load
+
+__all__ = [
+    "PolicyServer",
+    "InferenceWorkerPool",
+    "PolicyServerActor",
+    "PolicyClient",
+    "ServerStats",
+    "bucket_size",
+    "drive_concurrent_load",
+]

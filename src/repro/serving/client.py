@@ -1,0 +1,180 @@
+"""PolicyClient: a synchronous act interface over any serving target.
+
+Clients see one call — ``act(obs) -> action`` — regardless of what sits
+behind it:
+
+* an **in-process** :class:`PolicyServer` or :class:`InferenceWorkerPool`
+  (the client submits into the micro-batching mailbox and blocks on the
+  raylite-style future), or
+* a raylite :class:`PolicyServerActor` handle **across the actor
+  boundary** (thread or process replica) — the client wraps the
+  observation as a batch of one and issues ``act_batch.remote``, so an
+  executor's eval worker can query a central server without importing
+  any of its internals.
+
+The client records per-request round-trip latency, which is where
+p50/p99 service latency is honestly measured (server-side numbers can't
+see queueing before ``submit`` or wake-up after resolve).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro import raylite
+from repro.utils.errors import RLGraphError
+
+
+class PolicyClient:
+    """Synchronous policy queries with client-side latency accounting."""
+
+    #: Latency samples kept for percentiles; the request *count* is
+    #: exact regardless (long-lived eval clients must not leak memory).
+    MAX_LATENCY_SAMPLES = 50_000
+
+    def __init__(self, target, timeout: Optional[float] = 30.0):
+        self.timeout = timeout
+        self._latencies: List[float] = []
+        self._num_requests = 0
+        submit = getattr(target, "submit", None)
+        if submit is not None and not hasattr(submit, "remote"):
+            # In-process server/pool: its submit() is a plain method.
+            self._submit = submit
+            self._remote = False
+        elif hasattr(target, "act_batch"):
+            # A raylite actor handle (attribute access yields .remote
+            # callables): single-request batches over the boundary.
+            self._handle = target
+            self._submit = self._submit_remote
+            self._remote = True
+        else:
+            raise RLGraphError(
+                f"PolicyClient target {target!r} is neither a serving "
+                f"front end (submit/act) nor a raylite policy actor "
+                f"(act_batch)")
+        self.target = target
+
+    def _submit_remote(self, obs) -> raylite.ObjectRef:
+        return self._handle.act_batch.remote(np.asarray(obs)[None])
+
+    def submit(self, obs) -> raylite.ObjectRef:
+        """Fire-and-forget: returns the action future."""
+        return self._submit(obs)
+
+    def _record(self, latency: float) -> None:
+        self._num_requests += 1
+        if len(self._latencies) < self.MAX_LATENCY_SAMPLES:
+            self._latencies.append(latency)
+
+    def act(self, obs, timeout: Optional[float] = None):
+        """Blocking single-observation act; records round-trip latency."""
+        t0 = time.perf_counter()
+        result = self._submit(obs).result(timeout or self.timeout)
+        self._record(time.perf_counter() - t0)
+        if self._remote:
+            result = np.asarray(result)[0]
+        return result
+
+    def act_many(self, observations, timeout: Optional[float] = None):
+        """Pipelined: submit every observation, then gather in order —
+        this is what lets the server micro-batch one client's burst."""
+        t0 = time.perf_counter()
+        refs = [self._submit(obs) for obs in observations]
+        results = [ref.result(timeout or self.timeout) for ref in refs]
+        self._record((time.perf_counter() - t0) / max(len(results), 1))
+        if self._remote:
+            results = [np.asarray(r)[0] for r in results]
+        return results
+
+    # -- latency accounting --------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return self._num_requests
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Recorded per-request round-trip latencies (seconds)."""
+        return np.asarray(self._latencies)
+
+    def latency(self, percentile: float) -> Optional[float]:
+        if not self._latencies:
+            return None
+        return float(np.percentile(self._latencies, percentile))
+
+    def latency_stats(self) -> dict:
+        if not self._latencies:
+            return {"requests": 0}
+        arr = np.asarray(self._latencies)
+        return {
+            "requests": len(arr),
+            "mean_ms": round(float(arr.mean()) * 1e3, 3),
+            "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(arr, 99)) * 1e3, 3),
+        }
+
+
+def drive_concurrent_load(server, num_clients: int, duration: float,
+                          observations=None):
+    """Closed-loop synchronous load driver (the serving benchmark shape).
+
+    Spawns ``num_clients`` threads, each a :class:`PolicyClient` looping
+    ``act`` on its own fixed observation for ``duration`` seconds, and
+    aggregates client-side latency.  This is the one driver behind the
+    E13 bench, the tier-1 throughput acceptance, the CLI, and the CI
+    perf snapshot — measurement methodology changes land once, here.
+
+    ``observations`` is one observation per client; ``None`` samples
+    them from the server's ``state_space``.  Returns a dict with
+    ``requests``, ``req_per_s``, ``p50_ms``, ``p99_ms`` and the raw
+    ``latencies`` array (seconds).  A failing server fails the
+    measurement loudly: any client whose ``act`` raised re-raises here
+    — a perf snapshot must never average over a dying run.
+    """
+    import threading
+
+    if observations is None:
+        observations = server.state_space.sample(size=max(num_clients, 1))
+    stop = threading.Event()
+    clients = [PolicyClient(server) for _ in range(num_clients)]
+    client_errors: List[BaseException] = []
+
+    def loop(index: int) -> None:
+        obs = np.asarray(observations[index])
+        try:
+            while not stop.is_set():
+                clients[index].act(obs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            client_errors.append(exc)
+
+    threads = [threading.Thread(target=loop, args=(i,), daemon=True)
+               for i in range(num_clients)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    wall = time.perf_counter() - t0
+    if client_errors:
+        raise RLGraphError(
+            f"drive_concurrent_load: {len(client_errors)}/{num_clients} "
+            f"clients failed mid-measurement; first error: "
+            f"{client_errors[0]!r}") from client_errors[0]
+    samples = [c.latencies for c in clients if c.num_requests]
+    if not samples:
+        raise RLGraphError(
+            "drive_concurrent_load: no request completed within the "
+            "measurement window — the server is wedged or erroring")
+    latencies = np.concatenate(samples)
+    return {
+        "requests": int(len(latencies)),
+        "wall_time": wall,
+        "req_per_s": len(latencies) / wall,
+        "p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+        "latencies": latencies,
+    }

@@ -1,0 +1,420 @@
+"""PolicyServer: dynamic micro-batching inference over a built agent.
+
+The ROADMAP's north star is serving a trained policy to heavy concurrent
+traffic; after PRs 2-4 one compiled ``act`` call is fast, so the
+remaining win is *amortizing* it.  Many clients each hold one
+observation; executing them one by one pays the full Python dispatch +
+session overhead per request.  The server instead collects concurrent
+requests into micro-batches — up to ``max_batch_size`` requests, waiting
+at most ``batch_window`` seconds for stragglers — and issues ONE
+compiled ``get_greedy_actions`` call for the whole batch, then scatters
+the per-row actions back to each caller.
+
+Request/response plumbing deliberately reuses raylite's mailbox
+machinery rather than growing a parallel future type: requests queue in
+a ``queue.Queue`` exactly like an actor mailbox, and every pending
+request is a :class:`raylite.ObjectRef` — the same event-driven future
+clients already know from ``.remote()`` calls (``ref.result()`` blocks,
+``add_done_callback`` composes).
+
+Weight hot-swap rides the same mailbox: :meth:`PolicyServer.set_weights`
+enqueues a control item carrying the flat weight vector (PR 4's
+zero-copy sync path), and the batching loop applies it *between*
+batches — a running server updates mid-traffic without dropping or
+corrupting a single request.
+
+Batch shapes are quantized to power-of-two buckets (``pad_batches``) so
+the backend sees a handful of recurring batch sizes instead of an
+arbitrary one per window; each bucket's compiled act plan and its NumPy
+allocations are warmed once at :meth:`start`, keeping tail latency flat
+from the first request on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.raylite import ObjectRef
+from repro.utils.errors import RLGraphError
+
+
+class ServerStats:
+    """Request/batch counters and latency percentiles (thread-safe)."""
+
+    MAX_LATENCY_SAMPLES = 50_000
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+        self.weight_swaps = 0
+        self.weight_swap_failures = 0
+        self.max_batch = 0
+        self._batched_requests = 0
+        self._latencies: List[float] = []
+
+    def record_batch(self, size: int, latencies) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batched_requests += size
+            self.max_batch = max(self.max_batch, size)
+            if len(self._latencies) < self.MAX_LATENCY_SAMPLES:
+                self._latencies.extend(latencies)
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_error(self, count: int = 1) -> None:
+        with self._lock:
+            self.errors += count
+
+    def record_swap(self) -> None:
+        with self._lock:
+            self.weight_swaps += 1
+
+    def record_swap_failure(self) -> None:
+        with self._lock:
+            self.weight_swap_failures += 1
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return (self._batched_requests / self.batches
+                    if self.batches else 0.0)
+
+    def latency(self, percentile: float) -> Optional[float]:
+        """Latency percentile in seconds (None before any request)."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            return float(np.percentile(self._latencies, percentile))
+
+    def as_dict(self) -> Dict[str, Any]:
+        p50, p99 = self.latency(50), self.latency(99)
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "errors": self.errors,
+                "weight_swaps": self.weight_swaps,
+                "weight_swap_failures": self.weight_swap_failures,
+                "mean_batch_size": round(
+                    self._batched_requests / self.batches, 2)
+                    if self.batches else 0.0,
+                "max_batch_size": self.max_batch,
+                "p50_latency_ms": round(p50 * 1e3, 3) if p50 else None,
+                "p99_latency_ms": round(p99 * 1e3, 3) if p99 else None,
+            }
+
+
+class _Request:
+    __slots__ = ("obs", "ref", "t_submit")
+
+    def __init__(self, obs, ref: ObjectRef, t_submit: float):
+        self.obs = obs
+        self.ref = ref
+        self.t_submit = t_submit
+
+
+class _Control:
+    """A mailbox item that is not a request (weight swap)."""
+
+    __slots__ = ("kind", "value", "ref")
+
+    def __init__(self, kind: str, value, ref: ObjectRef):
+        self.kind = kind
+        self.value = value
+        self.ref = ref
+
+
+_STOP = object()
+
+
+def bucket_size(n: int, max_batch_size: int) -> int:
+    """The power-of-two batch bucket for ``n`` (capped at the max)."""
+    if n >= max_batch_size:
+        return max_batch_size
+    b = 1
+    while b < n:
+        b <<= 1
+    return min(b, max_batch_size)
+
+
+def bucket_sizes(max_batch_size: int):
+    """All batch buckets a server can see (what warm-up must prime)."""
+    sizes = {max_batch_size}
+    b = 1
+    while b < max_batch_size:
+        sizes.add(b)
+        b <<= 1
+    return sorted(sizes)
+
+
+class _BatchingFrontEnd:
+    """Shared micro-batching front end (mailbox + collector loop).
+
+    Subclasses implement :meth:`_dispatch` (execute one collected batch)
+    and :meth:`_apply_weights` (the between-batches hot swap).
+    """
+
+    def __init__(self, state_space, max_batch_size: int = 32,
+                 batch_window: float = 0.002, name: str = "policy-server",
+                 auto_start: bool = True):
+        if max_batch_size < 1:
+            raise RLGraphError("max_batch_size must be >= 1")
+        if batch_window < 0:
+            raise RLGraphError("batch_window must be >= 0")
+        self.state_space = state_space
+        self.max_batch_size = int(max_batch_size)
+        self.batch_window = float(batch_window)
+        self.name = name
+        self.stats = ServerStats()
+        self._mailbox: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "_BatchingFrontEnd":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stopped.clear()
+        self._warm_up()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name=self.name)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain-and-stop: requests already queued are still served (the
+        sentinel sits behind them in the mailbox), new submits fail.
+        A request that raced past the submit-time check while stop ran
+        is failed here with the clear not-running error rather than
+        left to hang its caller until timeout."""
+        if self._thread is None:
+            return
+        self._stopped.set()
+        self._mailbox.put(_STOP)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        while True:
+            try:
+                item = self._mailbox.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, (_Request, _Control)):
+                item.ref._fail(RLGraphError(
+                    f"{self.name}: server is not running"))
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    def _warm_up(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    # -- client surface ------------------------------------------------------
+    def submit(self, obs) -> ObjectRef:
+        """Enqueue one observation; returns a raylite-style future for
+        its action.  Shape problems fail *here*, synchronously, with the
+        expected shapes spelled out — they never poison a batch."""
+        if self._stopped.is_set() or self._thread is None:
+            raise RLGraphError(f"{self.name}: server is not running")
+        obs = np.asarray(obs)
+        expected = self.state_space.shape
+        if obs.shape != expected:
+            raise RLGraphError(
+                f"{self.name}: observation of shape {obs.shape} does not "
+                f"match the state space shape {expected} — submit exactly "
+                f"one unbatched observation per request")
+        ref = ObjectRef()
+        self.stats.record_submit()
+        self._mailbox.put(_Request(obs, ref, time.perf_counter()))
+        # Re-check after the put: a stop() racing this submit may have
+        # already drained the mailbox, leaving the request unread.
+        # Settle-once semantics make this safe — if the loop (or the
+        # stop-drain) did handle it, this _fail is a no-op.
+        thread = self._thread
+        if self._stopped.is_set() and (thread is None
+                                       or not thread.is_alive()):
+            ref._fail(RLGraphError(f"{self.name}: server is not running"))
+        return ref
+
+    def act(self, obs, timeout: Optional[float] = None):
+        """Synchronous single-observation act."""
+        return self.submit(obs).result(timeout)
+
+    def set_weights(self, weights, wait: bool = False) -> ObjectRef:
+        """Hot-swap policy weights mid-traffic.
+
+        ``weights`` is a flat float32 vector (``get_weights(flat=True)``)
+        or a per-variable dict; the swap applies between micro-batches,
+        so no in-flight request ever sees a half-written policy.  Returns
+        a future resolving once the swap is applied (``wait=True`` blocks
+        on it).
+        """
+        if self._thread is None or not self._thread.is_alive():
+            raise RLGraphError(f"{self.name}: server is not running")
+        ref = ObjectRef()
+        self._mailbox.put(_Control("weights", weights, ref))
+        if wait:
+            ref.result(timeout=30.0)
+        return ref
+
+    # -- the batching loop ---------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            item = self._mailbox.get()
+            if item is _STOP:
+                return
+            requests: List[_Request] = []
+            controls: List[_Control] = []
+            if isinstance(item, _Control):
+                controls.append(item)
+            else:
+                requests.append(item)
+                deadline = time.perf_counter() + self.batch_window
+                while len(requests) < self.max_batch_size:
+                    remaining = deadline - time.perf_counter()
+                    try:
+                        if remaining > 0:
+                            nxt = self._mailbox.get(timeout=remaining)
+                        else:
+                            # Window closed: opportunistically drain what
+                            # is already queued, never wait further.
+                            nxt = self._mailbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        # Serve this batch, then re-see the sentinel.
+                        self._mailbox.put(_STOP)
+                        break
+                    if isinstance(nxt, _Control):
+                        controls.append(nxt)
+                    else:
+                        requests.append(nxt)
+            if requests:
+                try:
+                    self._dispatch(requests)
+                except BaseException as exc:
+                    self.stats.record_error(len(requests))
+                    for req in requests:
+                        req.ref._fail(exc)
+            # Controls apply BETWEEN batches: the swap never tears a
+            # batch that was already being assembled.
+            for control in controls:
+                try:
+                    self._apply_weights(control.value)
+                    self.stats.record_swap()
+                    control.ref._resolve(True)
+                except BaseException as exc:
+                    # Most swap callers are fire-and-forget (executor
+                    # weight_listeners): failing only the ref would be
+                    # silent, leaving the server on stale weights with
+                    # no trace — count it and warn loudly as well.
+                    self.stats.record_swap_failure()
+                    import sys
+                    print(f"{self.name}: weight hot-swap FAILED, still "
+                          f"serving previous weights: {exc}",
+                          file=sys.stderr)
+                    control.ref._fail(exc)
+
+    # -- to be implemented ---------------------------------------------------
+    def _dispatch(self, requests: List[_Request]) -> None:
+        raise NotImplementedError
+
+    def _apply_weights(self, weights) -> None:
+        raise NotImplementedError
+
+    # -- shared batch helpers ------------------------------------------------
+    def _stack(self, requests: List[_Request]):
+        """Stack request observations, padded up to the batch bucket."""
+        obs = np.stack([r.obs for r in requests])
+        n = len(requests)
+        if self.pad_batches:
+            target = bucket_size(n, self.max_batch_size)
+            if target > n:
+                pad = np.broadcast_to(obs[-1], (target - n,) + obs.shape[1:])
+                obs = np.concatenate([obs, pad], axis=0)
+        return obs
+
+    def _scatter(self, requests: List[_Request], actions) -> None:
+        """Resolve each request's future with its row of the batch."""
+        actions = np.asarray(actions)
+        now = time.perf_counter()
+        for i, req in enumerate(requests):
+            req.ref._resolve(actions[i])
+        self.stats.record_batch(
+            len(requests), [now - r.t_submit for r in requests])
+
+
+class PolicyServer(_BatchingFrontEnd):
+    """In-process micro-batching policy server over one built agent.
+
+    Args:
+        agent: a built :class:`~repro.agents.agent.Agent`; requests run
+            through its greedy act endpoint (``explore=False``, the
+            serving default) via the cached compiled call path.
+        max_batch_size: micro-batch cap (one compiled call serves up to
+            this many concurrent requests).
+        batch_window: how long (seconds) an open batch waits for
+            stragglers.  ``0`` still drains already-queued requests —
+            the knob trades tail latency for batching opportunity.
+        explore: serve exploratory actions instead of greedy ones
+            (eval traffic wants False; self-play style traffic may not).
+        pad_batches: quantize batch shapes to power-of-two buckets so
+            the backend sees few distinct shapes (warmed at start).
+        auto_start: start the batching thread on construction.
+    """
+
+    def __init__(self, agent, max_batch_size: int = 32,
+                 batch_window: float = 0.002, explore: bool = False,
+                 pad_batches: bool = True, name: str = "policy-server",
+                 auto_start: bool = True):
+        if agent.graph is None:
+            raise RLGraphError("PolicyServer needs a built agent")
+        self.agent = agent
+        self.explore = explore
+        # Padding feeds phantom duplicate rows through the act call; on
+        # the greedy path that is free, but with explore=True each
+        # phantom row would advance the exploration schedule and burn
+        # RNG draws — so exploratory serving never pads.
+        self.pad_batches = pad_batches and not explore
+        self._act = agent.serving_act_fn(explore=explore)
+        super().__init__(agent.state_space, max_batch_size=max_batch_size,
+                         batch_window=batch_window, name=name,
+                         auto_start=auto_start)
+
+    def _warm_up(self) -> None:
+        """Prime the compiled act plan and its allocations for every
+        batch bucket, so no live request pays first-call latency.
+        Warm-up traffic is synthetic: the agent's timestep counter (and
+        with it any exploration schedule) is restored afterwards."""
+        before = self.agent.timesteps
+        zeros = self.state_space.zeros
+        for size in bucket_sizes(self.max_batch_size):
+            self._act(zeros(size=size))
+        self.agent.timesteps = before
+
+    def _dispatch(self, requests: List[_Request]) -> None:
+        obs = self._stack(requests)
+        actions = self._act(obs)
+        self._scatter(requests, actions[:len(requests)])
+
+    def _apply_weights(self, weights) -> None:
+        self.agent.set_weights(weights)
+
+    def __repr__(self):
+        return (f"PolicyServer(agent={type(self.agent).__name__}, "
+                f"max_batch={self.max_batch_size}, "
+                f"window={self.batch_window * 1e3:.1f}ms)")

@@ -1,0 +1,192 @@
+"""InferenceWorkerPool: micro-batched serving sharded over raylite actors.
+
+One :class:`~repro.serving.policy_server.PolicyServer` batches well but
+executes on one thread; when inference itself is the bottleneck (big
+nets, or pure-Python preprocessing holding the GIL) the pool shards the
+same micro-batching front end across N :class:`PolicyServerActor`
+replicas — raylite thread actors by default, or **process** actors
+(``parallel_spec="process"``) for real multi-core inference where each
+batch decodes from shared memory in the worker.
+
+Dispatch is asynchronous: the collector thread routes each assembled
+batch to the least-loaded replica (``handle.num_pending()``, the same
+mailbox-depth signal raylite schedulers see) and immediately resumes
+collecting the next batch; the per-batch ``ObjectRef`` completion
+callback scatters actions back to the per-request futures.  The pool
+therefore keeps all replicas busy without ever blocking on one.
+
+Weight hot-swap broadcasts the flat vector to every replica through the
+normal actor mailboxes — FIFO per actor guarantees each replica applies
+it between its own batches, so a mid-traffic swap is exactly as safe as
+the single-server case (and ships one shared-memory block per process
+replica, PR 4's invariant).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro import raylite
+from repro.execution.parallel import resolve_parallel_spec
+from repro.serving.policy_server import (
+    _BatchingFrontEnd,
+    _Request,
+    bucket_sizes,
+)
+from repro.utils.errors import RLGraphError
+
+
+class PolicyServerActor:
+    """One inference replica: a built agent behind the actor surface.
+
+    Runs inside a raylite thread or process worker; the pool (or a
+    remote :class:`~repro.serving.client.PolicyClient`) talks to it via
+    ``act_batch``/``set_weights`` tasks through the actor mailbox.
+    """
+
+    def __init__(self, agent_factory: Callable, explore: bool = False,
+                 replica_index: int = 0):
+        try:
+            self.agent = agent_factory(worker_index=replica_index)
+        except TypeError:
+            self.agent = agent_factory()
+        self._act = self.agent.serving_act_fn(explore=explore)
+        self.batches_served = 0
+        self.requests_served = 0
+
+    def act_batch(self, states) -> np.ndarray:
+        states = np.asarray(states)
+        actions = self._act(states)
+        self.batches_served += 1
+        self.requests_served += len(states)
+        return np.asarray(actions)
+
+    def warm_up(self, sizes) -> int:
+        """Prime the compiled act plan per batch bucket.  Warm-up is
+        synthetic traffic: the timestep counter (exploration schedule)
+        is restored afterwards, mirroring PolicyServer._warm_up."""
+        before = self.agent.timesteps
+        zeros = self.agent.state_space.zeros
+        for size in sizes:
+            self._act(zeros(size=size))
+        self.agent.timesteps = before
+        return 0
+
+    def set_weights(self, weights) -> int:
+        self.agent.set_weights(weights)
+        return 0
+
+    def get_stats(self) -> dict:
+        return {"batches_served": self.batches_served,
+                "requests_served": self.requests_served}
+
+
+class InferenceWorkerPool(_BatchingFrontEnd):
+    """Shards micro-batched act requests over PolicyServerActor replicas.
+
+    Args:
+        agent_factory: builds one agent per replica (all replicas must
+            share the architecture — the flat hot-swap layout is the
+            same across them; pass the same seed for bitwise parity).
+        state_space: the observation space served (shape validation at
+            ``submit``) — passed explicitly because replicas may live
+            across a process boundary.
+        num_replicas: actor shard count.
+        parallel_spec: raylite backend selection (thread/process), the
+            same switch every executor takes.
+    """
+
+    def __init__(self, agent_factory: Callable, state_space,
+                 num_replicas: int = 2, max_batch_size: int = 32,
+                 batch_window: float = 0.002, explore: bool = False,
+                 pad_batches: bool = True, parallel_spec=None,
+                 name: str = "inference-pool", auto_start: bool = True):
+        if num_replicas < 1:
+            raise RLGraphError("num_replicas must be >= 1")
+        from repro.spaces.space_utils import space_from_spec
+        self.pad_batches = pad_batches
+        self.parallel = resolve_parallel_spec(parallel_spec)
+        factory = self.parallel.actor_factory(PolicyServerActor)
+        self.replicas = [
+            factory.remote(agent_factory, explore, i)
+            for i in range(num_replicas)
+        ]
+        self._inflight: set = set()
+        self._inflight_lock = threading.Lock()
+        self._inflight_drained = threading.Event()
+        self._inflight_drained.set()
+        super().__init__(space_from_spec(state_space),
+                         max_batch_size=max_batch_size,
+                         batch_window=batch_window, name=name,
+                         auto_start=auto_start)
+
+    # -- batching hooks ------------------------------------------------------
+    def _warm_up(self) -> None:
+        """Warm every replica's compiled plan per batch bucket."""
+        sizes = bucket_sizes(self.max_batch_size)
+        raylite.get([r.warm_up.remote(sizes) for r in self.replicas])
+
+    def _dispatch(self, requests: List[_Request]) -> None:
+        """Route to the least-loaded replica; scatter on completion.
+
+        Non-blocking: the completion callback (running on the replica's
+        result path) distributes actions, so the collector immediately
+        returns to assembling the next batch for the next replica.
+        """
+        obs = self._stack(requests)
+        replica = min(self.replicas, key=lambda h: h.num_pending())
+        ref = replica.act_batch.remote(obs)
+        with self._inflight_lock:
+            self._inflight.add(ref.id)
+            self._inflight_drained.clear()
+        ref.add_done_callback(
+            functools.partial(self._on_batch_done, requests))
+
+    def _on_batch_done(self, requests: List[_Request],
+                       ref: raylite.ObjectRef) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(ref.id)
+            if not self._inflight:
+                self._inflight_drained.set()
+        try:
+            actions = ref.result(timeout=0)
+        except BaseException as exc:
+            self.stats.record_error(len(requests))
+            for req in requests:
+                req.ref._fail(exc)
+            return
+        self._scatter(requests, np.asarray(actions)[:len(requests)])
+
+    def _apply_weights(self, weights) -> None:
+        """Broadcast the swap to every replica (FIFO per actor mailbox
+        makes it batch-atomic on each); blocks until all confirmed so
+        the returned future means 'the whole pool serves new weights'."""
+        raylite.get([r.set_weights.remote(weights) for r in self.replicas],
+                    timeout=30.0)
+
+    # -- lifecycle ------------------------------------------------------------
+    def stop(self, kill_replicas: bool = True) -> None:
+        super().stop()
+        # The collector has drained; wait for batches already dispatched
+        # to replicas, so every accepted request is answered before the
+        # replicas are reaped (the front end's drain-and-stop contract).
+        self._inflight_drained.wait(timeout=30.0)
+        if kill_replicas:
+            for replica in self.replicas:
+                try:
+                    raylite.kill(replica)
+                except Exception:
+                    pass
+            self.replicas = []
+
+    def replica_stats(self) -> List[dict]:
+        return raylite.get([r.get_stats.remote() for r in self.replicas])
+
+    def __repr__(self):
+        return (f"InferenceWorkerPool(replicas={len(self.replicas)}, "
+                f"backend={self.parallel.backend!r}, "
+                f"max_batch={self.max_batch_size})")

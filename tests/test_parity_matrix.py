@@ -1,0 +1,163 @@
+"""Cross-cutting parity matrix: agents x backends x optimize levels.
+
+Until now weight parity was spot-checked per subsystem —
+test_graph_compiler.py locks the compiler passes, test_flat_params.py
+locks the fused optimizer lowering — each on its own toy problem.  This
+matrix locks all three layers *together* on the real agents: for every
+agent in {DQN, A2C, IMPALA, PPO}, every backend in {symbolic, eager} and
+every optimize level in {"none", "basic", "fused"}, N identical update
+steps from identical initial weights must land on the same final
+weights as the paper-faithful reference (symbolic interpreter,
+``optimize="none"``).
+
+Initial weights are canonicalized by copying the reference agent's
+weight dict into each variant (this also aligns the DQN target network,
+since the dict covers every trainable variable), so the only thing the
+matrix measures is the *update arithmetic* across the compiler / fused
+learner path / backend dispatch stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    ActorCriticAgent,
+    DQNAgent,
+    IMPALAAgent,
+    PPOAgent,
+)
+from repro.backend import XGRAPH, XTAPE
+from repro.spaces import FloatBox, IntBox
+
+NUM_UPDATES = 5
+STATE_DIM = 4
+NUM_ACTIONS = 3
+NET = [{"type": "dense", "units": 16, "activation": "tanh"}]
+
+# Bitwise parity holds for most of the matrix (the compiler and the
+# fused lowering call the registered op forwards), but global-norm
+# clipping and reduction reassociation can introduce one-ulp drift;
+# allclose at tight tolerance is the contract the layers guarantee.
+TOL = dict(rtol=1e-5, atol=1e-6)
+
+
+def _make_agent(kind: str, backend: str, optimize: str):
+    common = dict(state_space=FloatBox(shape=(STATE_DIM,)),
+                  action_space=IntBox(NUM_ACTIONS), network_spec=NET,
+                  backend=backend, optimize=optimize, seed=7)
+    if kind == "dqn":
+        return DQNAgent(double_q=True, dueling=True, sync_interval=2,
+                        memory_capacity=64, batch_size=8, **common)
+    if kind == "a2c":
+        return ActorCriticAgent(**common)
+    if kind == "impala":
+        return IMPALAAgent(**common)
+    if kind == "ppo":
+        return PPOAgent(epochs=2, minibatch_size=8, **common)
+    raise ValueError(kind)
+
+
+def _batches(kind: str):
+    """A deterministic update-batch stream, identical for every cell."""
+    rng = np.random.default_rng(42)
+    batches = []
+    for _ in range(NUM_UPDATES):
+        if kind == "dqn":
+            n = 8
+            batches.append({
+                "states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
+                "actions": rng.integers(0, NUM_ACTIONS, n),
+                "rewards": rng.standard_normal(n).astype(np.float32),
+                "terminals": rng.random(n) < 0.2,
+                "next_states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
+            })
+        elif kind == "a2c":
+            n = 12
+            batches.append({
+                "states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
+                "actions": rng.integers(0, NUM_ACTIONS, n),
+                "returns": rng.standard_normal(n).astype(np.float32),
+            })
+        elif kind == "ppo":
+            n = 16
+            batches.append({
+                "states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
+                "actions": rng.integers(0, NUM_ACTIONS, n),
+                "old_log_probs": -np.abs(
+                    rng.standard_normal(n)).astype(np.float32),
+                "returns": rng.standard_normal(n).astype(np.float32),
+                "advantages": rng.standard_normal(n).astype(np.float32),
+            })
+        elif kind == "impala":
+            t, b = 4, 3
+            batches.append({
+                "states": rng.standard_normal((t, b, STATE_DIM))
+                .astype(np.float32),
+                "actions": rng.integers(0, NUM_ACTIONS, (t, b)),
+                "behaviour_log_probs": -np.abs(
+                    rng.standard_normal((t, b))).astype(np.float32),
+                "rewards": rng.standard_normal((t, b)).astype(np.float32),
+                "terminals": rng.random((t, b)) < 0.1,
+                "bootstrap_states": rng.standard_normal((b, STATE_DIM))
+                .astype(np.float32),
+            })
+        else:
+            raise ValueError(kind)
+    return batches
+
+
+def _run_updates(kind: str, agent, init_weights) -> np.ndarray:
+    agent.set_weights(init_weights)
+    for batch in _batches(kind):
+        agent.update(batch)
+    return agent.get_weights(flat=True)
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Final reference weights per agent kind (symbolic interpreter,
+    ``optimize='none'`` — the paper-faithful executor) plus the
+    canonical initial weight dict each matrix cell starts from."""
+    cache = {}
+
+    def get(kind: str):
+        if kind not in cache:
+            agent = _make_agent(kind, XGRAPH, "none")
+            init = agent.get_weights()
+            final = _run_updates(kind, agent, init)
+            cache[kind] = (init, final)
+        return cache[kind]
+
+    return get
+
+
+@pytest.mark.parametrize("optimize", ["none", "basic", "fused"])
+@pytest.mark.parametrize("backend", [XGRAPH, XTAPE])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+def test_update_weight_parity(kind, backend, optimize, references):
+    if backend == XGRAPH and optimize == "none":
+        pytest.skip("reference cell")
+    init, reference = references(kind)
+    agent = _make_agent(kind, backend, optimize)
+    final = _run_updates(kind, agent, init)
+    assert final.shape == reference.shape
+    np.testing.assert_allclose(final, reference, **TOL, err_msg=(
+        f"{kind}: {backend}/{optimize} diverged from the symbolic "
+        f"interpreter reference after {NUM_UPDATES} updates"))
+
+
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+def test_symbolic_levels_bitwise(kind, references):
+    """Within the symbolic backend, "basic" replays the exact same op
+    forwards as the interpreter — parity there is bitwise, not just
+    allclose (the compiler's own correctness invariant)."""
+    init, reference = references(kind)
+    agent = _make_agent(kind, XGRAPH, "basic")
+    final = _run_updates(kind, agent, init)
+    np.testing.assert_array_equal(final, reference)
