@@ -253,6 +253,103 @@ class Agent:
             return
         self.root.set_weights(weights)
 
+    # -- full state (checkpoint/resume) --------------------------------------
+    _RANDOM_OPS = ("random_uniform", "random_normal")
+
+    def full_state(self) -> Dict[str, Any]:
+        """Capture the agent's COMPLETE mutable state for checkpointing.
+
+        Unlike :meth:`export_model` (trainable weights + counters — an
+        inference artifact), this snapshot restores mid-run training
+        exactly: every variable including optimizer slot slabs, target
+        networks, in-graph replay buffers and their index/size cursors
+        (``trainable_only=False`` reaches all of them), plus the
+        un-flushed observe buffers and the backend RNG states — the
+        per-node generators of the symbolic graph's random ops and the
+        eager seed counter.  ``restore_full_state`` of this payload into
+        a same-config agent continues bitwise-identically to a run that
+        was never interrupted.
+        """
+        if self.graph is None:
+            raise RLGraphError("Agent not built; call build() first")
+        variables = {
+            name: np.array(var.value, copy=True)
+            for name, var in self.root.variable_registry(
+                trainable_only=False).items()}
+        buffers = {env_id: {key: list(vals) for key, vals in buf.items()}
+                   for env_id, buf in self._buffers.items()}
+        return {
+            "variables": variables,
+            "timesteps": self.timesteps,
+            "updates": self.updates,
+            "buffers": buffers,
+            "buffered": self._buffered,
+            "rng": self._rng_state(),
+        }
+
+    def restore_full_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`full_state` snapshot (same-config agent).
+
+        Variable values are written in place, so the flat-layout slab
+        aliasing (PR 4) survives the restore.
+        """
+        if self.graph is None:
+            raise RLGraphError("Agent not built; call build() first")
+        registry = self.root.variable_registry(trainable_only=False)
+        missing = set(state["variables"]) - set(registry)
+        if missing:
+            raise RLGraphError(
+                f"Checkpoint variables not in this agent (config "
+                f"mismatch?): {sorted(missing)[:5]}")
+        for name, value in state["variables"].items():
+            registry[name].set(value)
+        self.timesteps = int(state["timesteps"])
+        self.updates = int(state["updates"])
+        self._buffers.clear()
+        for env_id, buf in state["buffers"].items():
+            target = self._buffers[env_id]
+            for key, vals in buf.items():
+                target[key] = list(vals)
+        self._buffered = int(state["buffered"])
+        self._restore_rng(state["rng"])
+
+    def _rng_state(self) -> Dict[str, Any]:
+        from repro.backend import functional
+        state: Dict[str, Any] = {
+            "eager_seed_counter": functional._eager_seed_counter[0]}
+        graph = self.graph.graph
+        if graph is not None:
+            node_states = {}
+            for node in graph.nodes:
+                if node.op in self._RANDOM_OPS:
+                    rng = node.attrs.get("_rng")
+                    if rng is not None:
+                        node_states[node.id] = rng.bit_generator.state
+            state["graph_rng"] = node_states
+        return state
+
+    def _restore_rng(self, state: Dict[str, Any]) -> None:
+        from repro.backend import functional
+        functional._eager_seed_counter[0] = int(state["eager_seed_counter"])
+        graph = self.graph.graph
+        if graph is None:
+            return
+        node_states = state.get("graph_rng", {})
+        for node in graph.nodes:
+            if node.op in self._RANDOM_OPS:
+                saved = node_states.get(node.id)
+                if saved is None:
+                    # Never drawn at capture time: drop any generator so
+                    # it is lazily re-seeded exactly as on a fresh run.
+                    node.attrs.pop("_rng", None)
+                else:
+                    rng = np.random.default_rng()
+                    rng.bit_generator.state = saved
+                    # Compiled session plans hold node.attrs by
+                    # reference for stateful ops, so writing here
+                    # reaches live plans without a rebuild.
+                    node.attrs["_rng"] = rng
+
     def export_model(self, path: str) -> None:
         """Serialize weights (+ counters) to ``path``."""
         payload = {"weights": self.get_weights(),

@@ -63,6 +63,29 @@ class ReplayBuffer:
         idx = self.rng.integers(0, self.size, size=batch_size)
         return {key: arr[idx] for key, arr in self._storage.items()}
 
+    def state_dict(self) -> Dict:
+        """Snapshot contents + cursors + sampling RNG for checkpointing.
+
+        Restoring into a same-capacity buffer reproduces the exact
+        sample sequence of the captured run (replay-cursor restore is
+        what makes bitwise resume-equivalence pass).
+        """
+        return {
+            "storage": {k: np.array(v, copy=True)
+                        for k, v in self._storage.items()},
+            "index": self.index,
+            "size": self.size,
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._storage = {k: np.array(v, copy=True)
+                         for k, v in state["storage"].items()}
+        self.index = int(state["index"])
+        self.size = int(state["size"])
+        self.rng = np.random.default_rng()
+        self.rng.bit_generator.state = state["rng_state"]
+
     def __len__(self):
         return self.size
 
@@ -113,6 +136,19 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         weights = ((probs * self.size) ** (-self.beta)) / max(max_weight, 1e-12)
         records = {key: arr[idx] for key, arr in self._storage.items()}
         return records, idx, weights.astype(np.float32)
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["sum_tree"] = np.array(self.sum_tree.values, copy=True)
+        state["min_tree"] = np.array(self.min_tree.values, copy=True)
+        state["max_priority"] = self.max_priority
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.sum_tree.values[:] = state["sum_tree"]
+        self.min_tree.values[:] = state["min_tree"]
+        self.max_priority = float(state["max_priority"])
 
     def update_priorities(self, indices: np.ndarray, priorities: np.ndarray):
         indices = np.asarray(indices, dtype=np.int64)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+import copy
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,32 @@ class Environment:
 
     def close(self) -> None:
         """Release resources (no-op by default)."""
+
+    # -- checkpoint state ---------------------------------------------------
+    def get_state(self) -> Dict[str, Any]:
+        """Snapshot the environment's mutable state for checkpointing.
+
+        The generic implementation deep-copies every instance attribute
+        except the spaces (immutable config) and captures the RNG's
+        bit-generator state, which covers pure-Python environments
+        (GridWorld, CartPole, random envs) completely.  Environments
+        wrapping external simulators override this pair.
+        """
+        state = {key: copy.deepcopy(value)
+                 for key, value in self.__dict__.items()
+                 if key not in ("rng", "state_space", "action_space")}
+        state["__rng_state__"] = copy.deepcopy(self.rng.bit_generator.state)
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`get_state` snapshot; stepping continues
+        bitwise-identically to the captured run."""
+        state = dict(state)
+        rng_state = state.pop("__rng_state__")
+        for key, value in state.items():
+            setattr(self, key, copy.deepcopy(value))
+        self.rng = np.random.default_rng()
+        self.rng.bit_generator.state = copy.deepcopy(rng_state)
 
     def _track_reset(self):
         self.episode_return = 0.0

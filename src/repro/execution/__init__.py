@@ -12,8 +12,28 @@ from repro.execution.worker import (
     build_vector_env,
 )
 from repro.execution.sync_batch_executor import A2CRolloutActor, SyncBatchExecutor
+from repro.execution.supervision import (
+    BackoffPolicy,
+    ReplicaFactory,
+    RestartEvent,
+    SupervisionError,
+    SupervisionSpec,
+    Supervisor,
+    resolve_supervision_spec,
+)
+from repro.execution.checkpointing import (
+    CheckpointManager,
+    CheckpointSpec,
+    ResumableTrainer,
+    resolve_checkpoint_spec,
+)
 
 __all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
            "A2CRolloutActor", "SyncBatchExecutor",
            "ParallelSpec", "resolve_parallel_spec", "build_vector_env",
-           "notify_weight_listeners"]
+           "notify_weight_listeners",
+           "BackoffPolicy", "ReplicaFactory", "RestartEvent",
+           "SupervisionError", "SupervisionSpec", "Supervisor",
+           "resolve_supervision_spec",
+           "CheckpointManager", "CheckpointSpec", "ResumableTrainer",
+           "resolve_checkpoint_spec"]

@@ -35,9 +35,19 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.execution.checkpointing import (
+    CheckpointManager,
+    resolve_checkpoint_spec,
+)
 from repro.execution.parallel import (
     notify_weight_listeners,
     resolve_parallel_spec,
+)
+from repro.execution.supervision import (
+    ReplicaFactory,
+    SupervisionError,
+    Supervisor,
+    resolve_supervision_spec,
 )
 from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
@@ -203,7 +213,8 @@ class IMPALARunner:
                  batch_size: int = 2, queue_capacity: int = 64,
                  redundant_assignments: bool = False,
                  vector_env_spec=None, parallel_spec=None,
-                 weight_listeners=None):
+                 weight_listeners=None, supervision_spec=None,
+                 checkpoint_spec=None):
         self.learner = learner_agent
         self.batch_size = int(batch_size)
         # Eval-during-training hook: every published weight version also
@@ -221,10 +232,20 @@ class IMPALARunner:
         self._staged: Optional[List[Dict]] = None  # one-slot staging area
         self.actors: List[IMPALAActor] = []
         self.actor_handles: List = []
+        # Supervision restarts crashed PROCESS actors; thread-mode actors
+        # are plain threads (not raylite handles) and cannot crash from
+        # the outside, so the spec is a no-op there.
+        self.supervision = resolve_supervision_spec(supervision_spec)
+        self.supervisor = (Supervisor(self.supervision)
+                           if self.supervision.enabled
+                           and self.parallel.is_process else None)
+        self.supervision_failures: List[str] = []
+        ckpt = resolve_checkpoint_spec(checkpoint_spec)
+        self.checkpoints = CheckpointManager(ckpt) if ckpt else None
         if self.parallel.is_process:
-            factory = self.parallel.actor_factory(IMPALAActorCore)
-            self.actor_handles = [
-                factory.remote(i, agent_factory, env_factory,
+            factories = [
+                ReplicaFactory(self.parallel, IMPALAActorCore,
+                               i, agent_factory, env_factory,
                                rollout_length=rollout_length,
                                num_envs=envs_per_actor,
                                redundant_assignments=redundant_assignments,
@@ -232,6 +253,13 @@ class IMPALARunner:
                                parallel_spec=self.parallel)
                 for i in range(num_actors)
             ]
+            self.actor_handles = [factory() for factory in factories]
+            if self.supervisor is not None:
+                for i, (handle, factory) in enumerate(
+                        zip(self.actor_handles, factories)):
+                    self.supervisor.register(
+                        f"impala-actor-{i}", handle, factory,
+                        on_restart=self._sync_restarted_actor)
         else:
             self.actors = [
                 IMPALAActor(i, agent_factory, env_factory, self.rollout_queue,
@@ -256,14 +284,49 @@ class IMPALARunner:
             weights = self._weights
         notify_weight_listeners(self.weight_listeners, weights)
 
+    def _sync_restarted_actor(self, handle) -> None:
+        """Push the current published weight version to a rejoined actor
+        so it rolls out at the latest policy, not its fresh init."""
+        handle.set_weights.remote(self._get_weights())
+
     # -- process-mode feeder ------------------------------------------------
+    def _recover_handle(self, handle, synced):
+        """Supervised recovery for one dead process actor: restart it
+        (bounded backoff; the restart hook pushed current weights) and
+        return the slot's live handle — or None when unsupervised, the
+        run is stopping, or the slot exhausted its restart budget."""
+        if self.supervisor is None or self.stop_event.is_set():
+            return None
+        try:
+            replacement = self.supervisor.ensure_alive(handle)
+        except SupervisionError as exc:
+            self.supervision_failures.append(str(exc))
+            return None
+        if replacement is not handle:
+            self.actor_handles = [replacement if h is handle else h
+                                  for h in self.actor_handles]
+            with self._weights_lock:
+                synced[id(replacement)] = self._weights_version
+        return replacement
+
     def _feed_from_handles(self):
         """Keep one rollout task in flight per process actor; drain
         completed rollouts (shared-memory transport, zero-copy decode)
-        into the learner queue; push weights when a new version is out."""
+        into the learner queue; push weights when a new version is out.
+        With supervision enabled a crashed actor is restarted and
+        re-armed in place (its in-flight rollout is lost)."""
         from repro import raylite
         synced = {id(h): 0 for h in self.actor_handles}
-        in_flight = {h.rollout.remote(): h for h in self.actor_handles}
+        # Prime one task per actor; an actor already dead at feeder start
+        # is recovered (or dropped) instead of killing the feeder thread.
+        in_flight = {}
+        for handle in list(self.actor_handles):
+            try:
+                in_flight[handle.rollout.remote()] = handle
+            except BaseException:
+                handle = self._recover_handle(handle, synced)
+                if handle is not None:
+                    in_flight[handle.rollout.remote()] = handle
         while in_flight and not self.stop_event.is_set():
             ready, _ = raylite.wait(list(in_flight.keys()), num_returns=1,
                                     timeout=0.1)
@@ -272,7 +335,12 @@ class IMPALARunner:
                 try:
                     item = raylite.get(ref)
                 except BaseException:
-                    continue  # actor died/shutdown: stop re-arming it
+                    # Actor died (or deliberate shutdown): restart the
+                    # slot if supervised, otherwise stop re-arming it.
+                    handle = self._recover_handle(handle, synced)
+                    if handle is not None:
+                        in_flight[handle.rollout.remote()] = handle
+                    continue
                 delivered = False
                 while not self.stop_event.is_set():
                     try:
@@ -283,12 +351,19 @@ class IMPALARunner:
                         continue  # back-pressure: learner is saturated
                 if not delivered:
                     break
-                with self._weights_lock:
-                    version, weights = self._weights_version, self._weights
-                if version > synced[id(handle)]:
-                    handle.set_weights.remote(weights)
-                    synced[id(handle)] = version
-                in_flight[handle.rollout.remote()] = handle
+                try:
+                    with self._weights_lock:
+                        version, weights = (self._weights_version,
+                                            self._weights)
+                    if version > synced.get(id(handle), 0):
+                        handle.set_weights.remote(weights)
+                        synced[id(handle)] = version
+                    in_flight[handle.rollout.remote()] = handle
+                except BaseException:
+                    # Submission to a just-died actor: same recovery.
+                    handle = self._recover_handle(handle, synced)
+                    if handle is not None:
+                        in_flight[handle.rollout.remote()] = handle
 
     def _dequeue_batch(self) -> Optional[List[Dict]]:
         items = []
@@ -331,6 +406,10 @@ class IMPALARunner:
                 losses.append(loss)
                 updates += 1
                 self._publish_weights()
+                if self.checkpoints is not None:
+                    self.checkpoints.maybe_save(
+                        lambda: {"learner": self.learner.full_state()},
+                        updates)
                 reward_timeline.append(
                     (time.perf_counter() - t_start,
                      float(np.mean(self.episode_returns[-20:]))
@@ -353,13 +432,33 @@ class IMPALARunner:
             "reward_timeline": reward_timeline,
             "mean_return": (float(np.mean(self.episode_returns[-20:]))
                             if self.episode_returns else None),
+            "restarts": (self.supervisor.total_restarts
+                         if self.supervisor else 0),
+            "supervision_failures": list(self.supervision_failures),
         }
+
+    def restore_latest(self) -> bool:
+        """Restore the learner from the newest checkpoint and publish
+        the restored weights as a fresh version for the actors."""
+        if self.checkpoints is None:
+            raise RLGraphError("IMPALARunner has no checkpoint_spec")
+        latest = self.checkpoints.load_latest()
+        if latest is None:
+            return False
+        self.learner.restore_full_state(latest[0]["learner"])
+        self._publish_weights()
+        return True
 
     def _drain_handle_stats(self) -> int:
         """Collect env-frame counts from process actors, then reap them."""
         from repro import raylite
         env_frames = 0
-        refs = [h.get_stats.remote() for h in self.actor_handles]
+        refs = []
+        for h in self.actor_handles:
+            try:
+                refs.append(h.get_stats.remote())
+            except Exception:
+                continue  # already dead; its frames are lost
         for ref in refs:
             try:
                 env_frames += raylite.get(ref, timeout=5.0)["env_frames"]

@@ -106,3 +106,15 @@ class ReplayShardActor:
 
     def size(self) -> int:
         return len(self.buffer)
+
+    def state_dict(self) -> Dict:
+        """Shard checkpoint: buffer contents + cursors + trees + RNG."""
+        state = self.buffer.state_dict()
+        state["inserted"] = self.inserted
+        return state
+
+    def load_state_dict(self, state: Dict) -> int:
+        state = dict(state)
+        self.inserted = int(state.pop("inserted", 0))
+        self.buffer.load_state_dict(state)
+        return self.inserted

@@ -22,11 +22,20 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import raylite
+from repro.execution.checkpointing import (
+    CheckpointManager,
+    resolve_checkpoint_spec,
+)
 from repro.execution.parallel import (
     notify_weight_listeners,
     resolve_parallel_spec,
 )
 from repro.execution.ray.actors import ApexWorkerActor, ReplayShardActor
+from repro.execution.supervision import (
+    ReplicaFactory,
+    Supervisor,
+    resolve_supervision_spec,
+)
 from repro.utils.errors import RLGraphError
 
 
@@ -68,7 +77,8 @@ class ApexExecutor:
                  worker_mode: str = "rlgraph",
                  frame_multiplier: int = 1,
                  seed: int = 0, vector_env_spec=None, parallel_spec=None,
-                 weight_listeners=None):
+                 weight_listeners=None, supervision_spec=None,
+                 checkpoint_spec=None):
         if worker_mode not in ("rlgraph", "rllib_like"):
             raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
         self.learner = learner_agent
@@ -89,25 +99,100 @@ class ApexExecutor:
         # parallel_spec selects the raylite backend: thread actors (seed
         # behavior) or process actors whose sample batches travel through
         # shared memory and decode zero-copy on the learner side.
-        worker_cls = self.parallel.actor_factory(ApexWorkerActor)
-        self.workers = [
-            worker_cls.remote(agent_factory, env_factory,
-                              num_envs=envs_per_worker, n_step=n_step,
-                              discount=discount,
-                              worker_side_prioritization=True,
-                              batched_postprocessing=batched,
-                              worker_index=i,
-                              vector_env_spec=vector_env_spec,
-                              parallel_spec=self.parallel)
+        # Actors are built through ReplicaFactory recipes so the
+        # supervisor can restart a crashed one with the exact same
+        # configuration.
+        worker_factories = [
+            ReplicaFactory(self.parallel, ApexWorkerActor,
+                           agent_factory, env_factory,
+                           num_envs=envs_per_worker, n_step=n_step,
+                           discount=discount,
+                           worker_side_prioritization=True,
+                           batched_postprocessing=batched,
+                           worker_index=i,
+                           vector_env_spec=vector_env_spec,
+                           parallel_spec=self.parallel)
             for i in range(num_workers)
         ]
-        shard_cls = self.parallel.actor_factory(ReplayShardActor)
-        self.shards = [
-            shard_cls.remote(capacity=replay_capacity, seed=seed + 17 * i,
-                             min_sample_size=batch_size)
+        self.workers = [factory() for factory in worker_factories]
+        shard_factories = [
+            ReplicaFactory(self.parallel, ReplayShardActor,
+                           capacity=replay_capacity, seed=seed + 17 * i,
+                           min_sample_size=batch_size)
             for i in range(num_replay_shards)
         ]
+        self.shards = [factory() for factory in shard_factories]
         self._shard_rr = 0
+
+        self.supervision = resolve_supervision_spec(supervision_spec)
+        self.supervisor = (Supervisor(self.supervision)
+                           if self.supervision.enabled else None)
+        if self.supervisor is not None:
+            for i, (worker, factory) in enumerate(
+                    zip(self.workers, worker_factories)):
+                self.supervisor.register(
+                    f"apex-worker-{i}", worker, factory,
+                    on_restart=self._sync_restarted_worker)
+            for i, (shard, factory) in enumerate(
+                    zip(self.shards, shard_factories)):
+                # A restarted shard rejoins EMPTY: its samples are lost
+                # (as in Ray), but inserts/samples flow again and the
+                # run survives.
+                self.supervisor.register(f"replay-shard-{i}", shard, factory)
+        ckpt = resolve_checkpoint_spec(checkpoint_spec)
+        self.checkpoints = CheckpointManager(ckpt) if ckpt else None
+
+    # -- fault tolerance ------------------------------------------------
+    def _sync_restarted_worker(self, handle) -> None:
+        """Re-push the current flat weight vector so a rejoined worker
+        resumes at the current version, not its factory-fresh init."""
+        handle.set_weights.remote(self.learner.get_weights(flat=True))
+
+    def _recover_worker(self, worker):
+        replacement = self.supervisor.ensure_alive(worker)
+        if replacement is not worker:
+            self.workers = [replacement if w is worker else w
+                            for w in self.workers]
+        return replacement
+
+    def _recover_shard(self, shard):
+        replacement = self.supervisor.ensure_alive(shard)
+        if replacement is not shard:
+            self.shards = [replacement if s is shard else s
+                           for s in self.shards]
+        return replacement
+
+    # -- checkpoint/resume ----------------------------------------------
+    def _checkpoint_payload(self) -> Dict:
+        payload = {"learner": self.learner.full_state(),
+                   "shard_rr": self._shard_rr}
+        try:
+            payload["shards"] = raylite.get(
+                [s.state_dict.remote() for s in self.shards], timeout=30.0)
+        except Exception:  # a shard mid-restart: weights still save
+            payload["shards"] = None
+        return payload
+
+    def restore_latest(self) -> bool:
+        """Restore the newest checkpoint (learner full state + replay
+        shards) and resync all workers to the restored weights.  Returns
+        False when the directory has no checkpoint yet."""
+        if self.checkpoints is None:
+            raise RLGraphError("ApexExecutor has no checkpoint_spec")
+        latest = self.checkpoints.load_latest()
+        if latest is None:
+            return False
+        payload, _ = latest
+        self.learner.restore_full_state(payload["learner"])
+        self._shard_rr = int(payload.get("shard_rr", 0))
+        shard_states = payload.get("shards")
+        if shard_states:
+            raylite.get([s.load_state_dict.remote(state) for s, state
+                         in zip(self.shards, shard_states)], timeout=30.0)
+        weights = self.learner.get_weights(flat=True)
+        for worker in self.workers:
+            worker.set_weights.remote(weights)
+        return True
 
     # ------------------------------------------------------------------
     def execute_workload(self, num_samples: Optional[int] = None,
@@ -120,8 +205,17 @@ class ApexExecutor:
         result = ApexResult()
         t_start = time.perf_counter()
 
-        # Prime one in-flight sample task per worker.
-        in_flight = {w.collect.remote(self.task_size): w for w in self.workers}
+        # Prime one in-flight sample task per worker.  A worker that died
+        # before the run starts is recovered here, not at the first reap.
+        in_flight = {}
+        for worker in list(self.workers):
+            try:
+                in_flight[worker.collect.remote(self.task_size)] = worker
+            except BaseException:
+                if self.supervisor is None:
+                    raise
+                worker = self._recover_worker(worker)
+                in_flight[worker.collect.remote(self.task_size)] = worker
         pending_sample = None
         samples_collected = 0
         updates_since_sync = 0
@@ -135,40 +229,90 @@ class ApexExecutor:
             return False
 
         while not done():
+            # 0. Supervision: restart any crashed actor (bounded backoff,
+            # weights re-pushed by the on_restart hook).  A restarted
+            # worker's stale in-flight ref fails below and re-arms on the
+            # slot's CURRENT handle via ensure_alive — no double restart.
+            if self.supervisor is not None:
+                self.supervisor.probe()
+
             # 1. Reap completed worker tasks, re-arm workers immediately.
             ready, _ = raylite.wait(list(in_flight.keys()), num_returns=1,
                                     timeout=0.05)
             for ref in ready:
                 worker = in_flight.pop(ref)
-                batch = raylite.get(ref)
+                try:
+                    batch = raylite.get(ref)
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    # Task lost with the dead incarnation; re-arm the
+                    # slot's live replacement.
+                    worker = self._recover_worker(worker)
+                    in_flight[worker.collect.remote(self.task_size)] = worker
+                    continue
                 n = len(batch["rewards"])
                 samples_collected += n
                 shard = self.shards[self._shard_rr % len(self.shards)]
                 self._shard_rr += 1
-                shard.insert.remote(batch)
-                in_flight[worker.collect.remote(self.task_size)] = worker
+                try:
+                    shard.insert.remote(batch)
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    self._recover_shard(shard).insert.remote(batch)
+                try:
+                    in_flight[worker.collect.remote(self.task_size)] = worker
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    worker = self._recover_worker(worker)
+                    in_flight[worker.collect.remote(self.task_size)] = worker
 
             # 2. Learner step: pull a prioritized batch from a shard.
             if updates_enabled and samples_collected >= self.learning_starts:
                 if pending_sample is None:
                     shard = self.shards[self._shard_rr % len(self.shards)]
-                    pending_sample = (shard.sample.remote(self.batch_size),
-                                      shard)
+                    try:
+                        pending_sample = (
+                            shard.sample.remote(self.batch_size), shard)
+                    except BaseException:
+                        if self.supervisor is None:
+                            raise
+                        shard = self._recover_shard(shard)
+                        pending_sample = (
+                            shard.sample.remote(self.batch_size), shard)
                 ref, shard = pending_sample
                 if ref.ready():
                     pending_sample = None
-                    sampled = raylite.get(ref)
+                    try:
+                        sampled = raylite.get(ref)
+                    except BaseException:
+                        if self.supervisor is None:
+                            raise
+                        self._recover_shard(shard)
+                        sampled = None
                     if sampled is not None:
                         records, idx, weights = sampled
                         batch = dict(records)
                         batch["importance_weights"] = weights
                         loss, td = self.learner.update(batch)
-                        shard.update_priorities.remote(
-                            idx, np.abs(td) + 1e-6)
+                        try:
+                            shard.update_priorities.remote(
+                                idx, np.abs(td) + 1e-6)
+                        except BaseException:
+                            if self.supervisor is None:
+                                raise
+                            # Priorities die with the shard's data.
+                            self._recover_shard(shard)
                         result.learner_updates += 1
                         updates_since_sync += 1
                         result.loss_timeline.append(
                             (time.perf_counter() - t_start, loss))
+                        if self.checkpoints is not None:
+                            self.checkpoints.maybe_save(
+                                self._checkpoint_payload,
+                                result.learner_updates)
 
             # 3. Broadcast weights — as ONE flat ndarray (the learner's
             # deterministic flat layout matches the workers', same agent
@@ -178,23 +322,41 @@ class ApexExecutor:
             if updates_since_sync >= self.weight_sync_steps:
                 updates_since_sync = 0
                 weights = self.learner.get_weights(flat=True)
-                for worker in self.workers:
-                    worker.set_weights.remote(weights)
+                for worker in list(self.workers):
+                    try:
+                        worker.set_weights.remote(weights)
+                    except BaseException:
+                        if self.supervisor is None:
+                            raise
+                        # ensure_alive re-pushes via the restart hook.
+                        self._recover_worker(worker)
                 notify_weight_listeners(self.weight_listeners, weights)
 
-        # Drain: collect final stats from workers.
-        stats = raylite.get([w.get_stats.remote() for w in self.workers])
+        # Drain: collect final stats from workers.  Supervised runs
+        # tolerate a worker dying during the drain (its frames are lost).
+        stats = self._collect_stats()
         result.wall_time = time.perf_counter() - t_start
         result.env_frames = sum(s["env_frames"] for s in stats) \
             * self.frame_multiplier
         result.mean_worker_return = _mean_recent_return(stats)
         return result
 
+    def _collect_stats(self) -> List[Dict]:
+        """Per-worker stats; in supervised mode a dead worker is skipped
+        instead of failing the whole drain."""
+        stats = []
+        for worker in self.workers:
+            try:
+                stats.append(raylite.get(worker.get_stats.remote()))
+            except BaseException:
+                if self.supervisor is None:
+                    raise
+        return stats
+
     def reward_snapshot(self) -> Optional[float]:
         """Mean of each worker's recent episode returns (the paper's
         "mean worker rewards" y-axis in Figs. 7b/8)."""
-        stats = raylite.get([w.get_stats.remote() for w in self.workers])
-        return _mean_recent_return(stats)
+        return _mean_recent_return(self._collect_stats())
 
 
 def _mean_recent_return(stats, last_n: int = 20) -> Optional[float]:

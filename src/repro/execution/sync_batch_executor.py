@@ -22,6 +22,11 @@ from repro.execution.parallel import (
     notify_weight_listeners,
     resolve_parallel_spec,
 )
+from repro.execution.supervision import (
+    ReplicaFactory,
+    Supervisor,
+    resolve_supervision_spec,
+)
 from repro.execution.worker import build_vector_env, snapshot_fn
 from repro.utils.errors import RLGraphError
 
@@ -99,31 +104,72 @@ class SyncBatchExecutor:
                  env_factory: Callable, num_workers: int = 2,
                  envs_per_worker: int = 2, rollout_length: int = 32,
                  discount: float = 0.99, vector_env_spec=None,
-                 parallel_spec=None, weight_listeners=None):
+                 parallel_spec=None, weight_listeners=None,
+                 supervision_spec=None):
         self.learner = learner_agent
         self.discount = float(discount)
         # Eval-during-training hook: every published weight vector also
         # goes to these listeners (e.g. a serving PolicyServer).
         self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
-        actor_cls = self.parallel.actor_factory(A2CRolloutActor)
-        self.workers = [
-            actor_cls.remote(agent_factory, env_factory,
-                             num_envs=envs_per_worker,
-                             rollout_length=rollout_length, worker_index=i,
-                             vector_env_spec=vector_env_spec,
-                             parallel_spec=self.parallel)
+        factories = [
+            ReplicaFactory(self.parallel, A2CRolloutActor,
+                           agent_factory, env_factory,
+                           num_envs=envs_per_worker,
+                           rollout_length=rollout_length, worker_index=i,
+                           vector_env_spec=vector_env_spec,
+                           parallel_spec=self.parallel)
             for i in range(num_workers)
         ]
+        self.workers = [factory() for factory in factories]
+        self.supervision = resolve_supervision_spec(supervision_spec)
+        self.supervisor = (Supervisor(self.supervision)
+                           if self.supervision.enabled else None)
+        if self.supervisor is not None:
+            for i, (worker, factory) in enumerate(
+                    zip(self.workers, factories)):
+                self.supervisor.register(
+                    f"a2c-worker-{i}", worker, factory,
+                    on_restart=lambda h: h.set_weights.remote(
+                        self.learner.get_weights(flat=True)))
+
+    def _recover_worker(self, worker):
+        replacement = self.supervisor.ensure_alive(worker)
+        if replacement is not worker:
+            self.workers = [replacement if w is worker else w
+                            for w in self.workers]
+        return replacement
 
     def execute_workload(self, num_iterations: int = 10) -> Dict:
         t0 = time.perf_counter()
         losses: List[float] = []
         episode_returns: List[float] = []
         for _ in range(num_iterations):
-            # Barrier: all workers roll out with current weights.
-            refs = [w.rollout.remote(self.discount) for w in self.workers]
-            rollouts = raylite.get(refs)
+            # Barrier: all workers roll out with current weights.  In
+            # supervised mode a worker that died is restarted (weights
+            # re-pushed by the restart hook) and this iteration trains
+            # on the surviving rollouts.
+            pairs = []
+            for worker in list(self.workers):
+                try:
+                    pairs.append((worker.rollout.remote(self.discount),
+                                  worker))
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    worker = self._recover_worker(worker)
+                    pairs.append((worker.rollout.remote(self.discount),
+                                  worker))
+            rollouts = []
+            for ref, worker in pairs:
+                try:
+                    rollouts.append(raylite.get(ref))
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    self._recover_worker(worker)  # rollout lost
+            if not rollouts:
+                continue
             for r in rollouts:
                 episode_returns.extend(r.pop("episode_returns", []))
             merged = {
@@ -135,10 +181,21 @@ class SyncBatchExecutor:
             losses.append(total)
             # Flat broadcast: one ndarray (one shm block in process mode).
             weights = self.learner.get_weights(flat=True)
-            raylite.get([w.set_weights.remote(weights)
-                         for w in self.workers])
+            for worker in list(self.workers):
+                try:
+                    raylite.get(worker.set_weights.remote(weights))
+                except BaseException:
+                    if self.supervisor is None:
+                        raise
+                    self._recover_worker(worker)
             notify_weight_listeners(self.weight_listeners, weights)
-        stats = raylite.get([w.get_stats.remote() for w in self.workers])
+        stats = []
+        for worker in self.workers:
+            try:
+                stats.append(raylite.get(worker.get_stats.remote()))
+            except BaseException:
+                if self.supervisor is None:
+                    raise
         wall = time.perf_counter() - t0
         env_frames = sum(s["env_frames"] for s in stats)
         return {

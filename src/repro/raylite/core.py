@@ -297,6 +297,9 @@ class ActorHandle:
         self._stopped = threading.Event()
         self._pending: Dict[int, ObjectRef] = {}
         self._pending_lock = threading.Lock()
+        self._death_callbacks: List[Callable[["ActorHandle"], None]] = []
+        self._death_notified = False
+        self._death_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self._run, args=(args, kwargs), daemon=True,
             name=f"raylite-{self._name}")
@@ -305,6 +308,48 @@ class ActorHandle:
         if self._init_error is not None:
             raise self._init_error
         register_actor(self)
+
+    # -- liveness -----------------------------------------------------------
+    def is_alive(self) -> bool:
+        """Liveness probe: the actor loop is still serving its mailbox.
+
+        Supervisors (:mod:`repro.execution.supervision`) poll this; a
+        deliberately stopped actor counts as dead too — the supervisor
+        only restarts actors it owns, so the distinction lives in the
+        crash flag carried by death callbacks, not here.
+        """
+        return not self._stopped.is_set() and self._thread.is_alive()
+
+    def add_death_callback(
+            self, callback: Callable[["ActorHandle"], None]) -> None:
+        """Run ``callback(handle)`` once if the actor dies *unexpectedly*
+        (its worker vanishing without :func:`kill`/:func:`shutdown`).
+        Thread actors only die with the interpreter, so for this backend
+        the callback is registered for surface parity and fires only if
+        the actor thread is found dead while not stopped."""
+        fire = False
+        with self._death_lock:
+            if self._death_notified:
+                fire = True
+            elif not self._thread.is_alive() and not self._stopped.is_set():
+                self._death_notified = True
+                fire = True
+            else:
+                self._death_callbacks.append(callback)
+        if fire:
+            callback(self)
+
+    def _notify_death(self) -> None:
+        with self._death_lock:
+            if self._death_notified:
+                return
+            self._death_notified = True
+            callbacks, self._death_callbacks = self._death_callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     # -- actor loop ---------------------------------------------------------
     def _run(self, args, kwargs):

@@ -115,6 +115,9 @@ class ProcessActorHandle:
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._stopped = threading.Event()
+        self._death_callbacks = []
+        self._death_notified = False
+        self._death_lock = threading.Lock()
         self._await_ready()
         self._reader = threading.Thread(
             target=self._read_loop, daemon=True,
@@ -142,17 +145,56 @@ class ProcessActorHandle:
                 exc.add_note(f"(remote actor traceback)\n{tb}")
             raise exc
 
+    # -- liveness -----------------------------------------------------------
+    @property
+    def pid(self) -> Optional[int]:
+        """OS pid of the actor's worker process (chaos tests SIGKILL it)."""
+        return self._proc.pid
+
+    def is_alive(self) -> bool:
+        """Liveness probe: the worker process exists and the handle has
+        not been stopped.  This is the mailbox-level signal supervisors
+        poll — a SIGKILLed worker flips it immediately, before the
+        reader thread has even seen the pipe EOF."""
+        return not self._stopped.is_set() and self._proc.is_alive()
+
+    def add_death_callback(self, callback) -> None:
+        """Run ``callback(handle)`` once when the worker dies
+        *unexpectedly* (crash / SIGKILL / pipe loss) — NOT on a
+        deliberate :func:`~repro.raylite.core.kill` or ``shutdown``.
+        Fires immediately if the death already happened."""
+        with self._death_lock:
+            if not self._death_notified:
+                self._death_callbacks.append(callback)
+                return
+        callback(self)
+
+    def _notify_death(self) -> None:
+        with self._death_lock:
+            if self._death_notified:
+                return
+            self._death_notified = True
+            callbacks, self._death_callbacks = self._death_callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
     # -- result pump --------------------------------------------------------
     def _read_loop(self) -> None:
         while True:
             try:
                 kind, task_id, tree, block = self._conn.recv()
             except (EOFError, OSError):
+                deliberate = self._stopped.is_set()
                 self._fail_pending(self._RayliteError(
                     f"Actor {self._name} process died "
                     f"(exit code {self._proc.exitcode}); pending tasks "
                     f"failed"))
                 self._stopped.set()
+                if not deliberate:
+                    self._notify_death()
                 return
             with self._lock:
                 entry = self._pending.pop(task_id, None)

@@ -115,12 +115,16 @@ class ServerStats:
 
 
 class _Request:
-    __slots__ = ("obs", "ref", "t_submit")
+    __slots__ = ("obs", "ref", "t_submit", "attempts")
 
     def __init__(self, obs, ref: ObjectRef, t_submit: float):
         self.obs = obs
         self.ref = ref
         self.t_submit = t_submit
+        # Dispatch attempts so far: a supervised worker pool re-queues
+        # the requests of a batch lost to a replica crash (bounded — see
+        # InferenceWorkerPool._on_batch_done) instead of failing them.
+        self.attempts = 0
 
 
 class _Control:

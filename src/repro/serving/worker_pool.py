@@ -32,12 +32,21 @@ import numpy as np
 
 from repro import raylite
 from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.supervision import (
+    ReplicaFactory,
+    Supervisor,
+    resolve_supervision_spec,
+)
 from repro.serving.policy_server import (
     _BatchingFrontEnd,
     _Request,
     bucket_sizes,
 )
 from repro.utils.errors import RLGraphError
+
+# How many times one request may ride a crashed-replica batch before its
+# future fails (each retry lands on a different, live replica).
+_MAX_DISPATCH_ATTEMPTS = 5
 
 
 class PolicyServerActor:
@@ -104,17 +113,31 @@ class InferenceWorkerPool(_BatchingFrontEnd):
                  num_replicas: int = 2, max_batch_size: int = 32,
                  batch_window: float = 0.002, explore: bool = False,
                  pad_batches: bool = True, parallel_spec=None,
-                 name: str = "inference-pool", auto_start: bool = True):
+                 name: str = "inference-pool", auto_start: bool = True,
+                 supervision_spec=None):
         if num_replicas < 1:
             raise RLGraphError("num_replicas must be >= 1")
         from repro.spaces.space_utils import space_from_spec
         self.pad_batches = pad_batches
         self.parallel = resolve_parallel_spec(parallel_spec)
-        factory = self.parallel.actor_factory(PolicyServerActor)
-        self.replicas = [
-            factory.remote(agent_factory, explore, i)
+        factories = [
+            ReplicaFactory(self.parallel, PolicyServerActor,
+                           agent_factory, explore, i)
             for i in range(num_replicas)
         ]
+        self.replicas = [factory() for factory in factories]
+        # The last hot-swapped weight vector: a restarted replica must
+        # rejoin at the CURRENT version, not its factory-fresh init.
+        self._current_weights = None
+        self.supervision = resolve_supervision_spec(supervision_spec)
+        self.supervisor = (Supervisor(self.supervision)
+                           if self.supervision.enabled else None)
+        if self.supervisor is not None:
+            for i, (replica, factory) in enumerate(
+                    zip(self.replicas, factories)):
+                self.supervisor.register(
+                    f"{name}-replica-{i}", replica, factory,
+                    on_restart=self._sync_restarted_replica)
         self._inflight: set = set()
         self._inflight_lock = threading.Lock()
         self._inflight_drained = threading.Event()
@@ -130,15 +153,41 @@ class InferenceWorkerPool(_BatchingFrontEnd):
         sizes = bucket_sizes(self.max_batch_size)
         raylite.get([r.warm_up.remote(sizes) for r in self.replicas])
 
+    def _sync_restarted_replica(self, handle) -> None:
+        """Bring a restarted replica up to serving parity: warm its
+        compiled act plans and re-push the current weight version (both
+        ride the mailbox ahead of any batch routed to it)."""
+        handle.warm_up.remote(bucket_sizes(self.max_batch_size))
+        if self._current_weights is not None:
+            handle.set_weights.remote(self._current_weights)
+
+    def _live_replicas(self) -> List:
+        """Replicas eligible for routing: dead ones are EXCLUDED so no
+        batch is ever handed to a crashed replica.  With supervision on,
+        the collector thread restarts them here (bounded backoff) —
+        requests queue during the restart and none are dropped."""
+        live = [h for h in self.replicas if h.is_alive()]
+        if len(live) < len(self.replicas) and self.supervisor is not None:
+            self.supervisor.probe()
+            self.replicas = self.supervisor.handles()
+            live = [h for h in self.replicas if h.is_alive()]
+        return live
+
     def _dispatch(self, requests: List[_Request]) -> None:
-        """Route to the least-loaded replica; scatter on completion.
+        """Route to the least-loaded LIVE replica; scatter on completion.
 
         Non-blocking: the completion callback (running on the replica's
         result path) distributes actions, so the collector immediately
         returns to assembling the next batch for the next replica.
         """
+        live = self._live_replicas()
+        if not live:
+            raise RLGraphError(
+                f"{self.name}: no live replicas to dispatch to")
         obs = self._stack(requests)
-        replica = min(self.replicas, key=lambda h: h.num_pending())
+        replica = min(live, key=lambda h: h.num_pending())
+        for req in requests:
+            req.attempts += 1
         ref = replica.act_batch.remote(obs)
         with self._inflight_lock:
             self._inflight.add(ref.id)
@@ -155,18 +204,50 @@ class InferenceWorkerPool(_BatchingFrontEnd):
         try:
             actions = ref.result(timeout=0)
         except BaseException as exc:
+            self._handle_failed_batch(requests, exc)
+            return
+        self._scatter(requests, np.asarray(actions)[:len(requests)])
+
+    def _handle_failed_batch(self, requests: List[_Request],
+                             exc: BaseException) -> None:
+        """A dispatched batch died with its replica.  Supervised pools
+        re-queue the requests (bounded attempts; the collector routes
+        them to a live replica — zero requests dropped by a crash);
+        unsupervised pools keep the seed behavior and fail them."""
+        if self.supervisor is None or self._stopped.is_set():
             self.stats.record_error(len(requests))
             for req in requests:
                 req.ref._fail(exc)
             return
-        self._scatter(requests, np.asarray(actions)[:len(requests)])
+        for req in requests:
+            if req.attempts < _MAX_DISPATCH_ATTEMPTS:
+                # No record_submit: the request was already counted.
+                self._mailbox.put(req)
+            else:
+                self.stats.record_error(1)
+                req.ref._fail(exc)
 
     def _apply_weights(self, weights) -> None:
         """Broadcast the swap to every replica (FIFO per actor mailbox
         makes it batch-atomic on each); blocks until all confirmed so
-        the returned future means 'the whole pool serves new weights'."""
-        raylite.get([r.set_weights.remote(weights) for r in self.replicas],
-                    timeout=30.0)
+        the returned future means 'the whole pool serves new weights'.
+        A replica that dies mid-swap is restarted by supervision and
+        receives the new version through the restart hook instead."""
+        self._current_weights = weights
+        if self.supervisor is None:  # seed behavior: all-or-error
+            raylite.get([r.set_weights.remote(weights)
+                         for r in self.replicas], timeout=30.0)
+            return
+        refs = []
+        for replica in self._live_replicas():
+            try:
+                refs.append(replica.set_weights.remote(weights))
+            except Exception:
+                pass  # died after the liveness check: restart hook syncs
+        try:
+            raylite.get(refs, timeout=30.0)
+        except Exception:
+            pass
 
     # -- lifecycle ------------------------------------------------------------
     def stop(self, kill_replicas: bool = True) -> None:
@@ -184,7 +265,14 @@ class InferenceWorkerPool(_BatchingFrontEnd):
             self.replicas = []
 
     def replica_stats(self) -> List[dict]:
-        return raylite.get([r.get_stats.remote() for r in self.replicas])
+        stats = []
+        for replica in self.replicas:
+            try:
+                stats.append(raylite.get(replica.get_stats.remote()))
+            except Exception:
+                if self.supervisor is None:
+                    raise
+        return stats
 
     def __repr__(self):
         return (f"InferenceWorkerPool(replicas={len(self.replicas)}, "

@@ -1,0 +1,116 @@
+"""Chaos suite: SIGKILL process actors mid-run and assert the runs
+complete with learning intact.
+
+Each test kills a real worker process (``os.kill(handle.pid, SIGKILL)``
+— no cooperation from the victim) while the coordination loop is live,
+then asserts (a) the workload finishes, (b) the supervisor restarted the
+slot, (c) updates kept flowing and no weight version was lost.  The
+timer fires well inside a duration-bounded workload so the kill always
+lands mid-run.  Everything sits under the ``mp_timeout`` SIGALRM guard:
+a recovery deadlock fails fast instead of wedging CI.
+"""
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro import raylite
+from repro.agents import ApexAgent, IMPALAAgent
+from repro.environments import GridWorld
+from repro.execution.impala_runner import IMPALARunner
+from repro.execution.ray import ApexExecutor
+from repro.spaces import IntBox
+
+pytestmark = [pytest.mark.chaos, pytest.mark.mp_timeout(240)]
+
+# Fast, bounded backoff so a restart completes well inside the workload.
+SUPERVISION = {"base_delay": 0.05, "factor": 2.0, "max_delay": 0.5,
+               "max_restarts": 5}
+
+
+# Module-level factories: process actors must be able to ship their
+# construction recipe to a fresh worker process on every (re)start.
+def _env_factory(seed):
+    return GridWorld(seed=seed)
+
+
+def _apex_agent_factory():
+    return ApexAgent(state_space=(16,), action_space=IntBox(4),
+                     network_spec=[{"type": "dense", "units": 16}], seed=1)
+
+
+def _impala_agent_factory():
+    return IMPALAAgent(state_space=(16,), action_space=IntBox(4),
+                       network_spec=[{"type": "dense", "units": 16,
+                                      "activation": "tanh"}], seed=2)
+
+
+def _sigkill_later(pid_fn, delay):
+    """Arm a SIGKILL against ``pid_fn()`` after ``delay`` seconds."""
+    def _fire():
+        try:
+            os.kill(pid_fn(), signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass
+    timer = threading.Timer(delay, _fire)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+class TestApexChaos:
+    def test_sigkill_worker_mid_run_recovers(self):
+        executor = ApexExecutor(
+            learner_agent=_apex_agent_factory(),
+            agent_factory=_apex_agent_factory, env_factory=_env_factory,
+            num_workers=2, envs_per_worker=2, num_replay_shards=2,
+            task_size=40, batch_size=16, replay_capacity=4096,
+            learning_starts=80, weight_sync_steps=5,
+            parallel_spec="process", supervision_spec=SUPERVISION)
+        timer = _sigkill_later(lambda: executor.workers[0].pid, 1.5)
+        try:
+            result = executor.execute_workload(duration=6.0)
+            timer.join()
+            # The run completed and kept learning through the kill.
+            assert result.env_frames > 0
+            assert result.learner_updates > 0
+            assert all(np.isfinite(loss)
+                       for _, loss in result.loss_timeline)
+            # Reward trend intact: workers still reported episodes.
+            assert result.mean_worker_return is not None
+            # The supervisor actually restarted the murdered slot, and
+            # every slot ends the run alive.
+            assert executor.supervisor.total_restarts >= 1
+            names = [e.name for e in executor.supervisor.restart_history]
+            assert any(n.startswith("apex-worker") for n in names)
+            assert all(h.is_alive() for h in executor.supervisor.handles())
+        finally:
+            raylite.shutdown()
+
+
+class TestImpalaChaos:
+    def test_sigkill_actor_mid_run_recovers(self):
+        runner = IMPALARunner(
+            learner_agent=_impala_agent_factory(),
+            agent_factory=_impala_agent_factory, env_factory=_env_factory,
+            num_actors=2, envs_per_actor=1, rollout_length=10,
+            batch_size=2, parallel_spec="process",
+            supervision_spec=SUPERVISION)
+        timer = _sigkill_later(lambda: runner.actor_handles[0].pid, 1.5)
+        try:
+            result = runner.run(duration=6.0)
+            timer.join()
+            assert result["env_frames"] > 0
+            assert result["learner_updates"] > 0
+            assert all(np.isfinite(loss) for loss in result["losses"])
+            # The kill was absorbed by a restart, not a budget blow-up.
+            assert result["restarts"] >= 1
+            assert result["supervision_failures"] == []
+            # No lost weight versions: every update published exactly
+            # one version, kill or no kill.
+            assert runner._weights_version == result["learner_updates"]
+        finally:
+            raylite.shutdown()

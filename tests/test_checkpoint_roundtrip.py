@@ -94,3 +94,125 @@ def test_cross_backend_restore(kind, tmp_path):
     eager.import_model(path)
     np.testing.assert_array_equal(eager.get_weights(flat=True),
                                   source.get_weights(flat=True))
+
+
+# ---------------------------------------------------------------------------
+# CheckpointManager: atomic saves, pruning, interval gating
+# ---------------------------------------------------------------------------
+def test_checkpoint_manager_save_load_latest(tmp_path):
+    from repro.execution.checkpointing import CheckpointManager
+
+    manager = CheckpointManager(str(tmp_path))
+    manager.save({"value": 1}, step=10)
+    manager.save({"value": 2}, step=20)
+    payload, step = manager.load_latest()
+    assert (payload, step) == ({"value": 2}, 20)
+    assert manager.steps() == [10, 20]
+    # No stray temp files survive an atomic save.
+    assert not any(f.name.endswith(".tmp") for f in tmp_path.iterdir())
+
+
+def test_checkpoint_manager_prunes_to_keep(tmp_path):
+    from repro.execution.checkpointing import CheckpointManager
+
+    manager = CheckpointManager({"directory": str(tmp_path), "keep": 2})
+    for step in (1, 2, 3, 4):
+        manager.save({"step": step}, step)
+    assert manager.steps() == [3, 4]
+
+
+def test_checkpoint_manager_interval_gates_lazy_payload(tmp_path):
+    from repro.execution.checkpointing import CheckpointManager
+
+    manager = CheckpointManager(
+        {"directory": str(tmp_path), "interval": 10})
+    captures = []
+
+    def payload():
+        captures.append(1)
+        return {"n": len(captures)}
+
+    assert manager.maybe_save(payload, step=3) is None
+    assert manager.maybe_save(payload, step=10) is not None
+    assert manager.maybe_save(payload, step=15) is None
+    assert manager.maybe_save(payload, step=20) is not None
+    # Capturing full state is not free: only actual saves paid for it.
+    assert len(captures) == 2
+
+
+def test_checkpoint_spec_resolution():
+    from repro.execution.checkpointing import (
+        CheckpointSpec,
+        resolve_checkpoint_spec,
+    )
+    from repro.utils.errors import RLGraphError
+
+    assert resolve_checkpoint_spec(None) is None
+    assert resolve_checkpoint_spec(False) is None
+    assert resolve_checkpoint_spec("/tmp/x").directory == "/tmp/x"
+    spec = CheckpointSpec("/tmp/x", interval=5, keep=1)
+    assert resolve_checkpoint_spec(spec) is spec
+    with pytest.raises(RLGraphError):
+        resolve_checkpoint_spec({"directory": "/tmp/x", "bogus": 1})
+    with pytest.raises(RLGraphError):
+        CheckpointSpec("/tmp/x", interval=0)
+    with pytest.raises(RLGraphError):
+        CheckpointSpec("")
+
+
+# ---------------------------------------------------------------------------
+# Resume equivalence: checkpoint -> resume == uninterrupted, bitwise
+# ---------------------------------------------------------------------------
+def _resume_trainer(checkpoint=None):
+    """A fully deterministic trainer: seeded agent + env, and the eager
+    seed counter reset so every construction starts from the same
+    stream (exploration noise is the first divergence risk)."""
+    from repro.backend import functional
+    from repro.environments import CartPole
+    from repro.execution.checkpointing import ResumableTrainer
+
+    functional._eager_seed_counter[0] = 0
+    env = CartPole(seed=5)
+    agent = DQNAgent(state_space=env.state_space,
+                     action_space=env.action_space, network_spec=NET,
+                     seed=11, backend=XGRAPH, optimize="basic",
+                     memory_capacity=128, batch_size=8,
+                     observe_flush_size=8)
+    return ResumableTrainer(agent, env, learning_starts=24,
+                            update_interval=2, checkpoint=checkpoint)
+
+
+def test_resume_is_bitwise_identical_to_uninterrupted(tmp_path):
+    """Train N, checkpoint, resume in a FRESH trainer, train N more:
+    weights, counters and the complete variable set (optimizer slots,
+    target net, replay buffer + cursors) match an uninterrupted 2N run
+    bitwise — every RNG in the stack restores exactly."""
+    full = _resume_trainer()
+    full.run(120)
+
+    part = _resume_trainer(str(tmp_path / "ck"))
+    part.run(60)
+    part.checkpoint()
+
+    resumed = _resume_trainer(str(tmp_path / "ck"))
+    assert resumed.resume()
+    assert resumed.step == 60
+    resumed.run(60)
+
+    np.testing.assert_array_equal(resumed.agent.get_weights(flat=True),
+                                  full.agent.get_weights(flat=True))
+    assert resumed.agent.timesteps == full.agent.timesteps == 120
+    assert resumed.agent.updates == full.agent.updates > 0
+    # Beyond the policy weights: EVERY variable agrees (the optimizer
+    # slabs and in-graph replay state are where drift would hide).
+    state_a = resumed.agent.full_state()
+    state_b = full.agent.full_state()
+    assert sorted(state_a["variables"]) == sorted(state_b["variables"])
+    for name, value in state_b["variables"].items():
+        np.testing.assert_array_equal(state_a["variables"][name], value,
+                                      err_msg=name)
+
+
+def test_resume_from_nothing_returns_false(tmp_path):
+    trainer = _resume_trainer(str(tmp_path / "empty"))
+    assert trainer.resume() is False

@@ -310,6 +310,45 @@ class TestWorkerPool:
 
 
 # ---------------------------------------------------------------------------
+# Serving chaos: replica SIGKILL under live load
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos
+class TestServingChaos:
+    def test_replica_sigkill_zero_dropped_requests_and_parity(self):
+        """SIGKILL one process replica under concurrent load: no request
+        errors (the supervised pool re-queues the dead replica's batch
+        onto live replicas and restarts the slot), and the healed pool
+        still serves the exact reference policy."""
+        import signal
+
+        pool = InferenceWorkerPool(
+            _dqn_factory, FloatBox(shape=(STATE_DIM,)), num_replicas=2,
+            max_batch_size=8, batch_window=0.002, parallel_spec="process",
+            supervision_spec={"base_delay": 0.05, "max_delay": 0.5,
+                              "max_restarts": 5})
+        try:
+            victim_pid = pool.replicas[0].pid
+            timer = threading.Timer(
+                1.0, lambda: os.kill(victim_pid, signal.SIGKILL))
+            timer.daemon = True
+            timer.start()
+            # Raises if ANY client saw an error — the zero-dropped-
+            # requests assertion is the driver's own contract.
+            load = drive_concurrent_load(pool, num_clients=4, duration=3.0)
+            timer.join()
+            assert load["requests"] > 0
+            assert pool.stats.errors == 0
+            assert pool.supervisor.total_restarts >= 1
+            assert all(h.is_alive() for h in pool.replicas)
+            # Post-restart action parity with an unkilled reference.
+            obs = _obs_stream(20, seed=77)
+            served = [int(pool.act(o, timeout=30.0)) for o in obs]
+            assert served == _greedy_reference(_dqn(), obs)
+        finally:
+            pool.stop()
+
+
+# ---------------------------------------------------------------------------
 # Eval-during-training hook
 # ---------------------------------------------------------------------------
 class TestEvalDuringTraining:

@@ -1,0 +1,399 @@
+"""Supervision-layer tests: backoff properties (bounded, jitterless,
+deterministic under a seeded clock), Supervisor restart semantics with
+fake handles, spec resolution, factory picklability, and the raylite
+liveness signal the supervisor is built on (SIGKILLed process actors
+flip ``is_alive()`` and fire death callbacks; deliberate kills do not).
+"""
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import raylite
+from repro.execution.parallel import resolve_parallel_spec
+from repro.execution.supervision import (
+    BackoffPolicy,
+    ReplicaFactory,
+    RestartEvent,
+    SupervisionError,
+    SupervisionSpec,
+    Supervisor,
+    resolve_supervision_spec,
+)
+from repro.utils.errors import RLGraphError
+
+
+# ---------------------------------------------------------------------------
+# Fakes: deterministic clock + in-memory actor handles
+# ---------------------------------------------------------------------------
+class FakeClock:
+    """Manual time source; ``sleep`` advances it and records the call."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+        self.slept = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+
+
+class FakeHandle:
+    """Minimal stand-in for a raylite actor handle."""
+
+    def __init__(self, alive=True):
+        self.alive = alive
+        self.killed = False
+
+    def is_alive(self):
+        return self.alive
+
+    def kill(self):
+        self.alive = False
+        self.killed = True
+
+
+class FakeFactory:
+    """Builds FakeHandles; scriptable to fail or produce dead ones."""
+
+    def __init__(self, fail_first=0, dead_first=0):
+        self.built = []
+        self.fail_first = fail_first
+        self.dead_first = dead_first
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise RuntimeError("factory down")
+        handle = FakeHandle(alive=self.calls > self.fail_first
+                            + self.dead_first)
+        self.built.append(handle)
+        return handle
+
+
+def _supervisor(clock=None, **backoff_kwargs):
+    clock = clock or FakeClock()
+    spec = SupervisionSpec(backoff=BackoffPolicy(**backoff_kwargs))
+    return Supervisor(spec, clock=clock, sleep=clock.sleep), clock
+
+
+# ---------------------------------------------------------------------------
+# BackoffPolicy properties
+# ---------------------------------------------------------------------------
+class TestBackoffPolicy:
+    def test_schedule_is_exponential_and_capped(self):
+        policy = BackoffPolicy(base_delay=0.1, factor=2.0, max_delay=0.5,
+                               max_restarts=6)
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_schedule_is_deterministic(self):
+        # Jitterless by design: two policies with the same knobs produce
+        # byte-identical schedules (the seeded-clock reproducibility
+        # contract the chaos tests rely on).
+        a = BackoffPolicy(base_delay=0.05, factor=3.0, max_delay=2.0)
+        b = BackoffPolicy(base_delay=0.05, factor=3.0, max_delay=2.0)
+        assert a.delays() == b.delays()
+
+    def test_bounded_by_max_restarts(self):
+        assert len(BackoffPolicy(max_restarts=3).delays()) == 3
+        assert BackoffPolicy(max_restarts=0).delays() == []
+
+    def test_validation(self):
+        with pytest.raises(RLGraphError):
+            BackoffPolicy(base_delay=-0.1)
+        with pytest.raises(RLGraphError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(RLGraphError):
+            BackoffPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(RLGraphError):
+            BackoffPolicy(max_restarts=-1)
+        with pytest.raises(RLGraphError):
+            BackoffPolicy().delay(-1)
+
+
+# ---------------------------------------------------------------------------
+# Spec resolution
+# ---------------------------------------------------------------------------
+class TestSpecResolution:
+    def test_none_and_false_disable(self):
+        assert resolve_supervision_spec(None).enabled is False
+        assert resolve_supervision_spec(False).enabled is False
+
+    def test_true_and_on_enable_defaults(self):
+        for value in (True, "on"):
+            spec = resolve_supervision_spec(value)
+            assert spec.enabled is True
+            assert spec.backoff.max_restarts == 5
+
+    def test_dict_sets_backoff_knobs(self):
+        spec = resolve_supervision_spec(
+            {"base_delay": 0.01, "factor": 4.0, "max_delay": 1.0,
+             "max_restarts": 2, "probe_interval": 0.1, "reset_after": 9.0})
+        assert spec.enabled is True
+        assert spec.backoff.delays() == [0.01, 0.04]
+        assert spec.probe_interval == 0.1
+        assert spec.reset_after == 9.0
+
+    def test_unknown_dict_key_rejected(self):
+        with pytest.raises(RLGraphError, match="jitter"):
+            resolve_supervision_spec({"jitter": 0.5})
+
+    def test_instance_passthrough(self):
+        spec = SupervisionSpec(enabled=False)
+        assert resolve_supervision_spec(spec) is spec
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(RLGraphError):
+            resolve_supervision_spec(42)
+
+    def test_spec_validation(self):
+        with pytest.raises(RLGraphError):
+            SupervisionSpec(probe_interval=0)
+        with pytest.raises(RLGraphError):
+            SupervisionSpec(reset_after=-1)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor restart semantics (fake handles, seeded clock)
+# ---------------------------------------------------------------------------
+class TestSupervisor:
+    def test_alive_handle_passes_through(self):
+        sup, clock = _supervisor()
+        handle = FakeHandle()
+        sup.register("a", handle, FakeFactory())
+        assert sup.ensure_alive(handle) is handle
+        assert sup.total_restarts == 0
+        assert clock.slept == []
+
+    def test_dead_handle_restarts_with_weight_resync(self):
+        sup, _ = _supervisor()
+        factory = FakeFactory()
+        handle = FakeHandle(alive=False)
+        synced = []
+        sup.register("a", handle, factory, on_restart=synced.append)
+        replacement = sup.ensure_alive(handle)
+        assert replacement is factory.built[0]
+        assert replacement.is_alive()
+        assert synced == [replacement]  # hook saw the NEW handle
+        assert sup.total_restarts == 1
+        assert sup.handle("a") is replacement
+
+    def test_restart_timeline_is_deterministic(self):
+        # Two supervisors with the same seeded clock replay the exact
+        # same sleep sequence — the jitterless-backoff property.
+        timelines = []
+        for _ in range(2):
+            sup, clock = _supervisor(base_delay=0.1, factor=2.0,
+                                     max_delay=5.0, max_restarts=5)
+            factory = FakeFactory(fail_first=3)
+            handle = FakeHandle(alive=False)
+            sup.register("a", handle, factory)
+            sup.ensure_alive(handle)
+            timelines.append(list(clock.slept))
+        assert timelines[0] == timelines[1] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_budget_exhaustion_raises_with_history(self):
+        sup, _ = _supervisor(max_restarts=3)
+        factory = FakeFactory(fail_first=99)  # never recovers
+        handle = FakeHandle(alive=False)
+        sup.register("flaky", handle, factory)
+        with pytest.raises(SupervisionError) as excinfo:
+            sup.ensure_alive(handle)
+        err = excinfo.value
+        assert err.actor_name == "flaky"
+        assert len(err.history) == 3
+        assert all(isinstance(e, RestartEvent) for e in err.history)
+        assert [e.attempt for e in err.history] == [0, 1, 2]
+        assert "factory down" in str(err)
+        # The budget stays spent: the next attempt fails immediately.
+        with pytest.raises(SupervisionError):
+            sup.ensure_alive(handle)
+
+    def test_dead_on_arrival_replacement_burns_attempt(self):
+        sup, _ = _supervisor(max_restarts=2)
+        factory = FakeFactory(dead_first=1)
+        handle = FakeHandle(alive=False)
+        sup.register("a", handle, factory)
+        replacement = sup.ensure_alive(handle)
+        assert replacement.is_alive()
+        history = sup.restart_history
+        assert len(history) == 2
+        assert history[0].reason == "replacement dead on arrival"
+
+    def test_failing_restart_hook_burns_attempt_then_recovers(self):
+        sup, _ = _supervisor(max_restarts=3)
+        factory = FakeFactory()
+        handle = FakeHandle(alive=False)
+        calls = []
+
+        def hook(new_handle):
+            calls.append(new_handle)
+            if len(calls) == 1:
+                raise RuntimeError("died during weight push")
+
+        sup.register("a", handle, factory, on_restart=hook)
+        replacement = sup.ensure_alive(handle)
+        assert replacement is factory.built[1]
+        assert len(calls) == 2
+        assert "on_restart failed" in sup.restart_history[0].reason
+
+    def test_stale_handle_maps_to_current_slot(self):
+        # Recovery from an old incarnation's failed ref must find the
+        # slot's CURRENT handle, not restart a second time.
+        sup, _ = _supervisor()
+        factory = FakeFactory()
+        stale = FakeHandle(alive=False)
+        sup.register("a", stale, factory)
+        replacement = sup.ensure_alive(stale)
+        assert sup.ensure_alive(stale) is replacement  # no double restart
+        assert sup.total_restarts == 1
+
+    def test_unsupervised_handle_raises_keyerror(self):
+        sup, _ = _supervisor()
+        with pytest.raises(KeyError):
+            sup.ensure_alive(FakeHandle())
+
+    def test_duplicate_slot_name_rejected(self):
+        sup, _ = _supervisor()
+        sup.register("a", FakeHandle(), FakeFactory())
+        with pytest.raises(RLGraphError):
+            sup.register("a", FakeHandle(), FakeFactory())
+
+    def test_probe_restarts_only_dead_slots(self):
+        sup, _ = _supervisor()
+        live = FakeHandle()
+        dead = FakeHandle(alive=False)
+        sup.register("live", live, FakeFactory())
+        sup.register("dead", dead, FakeFactory())
+        assert sup.probe() == ["dead"]
+        assert sup.handle("live") is live
+        assert sup.handle("dead").is_alive()
+        assert sup.probe() == []  # everyone healthy now
+
+    def test_healthy_time_earns_budget_back(self):
+        clock = FakeClock()
+        spec = SupervisionSpec(backoff=BackoffPolicy(max_restarts=1),
+                               reset_after=10.0)
+        sup = Supervisor(spec, clock=clock, sleep=clock.sleep)
+        factory = FakeFactory()
+        handle = FakeHandle(alive=False)
+        sup.register("a", handle, factory)
+        first = sup.ensure_alive(handle)        # spends the whole budget
+        clock.advance(11.0)                     # healthy past reset_after
+        assert sup.ensure_alive(first) is first  # probe resets attempts
+        first.alive = False
+        second = sup.ensure_alive(first)        # budget earned back
+        assert second.is_alive()
+        assert sup.total_restarts == 2
+
+    def test_restart_history_ordered_across_slots(self):
+        sup, clock = _supervisor()
+        a, b = FakeHandle(alive=False), FakeHandle(alive=False)
+        sup.register("a", a, FakeFactory())
+        sup.register("b", b, FakeFactory())
+        sup.ensure_alive(a)
+        clock.advance(1.0)
+        sup.ensure_alive(b)
+        assert [e.name for e in sup.restart_history] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# ReplicaFactory
+# ---------------------------------------------------------------------------
+class _PickleProbe:
+    def __init__(self, x, y=2):
+        self.x, self.y = x, y
+
+
+class TestReplicaFactory:
+    def test_is_picklable(self):
+        # Process restarts ship the recipe to a fresh worker process;
+        # the factory (spec + class + args) must survive pickling.
+        factory = ReplicaFactory(resolve_parallel_spec("process"),
+                                 _PickleProbe, 1, y=3)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.cls is _PickleProbe
+        assert clone.args == (1,)
+        assert clone.kwargs == {"y": 3}
+        assert clone.parallel.is_process
+
+    def test_builds_thread_actor(self):
+        factory = ReplicaFactory(resolve_parallel_spec(None), _PickleProbe, 5)
+        handle = factory()
+        try:
+            assert handle.is_alive()
+        finally:
+            raylite.kill(handle)
+
+
+# ---------------------------------------------------------------------------
+# The liveness signal on real raylite actors
+# ---------------------------------------------------------------------------
+class _Idler:
+    """Spawn-safe actor fixture (module-level by design)."""
+
+    def __init__(self, start=0):
+        self.value = start
+
+    def ping(self):
+        return self.value
+
+
+def _idler_factory():
+    return raylite.remote(_Idler).options(backend="process").remote()
+
+
+@pytest.mark.mp_timeout(120)
+class TestProcessLiveness:
+    def test_sigkill_flips_is_alive_and_fires_callback(self):
+        handle = _idler_factory()
+        try:
+            assert handle.is_alive()
+            died = threading.Event()
+            handle.add_death_callback(lambda h: died.set())
+            os.kill(handle.pid, signal.SIGKILL)
+            assert died.wait(timeout=10.0)
+            assert not handle.is_alive()
+        finally:
+            raylite.shutdown()
+
+    def test_deliberate_kill_does_not_fire_callback(self):
+        handle = _idler_factory()
+        try:
+            died = threading.Event()
+            handle.add_death_callback(lambda h: died.set())
+            raylite.kill(handle)
+            assert not died.wait(timeout=0.5)
+            assert not handle.is_alive()
+        finally:
+            raylite.shutdown()
+
+    def test_supervisor_restarts_sigkilled_process_actor(self):
+        spec = resolve_supervision_spec(
+            {"base_delay": 0.01, "max_delay": 0.1, "max_restarts": 3})
+        sup = Supervisor(spec)
+        handle = _idler_factory()
+        try:
+            sup.register("idler", handle, _idler_factory)
+            os.kill(handle.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while handle.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            replacement = sup.ensure_alive(handle)
+            assert replacement is not handle
+            assert replacement.is_alive()
+            assert raylite.get(replacement.ping.remote(), timeout=10.0) == 0
+            assert sup.total_restarts == 1
+        finally:
+            raylite.shutdown()
