@@ -9,7 +9,9 @@ halves of that path:
 * **update-step throughput** — one optimizer step over K variables,
   per-variable ablation (``optimize="none"``: ~10+ interpreted nodes
   per variable) vs the fused path (one ``flatcat`` + ONE multi-tensor
-  op over the coalesced slab).  Swept at K in {10, 100}.
+  op over the coalesced slab), and — when a C toolchain is present —
+  ``"native"`` (the fused plan lowered to C segments, including the
+  fused Adam kernel itself).  Swept at K in {10, 100}.
 * **weight push latency** — learner->actor weight sync through raylite
   actors: per-variable dict vs one flat ndarray, on the thread and the
   process backend (flat rides a single shared-memory block).
@@ -19,6 +21,7 @@ assert where the hardware can show them):
 
 * fused >= 2x per-variable update-step throughput at K=100 (pure
   single-thread compute — asserted on any core count);
+* native >= 2x fused at K=100 when a C toolchain is present;
 * flat push >= dict push on >= 2 cores per backend; on 1 core the
   process-backend ratio is recorded only (worker scheduling noise
   dominates sub-millisecond pushes there).
@@ -33,6 +36,7 @@ import pytest
 from repro import raylite
 from repro.agents import DQNAgent
 from repro.backend import functional as F
+from repro.backend import native
 from repro.components.optimizers import Adam
 from repro.core import Component, graph_fn, rlgraph_api
 from repro.core.graph_builder import build_graph
@@ -41,6 +45,8 @@ from repro.spaces import FloatBox, IntBox
 pytestmark = pytest.mark.mp_timeout(300)
 
 CORES = os.cpu_count() or 1
+UPDATE_LEVELS = ("none", "fused") + (
+    ("native",) if native.toolchain_available() else ())
 
 
 # ---------------------------------------------------------------------------
@@ -100,7 +106,7 @@ def test_update_step_throughput(benchmark, table):
 
     def sweep():
         for num_vars in (10, 100):
-            for optimize in ("none", "fused"):
+            for optimize in UPDATE_LEVELS:
                 rate, nodes = _update_rate(num_vars, optimize)
                 rates[(num_vars, optimize)] = rate
                 node_counts[(num_vars, optimize)] = nodes
@@ -111,7 +117,7 @@ def test_update_step_throughput(benchmark, table):
     rows = []
     for num_vars in (10, 100):
         base = rates[(num_vars, "none")]
-        for optimize in ("none", "fused"):
+        for optimize in UPDATE_LEVELS:
             rate = rates[(num_vars, optimize)]
             rows.append([num_vars, optimize, node_counts[(num_vars, optimize)],
                          f"{rate:.0f}", f"{rate / base:.2f}x"])
@@ -119,7 +125,7 @@ def test_update_step_throughput(benchmark, table):
           ["K vars", "path", "update nodes", "updates/s", "speedup"], rows)
     benchmark.extra_info.update(
         {f"k{num_vars}_{optimize}": round(rates[(num_vars, optimize)], 1)
-         for num_vars in (10, 100) for optimize in ("none", "fused")})
+         for num_vars in (10, 100) for optimize in UPDATE_LEVELS})
 
     # Graph-size collapse: O(10·K) -> O(1).
     assert node_counts[(100, "fused")] <= 20
@@ -131,6 +137,11 @@ def test_update_step_throughput(benchmark, table):
         f"got {speedup:.2f}x")
     assert rates[(10, "fused")] > rates[(10, "none")], \
         "fused path should win at K=10 already"
+    if "native" in UPDATE_LEVELS:
+        native_speedup = rates[(100, "native")] / rates[(100, "fused")]
+        assert native_speedup >= 2.0, (
+            f"native codegen must be >= 2x the fused executor at K=100, "
+            f"got {native_speedup:.2f}x")
 
 
 # ---------------------------------------------------------------------------

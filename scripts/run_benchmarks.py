@@ -4,7 +4,8 @@ BENCH_parallel.json + BENCH_learner.json.
 
 Runs the hot-path micro-benchmarks that track the repo's perf
 trajectory — `session.run` on the DQN update fetch-set (per optimize
-level), vector-env stepping, and prioritized-replay sampling — plus a
+level, including ``"native"`` C codegen when a toolchain is present),
+vector-env stepping, and prioritized-replay sampling — plus a
 thread-vs-process snapshot of Ape-X/IMPALA actor-side sample throughput
 on a CPU-bound env (the ISSUE-3 axis) and the learner-path snapshot
 (fused vs per-variable optimizer step, dict vs flat weight push — the
@@ -24,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -42,22 +44,32 @@ def _measure(fn, window: float = 0.3, rounds: int = 3) -> float:
     return best
 
 
+def _optimize_levels() -> tuple:
+    """The sweepable optimize levels on this host (``"native"`` needs a
+    C toolchain; without one the level would just re-measure fused)."""
+    from repro.backend import native
+
+    return ("none", "basic", "fused") + (
+        ("native",) if native.toolchain_available() else ())
+
+
 def bench_session_run() -> dict:
-    """DQN update fetch-set throughput per optimize level (batch 8)."""
+    """DQN update fetch-set throughput per optimize level (the E10
+    configuration, so this snapshot tracks that bench's series)."""
     import numpy as np
     from repro.agents import DQNAgent
     from repro.spaces import FloatBox, IntBox
 
     results = {}
-    for optimize in ("none", "basic", "fused"):
+    for optimize in _optimize_levels():
         agent = DQNAgent(
             state_space=FloatBox(shape=(4,)), action_space=IntBox(2),
-            network_spec=[{"type": "dense", "units": 32,
+            network_spec=[{"type": "dense", "units": 16,
                            "activation": "relu"},
-                          {"type": "dense", "units": 32,
+                          {"type": "dense", "units": 16,
                            "activation": "relu"}],
             prioritized_replay=True, dueling=True, double_q=True,
-            batch_size=8, memory_capacity=512, seed=11, optimize=optimize)
+            batch_size=4, memory_capacity=512, seed=11, optimize=optimize)
         rng = np.random.default_rng(0)
         agent.observe_batch(
             states=rng.standard_normal((128, 4)).astype(np.float32),
@@ -65,11 +77,14 @@ def bench_session_run() -> dict:
             rewards=rng.standard_normal(128).astype(np.float32),
             terminals=rng.random(128) < 0.1,
             next_states=rng.standard_normal((128, 4)).astype(np.float32))
-        batch = np.asarray(8)
+        batch = np.asarray(4)
         results[optimize] = round(_measure(
             lambda: agent.call_api("update_from_memory", batch)), 1)
     results["fused_speedup_vs_none"] = round(
         results["fused"] / results["none"], 3)
+    if "native" in results:
+        results["native_speedup_vs_fused"] = round(
+            results["native"] / results["fused"], 3)
     return results
 
 
@@ -250,7 +265,8 @@ def bench_learner_path() -> dict:
     target = np.zeros(16, np.float32)
     update_rates = {}
     update_nodes = {}
-    for optimize in ("none", "fused"):
+    levels = tuple(lv for lv in _optimize_levels() if lv != "basic")
+    for optimize in levels:
         problem = KVar(Adam(learning_rate=1e-3), num_vars=100)
         built = build_graph(problem, {"target": FloatBox(shape=(16,))},
                             seed=1, optimize=optimize)
@@ -292,6 +308,10 @@ def bench_learner_path() -> dict:
     summary["fused_update_speedup"] = round(
         update_rates["fused"] / update_rates["none"], 3) \
         if update_rates["none"] else None
+    if "native" in update_rates:
+        summary["native_update_speedup_vs_fused"] = round(
+            update_rates["native"] / update_rates["fused"], 3) \
+            if update_rates["fused"] else None
     summary["flat_push_speedup"] = round(
         push_rates["flat"] / push_rates["dict"], 3) \
         if push_rates["dict"] else None
@@ -365,8 +385,13 @@ def main(argv=None) -> int:
                         help="skip the policy-serving snapshot")
     args = parser.parse_args(argv)
 
+    from repro.backend import native
+
     host = {"python": platform.python_version(),
-            "platform": platform.platform()}
+            "platform": platform.platform(),
+            "cores": os.cpu_count() or 1,
+            "optimize_levels": list(_optimize_levels()),
+            "native_toolchain": native.toolchain_available()}
     summary = {
         **host,
         "session_run_dqn_update_per_s": bench_session_run(),

@@ -32,6 +32,13 @@ class Agent:
     Subclasses implement :meth:`build_root` (component composition) and
     :meth:`input_spaces` (spaces for the root API), then expose their
     algorithm through the generic API below.
+
+    ``optimize`` selects the graph-compiler level for every session the
+    agent builds: ``"none"`` (paper-faithful interpreter), ``"basic"``
+    (fold/CSE/DNE + slot executor + buffer donation), ``"fused"``
+    (default; adds elementwise fusion), or ``"native"`` (lowers the
+    fused plan to compiled C segments — falls back to ``"fused"`` with
+    a one-time warning when no C toolchain is available).
     """
 
     def __init__(self, state_space, action_space, backend: str = XGRAPH,

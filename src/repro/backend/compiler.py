@@ -26,12 +26,26 @@ Pass pipeline (levels are cumulative):
        kernel (:func:`repro.backend.kernels.build_fused_kernel`), so a
        whole arithmetic chain costs one executor step.
 
+``native``
+    Same passes as ``fused``; execution is then handed to the native C
+    codegen backend (:mod:`repro.backend.native`), which compiles the
+    whole slot-slab plan into C segments called with zero Python
+    dispatch. Falls back to ``fused`` when no C toolchain is present.
+
 All levels finish with:
 
     5. **Slot allocation** — every surviving value gets an index into a
        preallocated value slab; argument slot tuples are precomputed, and
        slots are reused once their last consumer has run (register
        allocation by liveness), keeping the slab small.
+    6. **Memory planning (buffer donation)** — an elementwise (or fused)
+       step one of whose inputs is a fresh, non-aliased buffer *dying at
+       that step* writes its output in place into that buffer through an
+       out-form kernel (:data:`repro.backend.kernels.OUT_KERNELS`)
+       instead of allocating. Feeds, fetches, constants, and anything
+       aliasing variable state are never donated; a runtime shape/dtype
+       guard keeps the in-place write exact, so results stay bitwise
+       identical to the interpreter.
 
 Correctness invariants:
 
@@ -48,7 +62,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend import kernels
+from repro.backend import kernels, variables
 from repro.backend.graph import Node
 from repro.backend.ops import OPS
 from repro.utils.errors import RLGraphError
@@ -81,7 +95,39 @@ _NON_MUTATING_STATEFUL = frozenset({"read_var", "random_uniform",
 # Don't bake folded constants bigger than this into the plan (bytes).
 _FOLD_SIZE_LIMIT = 1 << 20
 
-OPTIMIZE_LEVELS = ("none", "basic", "fused")
+OPTIMIZE_LEVELS = ("none", "basic", "fused", "native")
+
+# --- memory planning (buffer donation) --------------------------------------
+# Ops whose forward ALWAYS returns a freshly allocated array that aliases
+# neither its inputs nor variable state. Only values produced by these
+# ops may have their buffer donated as an in-place output. View-returning
+# ops (reshape/transpose/getitem/identity/...), ops that may pass an
+# input through unchanged (unbroadcast_like_op, single-input flatcat),
+# and state-returning ops (read_var/assign) are deliberately absent.
+_FRESH_OUTPUT_OPS = frozenset({
+    "add", "sub", "mul", "div", "neg", "mod", "power",
+    "exp", "log", "sqrt", "square", "abs", "sign", "floor",
+    "maximum", "minimum", "clip",
+    "relu", "tanh", "sigmoid", "softplus",
+    "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
+    "logical_and", "logical_or", "logical_not",
+    "cast", "where", "ones_like",
+    "matmul", "reduce_sum", "reduce_mean", "reduce_max", "reduce_min",
+    "argmax", "cumsum", "one_hot", "gather", "concat", "stack", "tile",
+    "take_index", "zeros2d", "dyn_arange", "anchor", "getitem_grad",
+    "gather_grad", "random_uniform", "random_normal", "conv2d",
+    "searchsorted", "flip",
+})
+
+# Consumer ops guaranteed not to create an alias of their *inputs* that
+# survives past the consuming step (they read, compute fresh, and drop
+# the argument). A buffer is only donatable when every consumer of its
+# value is alias-safe — otherwise a still-live view of the buffer could
+# observe the in-place overwrite.
+_ALIAS_SAFE_CONSUMERS = _FRESH_OUTPUT_OPS | frozenset({
+    "assign", "assign_add", "scatter_update", "scatter_add",
+    "size_of", "shape_of", "fused_sgd", "fused_adam", "fused_rmsprop",
+})
 
 
 class CompileStats:
@@ -89,7 +135,8 @@ class CompileStats:
 
     __slots__ = ("nodes_total", "nodes_folded", "nodes_cse", "nodes_dead",
                  "nodes_fused", "fused_kernels", "num_steps", "slab_slots",
-                 "slab_slots_saved")
+                 "slab_slots_saved", "buffers_donated", "bytes_saved",
+                 "native_segments", "native_steps", "native_py_steps")
 
     def __init__(self):
         self.nodes_total = 0
@@ -101,6 +148,15 @@ class CompileStats:
         self.num_steps = 0
         self.slab_slots = 0
         self.slab_slots_saved = 0
+        # Memory planning: steps writing in place into a dying input
+        # buffer, and the statically-known bytes of allocation that
+        # avoids per run (unknown-shape donations count as 0 bytes).
+        self.buffers_donated = 0
+        self.bytes_saved = 0
+        # Native codegen (filled in by backend/native.py at lowering).
+        self.native_segments = 0
+        self.native_steps = 0
+        self.native_py_steps = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -144,22 +200,29 @@ class _Step:
     """One executor step: precomputed forward + slot index arrays.
 
     For a fused group, ``instructions`` holds the member ops as
-    ``(forward, attrs, refs)`` so the plan driver can inline them with
-    local temporaries; ``forward`` is then the standalone fused kernel
-    used by the non-codegen fallback path.
+    ``(op, forward, attrs, refs)`` so the plan driver can inline them
+    with local temporaries; ``forward`` is then the standalone fused
+    kernel used by the non-codegen fallback path. ``op`` is the op name
+    ("fused" for groups — the native backend reads member ops from
+    ``instructions``). ``donate_slot``/``donate_fn`` carry the memory
+    plan: when set, the driver writes the step result in place into the
+    (dying) buffer at ``donate_slot`` via the out-form kernel.
     """
 
-    __slots__ = ("forward", "attrs", "arg_slots", "out_slot", "name",
-                 "instructions")
+    __slots__ = ("op", "forward", "attrs", "arg_slots", "out_slot", "name",
+                 "instructions", "donate_slot", "donate_fn")
 
-    def __init__(self, forward, attrs, arg_slots, out_slot, name,
-                 instructions=None):
+    def __init__(self, op, forward, attrs, arg_slots, out_slot, name,
+                 instructions=None, donate_slot=None, donate_fn=None):
+        self.op = op
         self.forward = forward
         self.attrs = attrs
         self.arg_slots = arg_slots
         self.out_slot = out_slot
         self.name = name
         self.instructions = instructions
+        self.donate_slot = donate_slot
+        self.donate_fn = donate_fn
 
 
 # Plans beyond this many steps fall back to the interpreted step loop
@@ -180,13 +243,43 @@ class CompiledPlan:
         self._fetch_slots = fetch_slots
         self.steps = steps
         self.stats = stats
+        self.codegen_source: Optional[str] = None
         self._driver = (self._build_driver()
                         if len(steps) <= _DRIVER_STEP_LIMIT else None)
+
+    def _emit_call(self, lines, namespace, step, j, args, forward, attrs,
+                   tag=""):
+        """Emit one (possibly donation-guarded) step-result assignment.
+
+        A donated step checks, per run, that the dying input buffer
+        matches the shape/dtype the result had last run (recorded
+        adaptively in the ``_g{j}`` guard cell) before writing in place;
+        any mismatch — first run, changed batch size, non-array result —
+        falls back to the allocating forward and re-records.
+        """
+        namespace[f"_f{j}{tag}"] = forward
+        namespace[f"_a{j}{tag}"] = attrs
+        out = step.out_slot
+        if step.donate_fn is None:
+            lines.append(f"    slab[{out}] = _f{j}{tag}([{args}], _a{j}{tag})")
+            return
+        namespace[f"_o{j}"] = step.donate_fn
+        namespace[f"_g{j}"] = [None]
+        lines.append(f"    _d = slab[{step.donate_slot}]")
+        lines.append(f"    _e = _g{j}[0]")
+        lines.append(f"    if _e is not None and _d.__class__ is _nd "
+                     f"and _d.shape == _e[0] and _d.dtype == _e[1]:")
+        lines.append(f"        slab[{out}] = _o{j}([{args}], _a{j}{tag}, _d)")
+        lines.append("    else:")
+        lines.append(f"        _r = _f{j}{tag}([{args}], _a{j}{tag})")
+        lines.append("        if _r.__class__ is _nd:")
+        lines.append(f"            _g{j}[0] = (_r.shape, _r.dtype)")
+        lines.append(f"        slab[{out}] = _r")
 
     def _build_driver(self):
         """Generate one flat function executing every step against the
         slab — no step loop, no per-step argument-list comprehension."""
-        namespace: Dict[str, Any] = {}
+        namespace: Dict[str, Any] = {"_nd": np.ndarray}
         lines = ["def _driver(slab):"]
         for j, step in enumerate(self.steps):
             if step.instructions is not None:
@@ -197,24 +290,28 @@ class CompiledPlan:
                 # allocator can recycle their buffers (refs never cross
                 # groups).
                 last = len(step.instructions) - 1
-                for k, (forward, attrs, refs) in enumerate(step.instructions):
-                    namespace[f"_f{j}_{k}"] = forward
-                    namespace[f"_a{j}_{k}"] = attrs
+                for k, (_op, forward, attrs, refs) in enumerate(
+                        step.instructions):
                     args = ", ".join(
                         f"slab[{step.arg_slots[r]}]" if kind == "arg"
                         else f"t{r}"
                         for kind, r in refs)
-                    target = (f"slab[{step.out_slot}]" if k == last
-                              else f"t{k}")
-                    lines.append(
-                        f"    {target} = _f{j}_{k}([{args}], _a{j}_{k})")
+                    if k == last:
+                        self._emit_call(lines, namespace, step, j, args,
+                                        forward, attrs, tag=f"_{k}")
+                    else:
+                        namespace[f"_f{j}_{k}"] = forward
+                        namespace[f"_a{j}_{k}"] = attrs
+                        lines.append(
+                            f"    t{k} = _f{j}_{k}([{args}], _a{j}_{k})")
                 continue
-            namespace[f"_f{j}"] = step.forward
-            namespace[f"_a{j}"] = step.attrs
             args = ", ".join(f"slab[{i}]" for i in step.arg_slots)
-            lines.append(f"    slab[{step.out_slot}] = _f{j}([{args}], _a{j})")
+            self._emit_call(lines, namespace, step, j, args, step.forward,
+                            step.attrs)
         lines.append("    return slab")
-        exec(compile("\n".join(lines), "<compiled-plan>", "exec"), namespace)
+        self.codegen_source = "\n".join(lines)
+        exec(compile(self.codegen_source, "<compiled-plan>", "exec"),
+             namespace)
         return namespace["_driver"]
 
     def run(self, feed_values: Dict[int, Any]) -> List[Any]:
@@ -231,7 +328,17 @@ class CompiledPlan:
         else:
             for forward, attrs, arg_slots, out_slot in self._steps:
                 slab[out_slot] = forward([slab[i] for i in arg_slots], attrs)
-        return [slab[s] for s in self._fetch_slots]
+        # Fetches that alias live variable storage (a bare read_var, or a
+        # view of one) are snapshot-copied: later in-place mutation —
+        # assigns, donated buffers — must never rewrite a value already
+        # handed to the caller.
+        out = []
+        for s in self._fetch_slots:
+            v = slab[s]
+            if isinstance(v, np.ndarray) and variables.aliases_state(v):
+                v = v.copy()
+            out.append(v)
+        return out
 
 
 def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
@@ -240,10 +347,13 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
 
     ``optimize`` selects the pass set: ``"basic"`` runs folding + CSE +
     dead-node elimination, ``"fused"`` additionally fuses elementwise
-    chains. (``"none"`` never reaches this function — the Session keeps
-    the plain interpreter for it.)
+    chains, ``"native"`` compiles with the ``"fused"`` passes (the
+    native lowering itself lives in :mod:`repro.backend.native`, which
+    wraps the plan this function returns). All compiled levels finish
+    with the memory-planning pass (buffer donation). (``"none"`` never
+    reaches this function — the Session keeps the plain interpreter.)
     """
-    if optimize not in ("basic", "fused"):
+    if optimize not in ("basic", "fused", "native"):
         raise RLGraphError(f"Unknown optimize level {optimize!r}")
     stats = CompileStats()
     stats.nodes_total = len(plan)
@@ -359,7 +469,7 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
     # group reads them, so delaying them to the root's schedule position
     # can never violate an ordering constraint.
     members: Dict[int, List[Node]] = {}
-    if optimize == "fused":
+    if optimize in ("fused", "native"):
         consumers: Dict[int, int] = {}
         for node in live_plan:
             for inp in node.inputs:
@@ -445,6 +555,27 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
             for inp in member.inputs:
                 last_use[resolve(inp.id)] = index
 
+    # -- pass 6 prep: memory planning (buffer donation) ---------------------
+    # alias_safe[value-id]: every consumer of the value is guaranteed not
+    # to let an alias of its buffer outlive the consuming step. A fused
+    # group leaks an argument alias only through its root (member temps
+    # die inside the kernel), so the group is safe iff its root
+    # allocates fresh.
+    alias_safe: Dict[int, bool] = {}
+    for node in schedule:
+        if node.id in members:
+            group = members[node.id]
+            internal = {m.id for m in group}
+            ok = group[-1].op in _FRESH_OUTPUT_OPS
+            arg_ids = [resolve(i.id) for m in group for i in m.inputs]
+            arg_ids = [i for i in arg_ids if i not in internal]
+        else:
+            ok = node.op in _ALIAS_SAFE_CONSUMERS
+            arg_ids = [resolve(i.id) for i in node.inputs]
+        for iid in arg_ids:
+            alias_safe[iid] = alias_safe.get(iid, True) and ok
+
+    fresh_value: Dict[int, bool] = {}
     free_slots: List[int] = []
     steps: List[_Step] = []
     total_outputs = 0
@@ -467,23 +598,54 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
                             ext_ids.append(iid)
                         refs.append(("arg", ext_ids.index(iid)))
                 spec = OPS[member.op]
-                instructions.append((spec.forward, member.attrs, refs))
+                instructions.append((member.op, spec.forward, member.attrs,
+                                     refs))
                 local_of[member.id] = j
+            op = "fused"
             forward = kernels.build_fused_kernel(instructions)
             arg_slots = tuple(slot_of[i] for i in ext_ids)
             attrs: Dict[str, Any] = {}
             name = f"fused[{'+'.join(m.op for m in group)}]"
             fused_instructions = instructions
+            result_op = group[-1].op
+            candidate_ids = ext_ids
         else:
             spec = OPS.get(node.op)
             if spec is None:
                 raise RLGraphError(
                     f"Unknown op {node.op!r} for node {node.name}")
+            op = node.op
             forward = spec.forward
             arg_slots = tuple(slot_of[resolve(i.id)] for i in node.inputs)
             attrs = node.attrs
             name = node.name
             fused_instructions = None
+            result_op = node.op
+            candidate_ids = [resolve(i.id) for i in node.inputs]
+        # Memory planning: donate a dying, fresh, alias-free input buffer
+        # as the in-place output (runtime shape/dtype guard in the
+        # driver keeps it exact across changing batch sizes).
+        donate_slot = donate_fn = None
+        out_fn = kernels.OUT_KERNELS.get(result_op)
+        if out_fn is not None:
+            for vid in candidate_ids:
+                slot = slot_of.get(vid)
+                if (slot is None or slot in persistent
+                        or not fresh_value.get(vid)
+                        or not alias_safe.get(vid, False)
+                        or last_use.get(vid) != index):
+                    continue
+                donate_slot, donate_fn = slot, out_fn
+                stats.buffers_donated += 1
+                src = nodes_by_id.get(vid)
+                if (src is not None and src.dtype is not None
+                        and src.shape is not None
+                        and all(d is not None for d in src.shape)):
+                    stats.bytes_saved += int(
+                        np.prod(src.shape, dtype=np.int64)
+                        * np.dtype(src.dtype).itemsize)
+                break
+        fresh_value[node_id] = result_op in _FRESH_OUTPUT_OPS
         total_outputs += 1
         if free_slots:
             out_slot = free_slots.pop()
@@ -493,8 +655,9 @@ def compile_plan(plan: Sequence[Node], fetches: Sequence[Node],
         slot_of[node_id] = out_slot
         if node_id in resolved_fetch_ids:
             persistent.add(out_slot)  # fetched values must survive the run
-        steps.append(_Step(forward, attrs, arg_slots, out_slot, name,
-                           instructions=fused_instructions))
+        steps.append(_Step(op, forward, attrs, arg_slots, out_slot, name,
+                           instructions=fused_instructions,
+                           donate_slot=donate_slot, donate_fn=donate_fn))
         # Free slots whose value was read for the last time at this step.
         for value_id, last in list(last_use.items()):
             if last == index:

@@ -1,0 +1,1601 @@
+"""Native C codegen backend: whole-plan execution with zero Python dispatch.
+
+``optimize="native"`` lowers a :class:`~repro.backend.compiler.CompiledPlan`
+one level further: the slot-slab step list is split into *segments* —
+maximal runs of steps whose ops fall inside the native vocabulary
+(elementwise chains and fused groups, reductions, small matmuls, shape
+copies, one-hot/gather/concat, and the multi-tensor fused optimizer ops
+from the flat-parameter learner path) — and each segment is emitted as one
+shape-specialized C function. A segment executes with a single foreign
+call: every operand is a raw pointer in a per-segment pointer table, so
+the Python interpreter is not entered between its steps at all. Steps
+outside the vocabulary stay Python and bridge segments through the slab.
+
+Design notes:
+
+* **Lazy, feed-specialized builds.** Shapes are baked into the C source,
+  so lowering happens at the first ``run()`` per feed-shape signature (a
+  probe run records every step's shapes/dtypes and returns the correct
+  fetch values). Up to :data:`_MAX_BUILDS` signatures are kept; beyond
+  that, unseen signatures execute on the wrapped compiled plan.
+* **Pointer table.** Entries are *static* (persistent per-step output
+  buffers and contiguous constant copies, resolved once), *var* (live
+  variable storage, re-resolved when :func:`repro.backend.variables
+  .storage_epoch` changes), or *dyn* (slab values produced by Python
+  steps or other segments, resolved per run behind a shape/dtype guard).
+  A failed guard downgrades just that segment to its recorded Python
+  steps for that run — downstream segments guard the same slots, so
+  shape drift cascades correctly.
+* **Caching.** The generated source is deterministic, and the compiled
+  shared object is cached on disk keyed by the source's MD5, so repeat
+  processes skip the C compiler entirely.
+* **Graceful degradation.** No working C toolchain (or a failed
+  compile) falls back to the ``"fused"``-level plan with a one-time
+  warning; results are unchanged.
+* **Numerics.** Native arithmetic follows NumPy's result dtypes but
+  uses libm scalar kernels, so values match the interpreter to floating
+  tolerance rather than bitwise (the parity matrix checks native cells
+  with ``allclose``; the bitwise invariant is asserted at ``"basic"``).
+  NaN propagation through ``maximum``/``minimum``/``relu`` follows C
+  comparison semantics, not NumPy's NaN-poisoning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend import variables
+from repro.utils.errors import RLGraphError
+
+# Feed-shape signatures lowered per plan before falling back to the
+# wrapped compiled plan for unseen signatures.
+_MAX_BUILDS = 4
+
+# Matmuls up to this many multiply-adds are emitted as native loops;
+# larger ones stay Python steps so they keep hitting BLAS.
+_MATMUL_NATIVE_LIMIT = 1 << 16
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno"]
+
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery
+# ---------------------------------------------------------------------------
+_TOOLCHAIN: Dict[str, Any] = {"checked": False, "cc": None}
+_WARNED = {"toolchain": False, "compile": False}
+
+
+def _probe_cc(cc: str) -> bool:
+    """Verify ``cc`` can produce a loadable shared object."""
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            c_path = os.path.join(tmp, "probe.c")
+            so_path = os.path.join(tmp, "probe.so")
+            with open(c_path, "w") as fh:
+                fh.write("int repro_native_probe(void) { return 42; }\n")
+            res = subprocess.run(
+                [cc, "-O1", "-fPIC", "-shared", c_path, "-o", so_path],
+                capture_output=True, timeout=60)
+            return res.returncode == 0 and os.path.exists(so_path)
+    except Exception:
+        return False
+
+
+def find_cc() -> Optional[str]:
+    """Path of a working C compiler (cached per process), or None."""
+    if _TOOLCHAIN["checked"]:
+        return _TOOLCHAIN["cc"]
+    _TOOLCHAIN["checked"] = True
+    candidates = []
+    if os.environ.get("CC"):
+        candidates.append(os.environ["CC"])
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path and _probe_cc(path):
+            _TOOLCHAIN["cc"] = path
+            break
+    return _TOOLCHAIN["cc"]
+
+
+def toolchain_available() -> bool:
+    return find_cc() is not None
+
+
+def warn_no_toolchain() -> None:
+    """One-time warning that ``optimize='native'`` degrades to ``'fused'``."""
+    if not _WARNED["toolchain"]:
+        _WARNED["toolchain"] = True
+        warnings.warn(
+            "optimize='native' requested but no C toolchain is available; "
+            "executing with the 'fused' plan instead",
+            RuntimeWarning, stacklevel=3)
+
+
+def _warn_compile_failed() -> None:
+    if not _WARNED["compile"]:
+        _WARNED["compile"] = True
+        warnings.warn(
+            "native codegen failed to compile; executing with the 'fused' "
+            "plan instead", RuntimeWarning, stacklevel=3)
+
+
+def _cache_dir() -> str:
+    path = os.environ.get("REPRO_NATIVE_CACHE")
+    if not path:
+        path = os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                            "native")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Shared-object build + load
+# ---------------------------------------------------------------------------
+class _SharedLib:
+    """A loaded plan library: one ``void segN(char **)`` per segment.
+
+    Prefers cffi (ABI mode, per-plan FFI instance so cdefs never clash
+    across plans); falls back to ctypes.
+    """
+
+    def __init__(self, path: str, seg_names: List[str]):
+        self.path = path
+        self.fns: Dict[str, Any] = {}
+        try:
+            import cffi
+            ffi = cffi.FFI()
+            ffi.cdef("".join(f"void {n}(char **);" for n in seg_names))
+            lib = ffi.dlopen(path)
+            self._ffi, self._lib = ffi, lib
+            for n in seg_names:
+                self.fns[n] = getattr(lib, n)
+            self.cast_ptr = lambda addr: ffi.cast("char **", addr)
+        except Exception:
+            import ctypes
+            lib = ctypes.CDLL(path)
+            self._lib = lib
+            for n in seg_names:
+                fn = getattr(lib, n)
+                fn.argtypes = [ctypes.c_void_p]
+                fn.restype = None
+                self.fns[n] = fn
+            self.cast_ptr = lambda addr: addr
+
+
+def _build_library(source: str,
+                   seg_names: List[str]) -> Tuple[Optional[_SharedLib], bool]:
+    """Compile (or load from the disk cache) the plan library.
+
+    Returns ``(lib_or_None, cache_hit)``.
+    """
+    cc = find_cc()
+    if cc is None:
+        return None, False
+    digest = hashlib.md5(source.encode()).hexdigest()
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"plan_{digest}.so")
+    hit = os.path.exists(so_path)
+    if not hit:
+        c_path = os.path.join(cache, f"plan_{digest}.c")
+        tmp_so = f"{so_path}.tmp{os.getpid()}"
+        try:
+            with open(c_path, "w") as fh:
+                fh.write(source)
+            res = subprocess.run([cc] + _CFLAGS + [c_path, "-o", tmp_so,
+                                                   "-lm"],
+                                 capture_output=True, timeout=300)
+            if res.returncode != 0:
+                return None, False
+            os.replace(tmp_so, so_path)  # concurrent builders race benignly
+        except Exception:
+            return None, False
+    try:
+        return _SharedLib(so_path, seg_names), hit
+    except Exception:
+        return None, hit
+
+
+# ---------------------------------------------------------------------------
+# Dtype / shape helpers
+# ---------------------------------------------------------------------------
+_CTYPES = {
+    np.dtype(np.float32): "float",
+    np.dtype(np.float64): "double",
+    np.dtype(np.int64): "long long",
+    np.dtype(np.int32): "int",
+    np.dtype(np.bool_): "unsigned char",
+    np.dtype(np.uint8): "unsigned char",
+}
+
+
+def _ct(dtype) -> Optional[str]:
+    try:
+        return _CTYPES.get(np.dtype(dtype))
+    except TypeError:
+        return None
+
+
+def _meta(value):
+    """(shape, dtype, c_contiguous) for an ndarray, else None.
+
+    NumPy scalars (what 0-d reductions and 0-d arithmetic return) count
+    as 0-d arrays — the pointer-table resolver materializes them."""
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype, value.flags.c_contiguous)
+    if isinstance(value, np.generic):
+        return ((), value.dtype, True)
+    return None
+
+
+def _numel(shape) -> int:
+    return int(np.prod(shape, dtype=np.int64))
+
+
+def _estrides(shape) -> List[int]:
+    """C-order element strides."""
+    out = [0] * len(shape)
+    acc = 1
+    for i in range(len(shape) - 1, -1, -1):
+        out[i] = acc
+        acc *= int(shape[i])
+    return out
+
+
+def _bstrides(shape, out_shape) -> Optional[List[int]]:
+    """Element strides of ``shape`` broadcast (right-aligned) against
+    ``out_shape``; 0 on broadcast dims; None if not broadcastable."""
+    shape = tuple(int(d) for d in shape)
+    out_shape = tuple(int(d) for d in out_shape)
+    if len(shape) > len(out_shape):
+        return None
+    es = _estrides(shape)
+    pad = len(out_shape) - len(shape)
+    full = [0] * pad
+    for i, d in enumerate(shape):
+        if d == out_shape[pad + i]:
+            full.append(0 if d == 1 else es[i])
+        elif d == 1:
+            full.append(0)
+        else:
+            return None
+    return full
+
+
+def _flit(value, double: bool = False) -> str:
+    """C literal for a float constant (f32 by default, baked exactly)."""
+    if double:
+        text = f"{float(value):.17g}"
+        suffix = ""
+    else:
+        text = f"{float(np.float32(value)):.9g}"
+        suffix = "f"
+    if "." not in text and "e" not in text and "n" not in text:
+        text += ".0"
+    return text + suffix
+
+
+def _lit(value, ctype: str) -> str:
+    if ctype == "float":
+        return _flit(value)
+    if ctype == "double":
+        return _flit(value, double=True)
+    suffix = "LL" if ctype == "long long" else ""
+    return f"{int(value)}{suffix}"
+
+
+def _label(name: str) -> str:
+    """A step name made safe for a C comment."""
+    return str(name).replace("/*", "").replace("*/", "")
+
+
+# ---------------------------------------------------------------------------
+# Elementwise expression table
+# ---------------------------------------------------------------------------
+# Ops the C emitter can express as one scalar expression (the native
+# mirror of the compiler's FUSABLE set minus ``mod``, whose np.mod sign
+# semantics differ from C fmod).
+_EW_OPS = frozenset({
+    "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt",
+    "square", "abs", "sign", "floor", "maximum", "minimum", "clip",
+    "relu", "tanh", "sigmoid", "softplus",
+    "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
+    "logical_and", "logical_or", "logical_not",
+    "cast", "where", "identity", "stop_gradient", "ones_like",
+})
+
+_FLOAT_CTS = ("float", "double")
+
+
+def _math(name: str, ctype: str) -> str:
+    return name + ("f" if ctype == "float" else "")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) \
+        and not isinstance(value, bool)
+
+
+def _member_expr(op: str, attrs: Dict[str, Any], args: List[str],
+                 in_dts: List[Any], out_dt) -> Optional[str]:
+    """C scalar expression for one elementwise op, or None."""
+    ct = _ct(out_dt)
+    if ct is None:
+        return None
+
+    def c(expr: str) -> str:
+        return f"({ct})({expr})"
+
+    if op in ("add", "sub", "mul"):
+        sym = {"add": "+", "sub": "-", "mul": "*"}[op]
+        return f"({c(args[0])} {sym} {c(args[1])})"
+    if op == "div":
+        if all(np.issubdtype(np.dtype(d), np.integer) for d in in_dts):
+            # np int/int -> float64 division then astype(float32).
+            return f"(float)((double)({args[0]}) / (double)({args[1]}))"
+        if ct not in _FLOAT_CTS:
+            return None
+        return f"({c(args[0])} / {c(args[1])})"
+    if op == "neg":
+        return f"(-{c(args[0])})"
+    if op == "power":
+        p = attrs.get("p")
+        if not _is_number(p):
+            return None
+        if float(p) == 2.0:
+            return f"({c(args[0])} * {c(args[0])})"
+        if ct not in _FLOAT_CTS:
+            return None
+        return f"{_math('pow', ct)}({c(args[0])}, {_lit(p, ct)})"
+    if op in ("exp", "log", "sqrt", "tanh"):
+        if ct not in _FLOAT_CTS:
+            return None
+        return f"{_math(op, ct)}({c(args[0])})"
+    if op == "square":
+        return f"({c(args[0])} * {c(args[0])})"
+    if op == "abs":
+        if ct in _FLOAT_CTS:
+            return f"{_math('fabs', ct)}({c(args[0])})"
+        return f"({c(args[0])} < 0 ? -{c(args[0])} : {c(args[0])})"
+    if op == "sign":
+        return (f"({c(args[0])} > 0 ? ({ct})1 : "
+                f"({c(args[0])} < 0 ? ({ct})-1 : ({ct})0))")
+    if op == "floor":
+        if ct in _FLOAT_CTS:
+            return f"{_math('floor', ct)}({c(args[0])})"
+        return c(args[0])
+    if op in ("maximum", "minimum"):
+        sym = ">" if op == "maximum" else "<"
+        return (f"({c(args[0])} {sym} {c(args[1])} ? "
+                f"{c(args[0])} : {c(args[1])})")
+    if op == "clip":
+        lo, hi = attrs.get("lo"), attrs.get("hi")
+        if not (_is_number(lo) and _is_number(hi)):
+            return None
+        lo_l, hi_l = _lit(lo, ct), _lit(hi, ct)
+        return (f"({c(args[0])} < {lo_l} ? {lo_l} : "
+                f"({c(args[0])} > {hi_l} ? {hi_l} : {c(args[0])}))")
+    if op == "relu":
+        return f"({c(args[0])} > 0 ? {c(args[0])} : ({ct})0)"
+    if op == "sigmoid":
+        if ct not in _FLOAT_CTS:
+            return None
+        one = _lit(1, ct) if ct not in _FLOAT_CTS else \
+            ("1.0f" if ct == "float" else "1.0")
+        return f"({one} / ({one} + {_math('exp', ct)}(-{c(args[0])})))"
+    if op == "softplus":
+        if ct not in _FLOAT_CTS:
+            return None
+        e, l1p = _math("exp", ct), _math("log1p", ct)
+        x = c(args[0])
+        return f"({x} > 0 ? {x} + {l1p}({e}(-{x})) : {l1p}({e}({x})))"
+    if op in ("equal", "not_equal", "greater", "greater_equal", "less",
+              "less_equal"):
+        try:
+            common = _ct(np.result_type(*[np.dtype(d) for d in in_dts]))
+        except TypeError:
+            common = None
+        if common is None:
+            return None
+        sym = {"equal": "==", "not_equal": "!=", "greater": ">",
+               "greater_equal": ">=", "less": "<", "less_equal": "<="}[op]
+        return (f"(({common})({args[0]}) {sym} ({common})({args[1]}))")
+    if op == "logical_and":
+        return f"((({args[0]}) != 0) && (({args[1]}) != 0))"
+    if op == "logical_or":
+        return f"((({args[0]}) != 0) || (({args[1]}) != 0))"
+    if op == "logical_not":
+        return f"(({args[0]}) == 0)"
+    if op == "cast":
+        if np.dtype(out_dt) == np.dtype(np.bool_):
+            return f"(({args[0]}) != 0)"
+        return c(args[0])
+    if op == "where":
+        return f"(({args[0]}) != 0 ? {c(args[1])} : {c(args[2])})"
+    if op in ("identity", "stop_gradient"):
+        return c(args[0])
+    if op == "ones_like":
+        return f"({ct})1"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# C emission
+# ---------------------------------------------------------------------------
+class _W:
+    """Line writer with a per-block unique-id counter (deterministic, so
+    the generated source — and the disk-cache key — is stable)."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._uid = 0
+
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def __call__(self, line: str = ""):
+        self.lines.append(line)
+
+
+def _emit_elementwise(w: _W, name: str, members, ext_metas, arg_idx,
+                      out_idx: int, out_meta) -> None:
+    """One loop nest computing a chain of elementwise members with scalar
+    temporaries (the native analogue of the fused kernel). Broadcasting
+    is stride-0 indexing; a member whose natural shape is smaller than
+    the final output is recomputed per broadcast position, which is
+    value-identical for pure elementwise ops."""
+    out_shape = tuple(int(d) for d in out_meta[0])
+    out_ct = _ct(out_meta[1])
+    size = _numel(out_shape)
+    u = w.uid()
+    data = [k for k, idx in enumerate(arg_idx) if idx is not None]
+    w(f"  {{ /* {_label(name)} */")
+    for k in data:
+        ct = _ct(ext_metas[k][1])
+        w(f"  const {ct} *p{u}_{k} = (const {ct} *)B[{arg_idx[k]}];")
+    w(f"  {out_ct} *o{u} = ({out_ct} *)B[{out_idx}];")
+
+    def body(indent: str, load_of, out_ix: str):
+        for m_i, m in enumerate(members):
+            args, dts = [], []
+            for kind, r in m["refs"]:
+                if kind == "arg":
+                    args.append(load_of(r))
+                    dts.append(ext_metas[r][1] if ext_metas[r] is not None
+                               else np.dtype(np.float32))
+                else:
+                    args.append(f"t{u}_{r}")
+                    dts.append(members[r]["dtype"])
+            expr = _member_expr(m["op"], m["attrs"], args, dts, m["dtype"])
+            w(f"{indent}const {_ct(m['dtype'])} t{u}_{m_i} = {expr};")
+        w(f"{indent}o{u}[{out_ix}] = t{u}_{len(members) - 1};")
+
+    flat = all(
+        tuple(int(d) for d in ext_metas[k][0]) == out_shape
+        or _numel(ext_metas[k][0]) == 1
+        for k in data)
+    if flat:
+        def load(k):
+            if arg_idx[k] is None:
+                return "0"
+            if tuple(int(d) for d in ext_metas[k][0]) == out_shape:
+                return f"p{u}_{k}[i{u}]"
+            return f"p{u}_{k}[0]"
+        w(f"  for (long long i{u} = 0; i{u} < {size}; i{u}++) {{")
+        body("    ", load, f"i{u}")
+        w("  }")
+    else:
+        strides = {k: _bstrides(ext_metas[k][0], out_shape) for k in data}
+
+        def load(k):
+            if arg_idx[k] is None:
+                return "0"
+            terms = [f"i{u}_{d} * {s}" for d, s in enumerate(strides[k])
+                     if s != 0]
+            return f"p{u}_{k}[{' + '.join(terms) or '0'}]"
+        indent = "  "
+        w(f"  long long io{u} = 0;")
+        for d, dim in enumerate(out_shape):
+            w(f"{indent}for (long long i{u}_{d} = 0; i{u}_{d} < {dim}; "
+              f"i{u}_{d}++) {{")
+            indent += "  "
+        body(indent, load, f"io{u}++")
+        for _ in out_shape:
+            indent = indent[:-2]
+            w(f"{indent}}}")
+    w("  }")
+
+
+def _emit_reduce(w: _W, name: str, in_meta, out_meta, axes, mode: str,
+                 arg_i: int, out_i: int) -> None:
+    """sum/mean/max/min over ``axes`` of a C-contiguous input; kept dims
+    iterate outermost so the output writes linearly."""
+    shape = tuple(int(d) for d in in_meta[0])
+    in_ct = _ct(in_meta[1])
+    out_ct = _ct(out_meta[1])
+    es = _estrides(shape)
+    kept = [d for d in range(len(shape)) if d not in axes]
+    red = [d for d in range(len(shape)) if d in axes]
+    float_acc = np.issubdtype(np.dtype(out_meta[1]), np.floating)
+    acc_ct = "double" if float_acc else "long long"
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const {in_ct} *p{u} = (const {in_ct} *)B[{arg_i}];")
+    w(f"  {out_ct} *o{u} = ({out_ct} *)B[{out_i}];")
+    w(f"  long long oc{u} = 0;")
+    indent = "  "
+    for d in kept:
+        w(f"{indent}for (long long i{u}_{d} = 0; i{u}_{d} < {shape[d]}; "
+          f"i{u}_{d}++) {{")
+        indent += "  "
+    if mode in ("sum", "mean"):
+        w(f"{indent}{acc_ct} acc{u} = 0;")
+    elif mode == "max":
+        w(f"{indent}{acc_ct} acc{u} = "
+          f"{'-INFINITY' if float_acc else 'LLONG_MIN'};")
+    else:
+        w(f"{indent}{acc_ct} acc{u} = "
+          f"{'INFINITY' if float_acc else 'LLONG_MAX'};")
+    for d in red:
+        w(f"{indent}for (long long i{u}_{d} = 0; i{u}_{d} < {shape[d]}; "
+          f"i{u}_{d}++) {{")
+        indent += "  "
+    idx = " + ".join(f"i{u}_{d} * {es[d]}" for d in range(len(shape)))
+    v = f"({acc_ct})p{u}[{idx or '0'}]"
+    if mode in ("sum", "mean"):
+        w(f"{indent}acc{u} += {v};")
+    elif mode == "max":
+        w(f"{indent}if ({v} > acc{u}) acc{u} = {v};")
+    else:
+        w(f"{indent}if ({v} < acc{u}) acc{u} = {v};")
+    for _ in red:
+        indent = indent[:-2]
+        w(f"{indent}}}")
+    if mode == "mean":
+        count = max(_numel([shape[d] for d in red]), 1)
+        w(f"{indent}o{u}[oc{u}++] = ({out_ct})(acc{u} / {count}.0);")
+    else:
+        w(f"{indent}o{u}[oc{u}++] = ({out_ct})acc{u};")
+    for _ in kept:
+        indent = indent[:-2]
+        w(f"{indent}}}")
+    w("  }")
+
+
+def _emit_argmax(w: _W, name: str, in_meta, axis: Optional[int],
+                 arg_i: int, out_i: int) -> None:
+    shape = tuple(int(d) for d in in_meta[0])
+    in_ct = _ct(in_meta[1])
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const {in_ct} *p{u} = (const {in_ct} *)B[{arg_i}];")
+    w(f"  long long *o{u} = (long long *)B[{out_i}];")
+    if axis is None:
+        size = _numel(shape)
+        w(f"  {in_ct} best{u} = p{u}[0]; long long bi{u} = 0;")
+        w(f"  for (long long i{u} = 1; i{u} < {size}; i{u}++) {{")
+        w(f"    if (p{u}[i{u}] > best{u}) {{ best{u} = p{u}[i{u}]; "
+          f"bi{u} = i{u}; }}")
+        w("  }")
+        w(f"  o{u}[0] = bi{u};")
+        w("  }")
+        return
+    es = _estrides(shape)
+    kept = [d for d in range(len(shape)) if d != axis]
+    w(f"  long long oc{u} = 0;")
+    indent = "  "
+    for d in kept:
+        w(f"{indent}for (long long i{u}_{d} = 0; i{u}_{d} < {shape[d]}; "
+          f"i{u}_{d}++) {{")
+        indent += "  "
+    base = " + ".join(f"i{u}_{d} * {es[d]}" for d in kept)
+    base = base or "0"
+    w(f"{indent}{in_ct} best{u} = p{u}[{base}]; long long bi{u} = 0;")
+    w(f"{indent}for (long long j{u} = 1; j{u} < {shape[axis]}; j{u}++) {{")
+    w(f"{indent}  {in_ct} v{u} = p{u}[{base} + j{u} * {es[axis]}];")
+    w(f"{indent}  if (v{u} > best{u}) {{ best{u} = v{u}; bi{u} = j{u}; }}")
+    w(f"{indent}}}")
+    w(f"{indent}o{u}[oc{u}++] = bi{u};")
+    for _ in kept:
+        indent = indent[:-2]
+        w(f"{indent}}}")
+    w("  }")
+
+
+def _emit_matmul(w: _W, name: str, a_meta, b_meta, out_meta,
+                 a_i: int, b_i: int, out_i: int) -> None:
+    m, k = (int(d) for d in a_meta[0])
+    _, n = (int(d) for d in b_meta[0])
+    ct = _ct(out_meta[1])
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const {ct} *a{u} = (const {ct} *)B[{a_i}];")
+    w(f"  const {ct} *b{u} = (const {ct} *)B[{b_i}];")
+    w(f"  {ct} *o{u} = ({ct} *)B[{out_i}];")
+    w(f"  for (long long i = 0; i < {m}; i++) {{")
+    w(f"    for (long long j = 0; j < {n}; j++) o{u}[i * {n} + j] = 0;")
+    w(f"    for (long long p = 0; p < {k}; p++) {{")
+    w(f"      const {ct} av = a{u}[i * {k} + p];")
+    w(f"      for (long long j = 0; j < {n}; j++) "
+      f"o{u}[i * {n} + j] += av * b{u}[p * {n} + j];")
+    w("    }")
+    w("  }")
+    w("  }")
+
+
+def _emit_copy(w: _W, name: str, nbytes: int, arg_i: int,
+               out_i: int) -> None:
+    if nbytes:
+        w(f"  memcpy(B[{out_i}], B[{arg_i}], {nbytes}); "
+          f"/* {_label(name)} */")
+
+
+def _emit_transpose(w: _W, name: str, in_meta, out_meta, perm,
+                    arg_i: int, out_i: int) -> None:
+    in_shape = tuple(int(d) for d in in_meta[0])
+    out_shape = tuple(int(d) for d in out_meta[0])
+    ct = _ct(in_meta[1])
+    ies = _estrides(in_shape)
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const {ct} *p{u} = (const {ct} *)B[{arg_i}];")
+    w(f"  {ct} *o{u} = ({ct} *)B[{out_i}];")
+    w(f"  long long io{u} = 0;")
+    indent = "  "
+    for d, dim in enumerate(out_shape):
+        w(f"{indent}for (long long i{u}_{d} = 0; i{u}_{d} < {dim}; "
+          f"i{u}_{d}++) {{")
+        indent += "  "
+    idx = " + ".join(f"i{u}_{d} * {ies[perm[d]]}"
+                     for d in range(len(out_shape)))
+    w(f"{indent}o{u}[io{u}++] = p{u}[{idx or '0'}];")
+    for _ in out_shape:
+        indent = indent[:-2]
+        w(f"{indent}}}")
+    w("  }")
+
+
+def _emit_one_hot(w: _W, name: str, idx_meta, out_meta, depth: int,
+                  arg_i: int, out_i: int) -> None:
+    n = _numel(idx_meta[0])
+    idx_ct = _ct(idx_meta[1])
+    out_ct = _ct(out_meta[1])
+    nbytes = _numel(out_meta[0]) * np.dtype(out_meta[1]).itemsize
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const {idx_ct} *p{u} = (const {idx_ct} *)B[{arg_i}];")
+    w(f"  {out_ct} *o{u} = ({out_ct} *)B[{out_i}];")
+    w(f"  memset(o{u}, 0, {nbytes});")
+    w(f"  for (long long i{u} = 0; i{u} < {n}; i{u}++) {{")
+    w(f"    long long v{u} = (long long)p{u}[i{u}];")
+    w(f"    if (v{u} >= 0 && v{u} < {depth}) "
+      f"o{u}[i{u} * {depth} + v{u}] = ({out_ct})1;")
+    w("  }")
+    w("  }")
+
+
+def _emit_gather(w: _W, name: str, params_meta, idx_meta,
+                 p_i: int, i_i: int, out_i: int) -> None:
+    # Out-of-range indices clamp (np.take would raise; plans only issue
+    # in-range reads) — keeps the C side memory-safe without branching
+    # back to Python.
+    n_rows = int(params_meta[0][0])
+    row = (_numel(params_meta[0][1:])
+           * np.dtype(params_meta[1]).itemsize)
+    n_idx = _numel(idx_meta[0])
+    idx_ct = _ct(idx_meta[1])
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const char *p{u} = (const char *)B[{p_i}];")
+    w(f"  const {idx_ct} *x{u} = (const {idx_ct} *)B[{i_i}];")
+    w(f"  char *o{u} = (char *)B[{out_i}];")
+    w(f"  for (long long i{u} = 0; i{u} < {n_idx}; i{u}++) {{")
+    w(f"    long long v{u} = (long long)x{u}[i{u}];")
+    w(f"    if (v{u} < 0) v{u} = 0;")
+    w(f"    if (v{u} >= {n_rows}) v{u} = {n_rows - 1};")
+    w(f"    memcpy(o{u} + i{u} * {row}, p{u} + v{u} * {row}, {row});")
+    w("  }")
+    w("  }")
+
+
+def _emit_concat(w: _W, name: str, in_metas, out_meta, axis: int,
+                 arg_idx, out_i: int) -> None:
+    esize = np.dtype(out_meta[1]).itemsize
+    out_shape = tuple(int(d) for d in out_meta[0])
+    outer = _numel(out_shape[:axis])
+    out_row = _numel(out_shape[axis:]) * esize
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  char *o{u} = (char *)B[{out_i}];")
+    off = 0
+    for t, meta in enumerate(in_metas):
+        in_row = _numel(tuple(meta[0])[axis:]) * esize
+        if in_row:
+            w(f"  for (long long r{u} = 0; r{u} < {outer}; r{u}++)")
+            w(f"    memcpy(o{u} + r{u} * {out_row} + {off}, "
+              f"(const char *)B[{arg_idx[t]}] + r{u} * {in_row}, {in_row});")
+        off += in_row
+    w("  }")
+
+
+def _emit_flatcat(w: _W, name: str, in_metas, arg_idx, out_i: int) -> None:
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  char *o{u} = (char *)B[{out_i}];")
+    off = 0
+    for t, meta in enumerate(in_metas):
+        nbytes = _numel(meta[0]) * np.dtype(meta[1]).itemsize
+        if nbytes:
+            w(f"  memcpy(o{u} + {off}, B[{arg_idx[t]}], {nbytes});")
+        off += nbytes
+    w("  }")
+
+
+def _emit_fused_sgd(w: _W, name: str, n: int, lr, momentum,
+                    g_i: int, p_i: int, m_i: Optional[int]) -> None:
+    nlr = _flit(np.float32(-lr))
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const float *g{u} = (const float *)B[{g_i}];")
+    w(f"  float *p{u} = (float *)B[{p_i}];")
+    if m_i is not None:
+        mom = _flit(np.float32(momentum))
+        w(f"  float *m{u} = (float *)B[{m_i}];")
+        w(f"  for (long long i{u} = 0; i{u} < {n}; i{u}++) {{")
+        w(f"    const float nm{u} = {mom} * m{u}[i{u}] + g{u}[i{u}];")
+        w(f"    m{u}[i{u}] = nm{u};")
+        w(f"    p{u}[i{u}] += {nlr} * nm{u};")
+        w("  }")
+    else:
+        w(f"  for (long long i{u} = 0; i{u} < {n}; i{u}++) "
+          f"p{u}[i{u}] += {nlr} * g{u}[i{u}];")
+    w("  }")
+
+
+def _emit_fused_adam(w: _W, name: str, n: int, lr, beta1, beta2, epsilon,
+                     g_i: int, t_i: int, t_ct: str, p_i: int, m_i: int,
+                     v_i: int) -> None:
+    # Mirrors kernels.fused_adam float32-for-float32 (same beta^t via
+    # exp(t*log(beta)), same 1e-8 floor); -ffp-contract=off keeps the
+    # per-op rounding comparable to NumPy's.
+    b1, b2 = _flit(np.float32(beta1)), _flit(np.float32(beta2))
+    ob1 = _flit(np.float32(1.0 - beta1))
+    ob2 = _flit(np.float32(1.0 - beta2))
+    lb1 = _flit(np.float32(np.log(beta1)))
+    lb2 = _flit(np.float32(np.log(beta2)))
+    nlr = _flit(np.float32(-lr))
+    eps = _flit(np.float32(epsilon))
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const float *g{u} = (const float *)B[{g_i}];")
+    w(f"  const {t_ct} *t{u} = (const {t_ct} *)B[{t_i}];")
+    w(f"  float *p{u} = (float *)B[{p_i}];")
+    w(f"  float *m{u} = (float *)B[{m_i}];")
+    w(f"  float *v{u} = (float *)B[{v_i}];")
+    w(f"  const float tf{u} = (float)t{u}[0];")
+    w(f"  float bc1{u} = 1.0f - expf(tf{u} * {lb1});")
+    w(f"  float bc2{u} = 1.0f - expf(tf{u} * {lb2});")
+    w(f"  if (bc1{u} < 1e-08f) bc1{u} = 1e-08f;")
+    w(f"  if (bc2{u} < 1e-08f) bc2{u} = 1e-08f;")
+    w(f"  for (long long i{u} = 0; i{u} < {n}; i{u}++) {{")
+    w(f"    const float gv{u} = g{u}[i{u}];")
+    w(f"    const float nm{u} = {b1} * m{u}[i{u}] + {ob1} * gv{u};")
+    w(f"    const float nv{u} = {b2} * v{u}[i{u}] + {ob2} * (gv{u} * gv{u});")
+    w(f"    const float mh{u} = nm{u} / bc1{u};")
+    w(f"    const float vh{u} = nv{u} / bc2{u};")
+    w(f"    p{u}[i{u}] += {nlr} * (mh{u} / (sqrtf(vh{u}) + {eps}));")
+    w(f"    m{u}[i{u}] = nm{u};")
+    w(f"    v{u}[i{u}] = nv{u};")
+    w("  }")
+    w("  }")
+
+
+def _emit_fused_rmsprop(w: _W, name: str, n: int, lr, decay, epsilon,
+                        g_i: int, p_i: int, s_i: int) -> None:
+    dec = _flit(np.float32(decay))
+    odec = _flit(np.float32(1.0 - decay))
+    nlr = _flit(np.float32(-lr))
+    eps = _flit(np.float32(epsilon))
+    u = w.uid()
+    w(f"  {{ /* {_label(name)} */")
+    w(f"  const float *g{u} = (const float *)B[{g_i}];")
+    w(f"  float *p{u} = (float *)B[{p_i}];")
+    w(f"  float *s{u} = (float *)B[{s_i}];")
+    w(f"  for (long long i{u} = 0; i{u} < {n}; i{u}++) {{")
+    w(f"    const float gv{u} = g{u}[i{u}];")
+    w(f"    const float ns{u} = {dec} * s{u}[i{u}] + {odec} * (gv{u} * gv{u});")
+    w(f"    p{u}[i{u}] += {nlr} * (gv{u} / (sqrtf(ns{u}) + {eps}));")
+    w(f"    s{u}[i{u}] = ns{u};")
+    w("  }")
+    w("  }")
+
+
+# ---------------------------------------------------------------------------
+# Step classification (native vocabulary)
+# ---------------------------------------------------------------------------
+_COPY_OPS = frozenset({"reshape", "reshape_like", "squeeze", "expand_dims",
+                       "anchor"})
+_REDUCE_MODES = {"reduce_sum": "sum", "reduce_mean": "mean",
+                 "reduce_max": "max", "reduce_min": "min"}
+# A one-C-step segment is only worth a foreign call when the step does
+# the work of many interpreter steps.
+_SINGLETON_OK = frozenset({"fused", "adam", "sgd", "rmsprop"})
+
+
+def _reduce_axes(shape, axis) -> Tuple[int, ...]:
+    nd = len(shape)
+    if axis is None:
+        return tuple(range(nd))
+    if isinstance(axis, (int, np.integer)):
+        return (int(axis) % nd,)
+    return tuple(sorted(int(x) % nd for x in axis))
+
+
+def _synthetic_members(step, out_dt):
+    """A standalone elementwise op as a one-member fused group."""
+    refs = [("arg", k) for k in range(len(step.arg_slots))]
+    return [(step.op, None, step.attrs, refs)], [np.dtype(out_dt)]
+
+
+def _ew_args(instructions, member_dts, in_metas, out_meta):
+    """Validate an elementwise chain for C emission.
+
+    Returns ``(data_args, shape_only_args)`` (external arg positions
+    that are read vs. only shape-inspected), or None if any member falls
+    outside the expression table or an operand can't be indexed.
+    """
+    if out_meta is None or _ct(out_meta[1]) is None:
+        return None
+    out_shape = out_meta[0]
+    data, shape_only = set(), set()
+    for m_i, (mop, _fwd, mattrs, refs) in enumerate(instructions):
+        if _ct(member_dts[m_i]) is None:
+            return None
+        dts = []
+        for kind, r in refs:
+            if kind == "arg":
+                meta = in_metas[r]
+                if meta is None:
+                    return None
+                if mop == "ones_like":
+                    shape_only.add(r)
+                else:
+                    data.add(r)
+                    if (_ct(meta[1]) is None
+                            or _bstrides(meta[0], out_shape) is None):
+                        return None
+                dts.append(meta[1])
+            else:
+                dts.append(member_dts[r])
+        if _member_expr(mop, mattrs, ["x"] * len(refs), dts,
+                        member_dts[m_i]) is None:
+            return None
+    return sorted(data), sorted(shape_only - data)
+
+
+def _bcast_expanded(g_shape, out_shape, attrs):
+    """The post-``expand_dims`` shape ``broadcast_like`` feeds into
+    ``broadcast_to`` (same element order as the raw input), or None."""
+    nd = len(out_shape)
+    axis = attrs.get("axis")
+    keepdims = attrs.get("keepdims", False)
+    g_shape = tuple(int(d) for d in g_shape)
+    if not keepdims and axis is not None:
+        if isinstance(axis, (int, np.integer)):
+            axes: Tuple = (int(axis),)
+        elif isinstance(axis, (tuple, list)):
+            axes = tuple(int(x) for x in axis)
+        else:
+            return None
+        exp = list(g_shape)
+        for ax in sorted(x % nd for x in axes):
+            if ax > len(exp):
+                return None
+            exp.insert(ax, 1)
+    elif not keepdims and axis is None:
+        if _numel(g_shape) != 1:
+            return None
+        exp = [1] * nd
+    else:
+        exp = list(g_shape)
+    if len(exp) != nd:
+        return None
+    for d, od in zip(exp, out_shape):
+        if d != int(od) and d != 1:
+            return None
+    return tuple(exp)
+
+
+def _native_kind(step, rec) -> Optional[str]:
+    """Native-vocabulary tag for a step given its probed metadata, or
+    None if the step must stay a Python step."""
+    in_metas, out_meta, member_dts = rec
+    op = step.op
+    a = step.attrs
+    if op == "read_var":
+        if (out_meta is not None and out_meta[2]
+                and _ct(out_meta[1]) is not None):
+            return "ptr"
+        return None
+    if op in ("size_of", "shape_of"):
+        if in_metas and in_metas[0] is not None and out_meta is not None:
+            return "const"
+        return None
+    if op == "fused":
+        if member_dts is None or out_meta is None:
+            return None
+        if _ew_args(step.instructions, member_dts, in_metas,
+                    out_meta) is None:
+            return None
+        return "fused"
+    if out_meta is None:
+        return None
+    if op in _EW_OPS:
+        instrs, dts = _synthetic_members(step, out_meta[1])
+        if _ew_args(instrs, dts, in_metas, out_meta) is None:
+            return None
+        return "ew"
+    if op in _COPY_OPS:
+        m0 = in_metas[0] if in_metas else None
+        if (m0 is not None and np.dtype(m0[1]) == np.dtype(out_meta[1])
+                and _numel(m0[0]) == _numel(out_meta[0])):
+            return "copy"
+        return None
+    if op == "transpose":
+        m0 = in_metas[0]
+        perm = a.get("perm")
+        if (m0 is not None and _ct(m0[1]) is not None and perm is not None
+                and len(perm) == len(m0[0])):
+            return "transpose"
+        return None
+    if op == "matmul":
+        ma, mb = in_metas
+        if (ma is not None and mb is not None
+                and len(ma[0]) == 2 and len(mb[0]) == 2
+                and len(out_meta[0]) == 2
+                and ma[1] == mb[1] == out_meta[1]
+                and _ct(ma[1]) in _FLOAT_CTS
+                and _numel(ma[0]) * int(mb[0][1]) <= _MATMUL_NATIVE_LIMIT):
+            return "matmul"
+        return None
+    if op in _REDUCE_MODES:
+        m0 = in_metas[0]
+        if m0 is None or _ct(m0[1]) is None or _ct(out_meta[1]) is None:
+            return None
+        axes = _reduce_axes(m0[0], a.get("axis"))
+        if not axes:
+            return None
+        mode = _REDUCE_MODES[op]
+        if mode in ("max", "min") and _numel(m0[0]) == 0:
+            return None
+        if mode == "mean" and _numel([m0[0][d] for d in axes]) == 0:
+            return None
+        return "reduce"
+    if op == "argmax":
+        m0 = in_metas[0]
+        if m0 is None or _ct(m0[1]) is None or _numel(m0[0]) == 0:
+            return None
+        ax = a.get("axis")
+        if ax is not None and not isinstance(ax, (int, np.integer)):
+            return None
+        if np.dtype(out_meta[1]) != np.dtype(np.int64):
+            return None
+        return "argmax"
+    if op == "unbroadcast_like_op":
+        m0 = in_metas[0]
+        if m0 is None or _ct(m0[1]) is None or m0[1] != out_meta[1]:
+            return None
+        gin = tuple(int(d) for d in m0[0])
+        tgt = tuple(int(d) for d in out_meta[0])
+        if gin == tgt:
+            return "copy"
+        pad = len(gin) - len(tgt)
+        if pad < 0:
+            return None
+        if any(t != gin[pad + i] and t != 1 for i, t in enumerate(tgt)):
+            return None
+        return "unbroadcast"
+    if op == "broadcast_like":
+        m0 = in_metas[0]
+        if (m0 is not None and _ct(m0[1]) is not None
+                and m0[1] == out_meta[1]
+                and _bcast_expanded(m0[0], out_meta[0], a) is not None):
+            return "bcast"
+        return None
+    if op == "one_hot":
+        m0 = in_metas[0]
+        depth = a.get("depth")
+        if (m0 is not None and _ct(m0[1]) is not None
+                and _ct(out_meta[1]) is not None
+                and isinstance(depth, (int, np.integer)) and int(depth) > 0):
+            return "one_hot"
+        return None
+    if op == "gather":
+        mp, mi = in_metas
+        if (mp is not None and mi is not None and len(mp[0]) >= 1
+                and int(mp[0][0]) > 0 and _ct(mi[1]) is not None):
+            return "gather"
+        return None
+    if op == "concat":
+        if not in_metas or any(m is None for m in in_metas):
+            return None
+        nd = len(out_meta[0])
+        ax = a.get("axis", 0)
+        if nd == 0 or not isinstance(ax, (int, np.integer)):
+            return None
+        if any(np.dtype(m[1]) != np.dtype(out_meta[1]) or len(m[0]) != nd
+               for m in in_metas):
+            return None
+        return "concat"
+    if op == "flatcat":
+        if in_metas and all(m is not None
+                            and np.dtype(m[1]) == np.dtype(np.float32)
+                            for m in in_metas):
+            return "flatcat"
+        return None
+    if op in ("fused_sgd", "fused_adam", "fused_rmsprop"):
+        g = in_metas[0] if in_metas else None
+        if g is None or np.dtype(g[1]) != np.dtype(np.float32):
+            return None
+        arrs = [getattr(a.get("var"), "value", None)]
+        if op == "fused_adam":
+            if (len(in_metas) < 2 or in_metas[1] is None
+                    or np.dtype(in_metas[1][1]) not in (
+                        np.dtype(np.float32), np.dtype(np.int64))
+                    or _numel(in_metas[1][0]) != 1):
+                return None
+            if not all(_is_number(a.get(key))
+                       for key in ("lr", "beta1", "beta2", "epsilon")):
+                return None
+            if not (0.0 < float(a["beta1"]) < 1.0
+                    and 0.0 < float(a["beta2"]) < 1.0):
+                return None
+            arrs += [getattr(a.get("m"), "value", None),
+                     getattr(a.get("v"), "value", None)]
+        elif op == "fused_rmsprop":
+            if not all(_is_number(a.get(key))
+                       for key in ("lr", "decay", "epsilon")):
+                return None
+            arrs.append(getattr(a.get("ms"), "value", None))
+        else:
+            mom = a.get("momentum", 0.0)
+            if not _is_number(a.get("lr")) or not _is_number(mom):
+                return None
+            if mom:
+                arrs.append(getattr(a.get("momentum_var"), "value", None))
+        n = _numel(g[0])
+        for arr in arrs:
+            if not (isinstance(arr, np.ndarray) and arr.dtype == np.float32
+                    and arr.flags.c_contiguous and arr.size == n):
+                return None
+        return {"fused_sgd": "sgd", "fused_adam": "adam",
+                "fused_rmsprop": "rmsprop"}[op]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Probe run
+# ---------------------------------------------------------------------------
+def _probe(compiled, feed_values):
+    """Interpret the plan once, recording per-step operand/output
+    metadata (the shape specialization the C source is emitted against).
+    Returns ``(records, fetch_values)`` — a real run, so its results are
+    returned to the caller."""
+    slab = compiled._template.copy()
+    for ph, slot in compiled._feed_slots:
+        try:
+            slab[slot] = feed_values[ph.id]
+        except KeyError:
+            raise RLGraphError(
+                f"Placeholder {ph.name} was not fed (shape {ph.shape})")
+    records = []
+    for step in compiled.steps:
+        args = [slab[i] for i in step.arg_slots]
+        in_metas = [_meta(v) for v in args]
+        member_dts = None
+        if step.instructions is not None:
+            # Run members individually (value-identical to the fused
+            # kernel) so each member's result dtype is observable.
+            locs: List[Any] = []
+            member_dts = []
+            for _op, fwd, attrs, refs in step.instructions:
+                margs = [args[r] if kind == "arg" else locs[r]
+                         for kind, r in refs]
+                val = fwd(margs, attrs)
+                locs.append(val)
+                member_dts.append(np.asarray(val).dtype)
+            result = locs[-1]
+        else:
+            result = step.forward(args, step.attrs)
+        slab[step.out_slot] = result
+        records.append((in_metas, _meta(result), member_dts))
+    return records, [slab[s] for s in compiled._fetch_slots]
+
+
+# ---------------------------------------------------------------------------
+# Segment lowering
+# ---------------------------------------------------------------------------
+class _Segment:
+    """One compiled C function plus its pointer-table recipe."""
+
+    __slots__ = ("name", "fn", "ptrs", "cast", "statics", "var_entries",
+                 "dyn", "guards", "stores", "fallback")
+
+
+class _Build:
+    """One feed-signature specialization: the item list interleaving
+    Python steps and native segments, plus the loaded library."""
+
+    __slots__ = ("items", "lib", "source", "epoch", "native_ids",
+                 "n_segments", "n_native", "n_py")
+
+    def refresh(self) -> bool:
+        """Re-resolve variable-storage pointers (after a storage-epoch
+        bump, e.g. a ParamSlab repoint). False if any variable no longer
+        matches its baked shape/dtype — the build is then unusable."""
+        for item in self.items:
+            if item[0] != "seg":
+                continue
+            seg = item[1]
+            for i, var, shape, dtype in seg.var_entries:
+                v = var.value
+                if not (isinstance(v, np.ndarray) and v.shape == shape
+                        and v.dtype == dtype and v.flags.c_contiguous):
+                    return False
+                seg.ptrs[i] = v.ctypes.data
+        self.epoch = variables.storage_epoch()
+        return True
+
+
+def _lower_step(compiled, step, tag, rec, proto, written, feed_set,
+                native_ids) -> None:
+    """Emit one step into its segment proto (entries/guards/stores/C)."""
+    in_metas, out_meta, member_dts = rec
+    w = proto["w"]
+    entries, eidx, inseg = proto["entries"], proto["eidx"], proto["inseg"]
+
+    def add_entry(key, entry) -> int:
+        i = eidx.get(key)
+        if i is None:
+            i = len(entries)
+            entries.append(entry)
+            eidx[key] = i
+        return i
+
+    def arg_index(k) -> int:
+        slot = step.arg_slots[k]
+        meta = in_metas[k]
+        if slot in inseg:
+            return inseg[slot]
+        if slot in written or slot in feed_set:
+            return add_entry(("d", slot),
+                             ("d", slot, tuple(meta[0]), np.dtype(meta[1])))
+        # Template constant: contiguous snapshot, resolved once.
+        arr = np.ascontiguousarray(compiled._template[slot])
+        return add_entry(("c", slot), ("s", arr))
+
+    def add_guard(k) -> None:
+        slot = step.arg_slots[k]
+        if slot in inseg or ("d", slot) in eidx:
+            return
+        if slot not in written and slot not in feed_set:
+            return  # template constant: shape can't change
+        if slot not in proto["gset"]:
+            proto["gset"].add(slot)
+            proto["guards"].append((slot, tuple(in_metas[k][0])))
+
+    def store_const(value) -> None:
+        si = add_entry(("k", step.out_slot, len(proto["stores"])),
+                       ("s", value))
+        inseg[step.out_slot] = si
+        proto["stores"].append((step.out_slot, value, False))
+        native_ids.add(id(value))
+
+    a = step.attrs
+    if tag == "ptr":
+        var = a["var"]
+        vi = add_entry(("v", id(var)),
+                       ("v", var, tuple(out_meta[0]), np.dtype(out_meta[1])))
+        inseg[step.out_slot] = vi
+        proto["stores"].append((step.out_slot, var, True))
+        return
+    if tag == "const":
+        shape = tuple(int(d) for d in in_metas[0][0])
+        add_guard(0)
+        store_const(np.asarray(shape if step.op == "shape_of"
+                               else _numel(shape), dtype=np.int64))
+        return
+    if tag in ("sgd", "adam", "rmsprop"):
+        def vidx(var) -> int:
+            arr = var.value
+            return add_entry(("v", id(var)), ("v", var, arr.shape, arr.dtype))
+        g_i = arg_index(0)
+        p_i = vidx(a["var"])
+        nsz = int(a["var"].value.size)
+        if tag == "sgd":
+            mom = a.get("momentum", 0.0)
+            m_i = vidx(a["momentum_var"]) if mom else None
+            _emit_fused_sgd(w, step.name, nsz, a["lr"], mom, g_i, p_i, m_i)
+        elif tag == "adam":
+            _emit_fused_adam(w, step.name, nsz, a["lr"], a["beta1"],
+                             a["beta2"], a["epsilon"], g_i, arg_index(1),
+                             _ct(in_metas[1][1]), p_i, vidx(a["m"]),
+                             vidx(a["v"]))
+        else:
+            _emit_fused_rmsprop(w, step.name, nsz, a["lr"], a["decay"],
+                                a["epsilon"], g_i, p_i, vidx(a["ms"]))
+        store_const(np.asarray(nsz, dtype=np.int64))
+        return
+
+    out_shape = tuple(int(d) for d in out_meta[0])
+    out_dt = np.dtype(out_meta[1])
+    buf = np.empty(out_shape, dtype=out_dt)
+    oi = add_entry(("b", id(buf)), ("s", buf))
+    if tag in ("fused", "ew"):
+        if tag == "fused":
+            instrs, dts = step.instructions, member_dts
+        else:
+            instrs, dts = _synthetic_members(step, out_dt)
+        data, shape_only = _ew_args(instrs, dts, in_metas, out_meta)
+        arg_idx: List[Optional[int]] = [None] * len(step.arg_slots)
+        for k in data:
+            arg_idx[k] = arg_index(k)
+        for k in shape_only:
+            add_guard(k)
+        members = [{"op": mop, "attrs": mattrs, "refs": refs,
+                    "dtype": dts[m_i]}
+                   for m_i, (mop, _f, mattrs, refs) in enumerate(instrs)]
+        _emit_elementwise(w, step.name, members, in_metas, arg_idx, oi,
+                          out_meta)
+    elif tag == "copy":
+        _emit_copy(w, step.name, _numel(out_shape) * out_dt.itemsize,
+                   arg_index(0), oi)
+        for k in range(1, len(step.arg_slots)):
+            add_guard(k)
+    elif tag == "transpose":
+        perm = [int(p) % len(in_metas[0][0]) for p in a["perm"]]
+        _emit_transpose(w, step.name, in_metas[0], out_meta, perm,
+                        arg_index(0), oi)
+    elif tag == "matmul":
+        _emit_matmul(w, step.name, in_metas[0], in_metas[1], out_meta,
+                     arg_index(0), arg_index(1), oi)
+    elif tag == "reduce":
+        axes = set(_reduce_axes(in_metas[0][0], a.get("axis")))
+        _emit_reduce(w, step.name, in_metas[0], out_meta, axes,
+                     _REDUCE_MODES[step.op], arg_index(0), oi)
+    elif tag == "argmax":
+        ax = a.get("axis")
+        if ax is not None:
+            ax = int(ax) % len(in_metas[0][0])
+        _emit_argmax(w, step.name, in_metas[0], ax, arg_index(0), oi)
+    elif tag == "unbroadcast":
+        gin = tuple(int(d) for d in in_metas[0][0])
+        pad = len(gin) - len(out_shape)
+        axes = set(range(pad))
+        for i2, od in enumerate(out_shape):
+            if od == 1 and gin[pad + i2] != 1:
+                axes.add(pad + i2)
+        _emit_reduce(w, step.name, in_metas[0], out_meta, axes, "sum",
+                     arg_index(0), oi)
+        add_guard(1)
+    elif tag == "bcast":
+        exp = _bcast_expanded(in_metas[0][0], out_shape, a)
+        members = [{"op": "identity", "attrs": {}, "refs": [("arg", 0)],
+                    "dtype": out_dt}]
+        _emit_elementwise(w, step.name, members,
+                          [(exp, in_metas[0][1], True)], [arg_index(0)],
+                          oi, out_meta)
+        add_guard(1)
+    elif tag == "one_hot":
+        _emit_one_hot(w, step.name, in_metas[0], out_meta, int(a["depth"]),
+                      arg_index(0), oi)
+    elif tag == "gather":
+        _emit_gather(w, step.name, in_metas[0], in_metas[1], arg_index(0),
+                     arg_index(1), oi)
+    elif tag == "concat":
+        ax = int(a.get("axis", 0)) % len(out_shape)
+        _emit_concat(w, step.name, in_metas, out_meta, ax,
+                     [arg_index(k) for k in range(len(in_metas))], oi)
+    elif tag == "flatcat":
+        _emit_flatcat(w, step.name, in_metas,
+                      [arg_index(k) for k in range(len(in_metas))], oi)
+    else:
+        raise RLGraphError(f"Unhandled native tag {tag!r}")
+    inseg[step.out_slot] = oi
+    proto["stores"].append((step.out_slot, buf, False))
+    native_ids.add(id(buf))
+
+
+def _assemble_source(protos) -> str:
+    parts = ["#include <math.h>", "#include <string.h>",
+             "#include <limits.h>", ""]
+    for p in protos:
+        parts.append(f"void {p['name']}(char **B) {{")
+        parts.extend(p["w"].lines)
+        parts.append("}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _lower(compiled, records):
+    """Classify steps, pick viable segments, and emit their C bodies.
+
+    Returns ``(protos, items, source, native_ids, n_native)`` or None
+    when no segment clears the viability bar.
+    """
+    steps = compiled.steps
+    kinds: List[Optional[str]] = []
+    for j, step in enumerate(steps):
+        try:
+            kinds.append(_native_kind(step, records[j]))
+        except Exception:
+            kinds.append(None)
+    runs = []
+    j, n = 0, len(steps)
+    while j < n:
+        if kinds[j] is None:
+            j += 1
+            continue
+        k = j
+        while k < n and kinds[k] is not None:
+            k += 1
+        c_tags = [t for t in kinds[j:k] if t not in ("ptr", "const")]
+        if len(c_tags) >= 2 or (len(c_tags) == 1
+                                and c_tags[0] in _SINGLETON_OK):
+            runs.append((j, k))
+        j = k
+    if not runs:
+        return None
+    run_map = {}
+    for lo, hi in runs:
+        for j in range(lo, hi):
+            run_map[j] = (lo, hi)
+    feed_set = {slot for _ph, slot in compiled._feed_slots}
+    written: set = set()
+    native_ids: set = set()
+    protos: List[Dict[str, Any]] = []
+    items: List[Tuple] = []
+    for j, step in enumerate(steps):
+        span = run_map.get(j)
+        if span is None:
+            items.append(("py", compiled._steps[j], step.op == "py_func"))
+        else:
+            lo, hi = span
+            if j == lo:
+                protos.append({"name": f"seg{len(protos)}", "w": _W(),
+                               "entries": [], "eidx": {}, "inseg": {},
+                               "guards": [], "gset": set(), "stores": [],
+                               "fallback": compiled._steps[lo:hi]})
+                items.append(("segref", len(protos) - 1))
+            _lower_step(compiled, step, kinds[j], records[j], protos[-1],
+                        written, feed_set, native_ids)
+        written.add(step.out_slot)
+    n_native = sum(hi - lo for lo, hi in runs)
+    return protos, items, _assemble_source(protos), native_ids, n_native
+
+
+def _finalize(protos, lib) -> List[_Segment]:
+    """Bind protos to the loaded library: pointer tables + fn handles."""
+    segs = []
+    for p in protos:
+        seg = _Segment()
+        seg.name = p["name"]
+        seg.fn = lib.fns[p["name"]]
+        seg.ptrs = np.zeros(max(len(p["entries"]), 1), dtype=np.uint64)
+        seg.statics = []
+        seg.var_entries = []
+        seg.dyn = []
+        for i, e in enumerate(p["entries"]):
+            if e[0] == "s":
+                seg.ptrs[i] = e[1].ctypes.data
+                seg.statics.append(e[1])
+            elif e[0] == "v":
+                seg.var_entries.append((i, e[1], e[2], e[3]))
+            else:
+                seg.dyn.append((i, e[1], e[2], e[3]))
+        seg.guards = p["guards"]
+        seg.stores = p["stores"]
+        seg.fallback = p["fallback"]
+        seg.cast = lib.cast_ptr(int(seg.ptrs.ctypes.data))
+        segs.append(seg)
+    return segs
+
+
+def _run_segment(seg: _Segment, slab) -> bool:
+    """Resolve dynamic pointers, check guards, call the C function, and
+    apply stores. False = a guard failed (caller runs the recorded
+    Python steps for this segment instead)."""
+    ptrs = seg.ptrs
+    keep = None
+    for i, slot, shape, dtype in seg.dyn:
+        v = slab[slot]
+        if not isinstance(v, (np.ndarray, np.generic)) \
+                or v.shape != shape or v.dtype != dtype:
+            return False
+        if v.__class__ is not np.ndarray or not v.flags.c_contiguous:
+            v = np.ascontiguousarray(v)
+            if keep is None:
+                keep = []
+            keep.append(v)  # alive until after the C call
+        ptrs[i] = v.ctypes.data
+    for slot, shape in seg.guards:
+        v = slab[slot]
+        if not isinstance(v, (np.ndarray, np.generic)) or v.shape != shape:
+            return False
+    seg.fn(seg.cast)
+    for out_slot, obj, is_var in seg.stores:
+        slab[out_slot] = obj.value if is_var else obj
+    return True
+
+
+def _derives_from(value, native_ids) -> bool:
+    """Whether ``value`` is (a view of) a build-owned native buffer —
+    such arrays are overwritten in place by the next run."""
+    depth = 0
+    while value is not None and depth < 16:
+        if id(value) in native_ids:
+            return True
+        value = getattr(value, "base", None)
+        depth += 1
+    return False
+
+
+# ---------------------------------------------------------------------------
+# NativePlan
+# ---------------------------------------------------------------------------
+class NativePlan:
+    """Drop-in for :class:`~repro.backend.compiler.CompiledPlan` that
+    executes native segments where possible (the Session wraps the
+    compiled plan with this at ``optimize="native"``)."""
+
+    def __init__(self, compiled, session_stats=None):
+        self._compiled = compiled
+        self._session_stats = session_stats
+        self._builds: Dict[Tuple, Any] = {}
+        self._counted = False
+        self._broken = False
+        self.steps = compiled.steps
+        self.stats = compiled.stats
+        self.c_source: Optional[str] = None
+
+    @property
+    def codegen_source(self):
+        return self._compiled.codegen_source
+
+    def _signature(self, feed_values) -> Tuple:
+        sig = []
+        for ph, _slot in self._compiled._feed_slots:
+            try:
+                v = feed_values[ph.id]
+            except KeyError:
+                raise RLGraphError(
+                    f"Placeholder {ph.name} was not fed (shape {ph.shape})")
+            sig.append((ph.id, np.shape(v), str(np.asarray(v).dtype)))
+        return tuple(sig)
+
+    def run(self, feed_values: Dict[int, Any]) -> List[Any]:
+        compiled = self._compiled
+        if self._broken:
+            return compiled.run(feed_values)
+        sig = self._signature(feed_values)
+        build = self._builds.get(sig)
+        if build is None:
+            if len(self._builds) >= _MAX_BUILDS:
+                return compiled.run(feed_values)
+            return self._build_and_run(sig, feed_values)
+        if build == "py":
+            return compiled.run(feed_values)
+        return self._run_build(build, feed_values)
+
+    # -- lowering ----------------------------------------------------------
+    def _build_and_run(self, sig, feed_values):
+        compiled = self._compiled
+        stats = self._session_stats
+        t0 = time.perf_counter()
+        records, fetches = _probe(compiled, feed_values)
+        try:
+            lowered = _lower(compiled, records)
+        except Exception:
+            lowered = None
+        if lowered is None:
+            self._builds[sig] = "py"  # nothing viable for this signature
+            if stats is not None:
+                stats.native_compile_time += time.perf_counter() - t0
+            return self._copy_fetches(fetches, frozenset())
+        protos, items, source, native_ids, n_native = lowered
+        self.c_source = source
+        lib, hit = _build_library(source, [p["name"] for p in protos])
+        if lib is None:
+            self._broken = True
+            _warn_compile_failed()
+            if stats is not None:
+                stats.native_compile_time += time.perf_counter() - t0
+            return self._copy_fetches(fetches, frozenset())
+        segs = _finalize(protos, lib)
+        build = _Build()
+        build.items = [("seg", segs[it[1]]) if it[0] == "segref" else it
+                       for it in items]
+        build.lib = lib
+        build.source = source
+        build.native_ids = native_ids
+        build.n_segments = len(segs)
+        build.n_native = n_native
+        build.n_py = len(compiled.steps) - n_native
+        build.epoch = None
+        if not build.refresh():
+            self._broken = True
+            if stats is not None:
+                stats.native_compile_time += time.perf_counter() - t0
+            return self._copy_fetches(fetches, frozenset())
+        self._builds[sig] = build
+        if stats is not None:
+            stats.native_compile_time += time.perf_counter() - t0
+            if hit:
+                stats.native_cache_hits += 1
+        if not self._counted:
+            self._counted = True
+            cs = compiled.stats
+            cs.native_segments = build.n_segments
+            cs.native_steps = build.n_native
+            cs.native_py_steps = build.n_py
+            if stats is not None:
+                stats.plans_native += 1
+                stats.native_segments += build.n_segments
+                stats.native_steps += build.n_native
+                stats.native_py_steps += build.n_py
+        return self._copy_fetches(fetches, frozenset())
+
+    # -- execution ---------------------------------------------------------
+    def _run_build(self, build: _Build, feed_values):
+        compiled = self._compiled
+        if build.epoch != variables.storage_epoch():
+            if not build.refresh():
+                self._broken = True  # variables changed shape under us
+                return compiled.run(feed_values)
+        slab = compiled._template.copy()
+        for ph, slot in compiled._feed_slots:
+            try:
+                slab[slot] = feed_values[ph.id]
+            except KeyError:
+                raise RLGraphError(
+                    f"Placeholder {ph.name} was not fed (shape {ph.shape})")
+        native_ids = build.native_ids
+        for item in build.items:
+            if item[0] == "seg":
+                seg = item[1]
+                if not _run_segment(seg, slab):
+                    for fwd, attrs, arg_slots, out_slot in seg.fallback:
+                        slab[out_slot] = fwd([slab[i] for i in arg_slots],
+                                             attrs)
+            else:
+                fwd, attrs, arg_slots, out_slot = item[1]
+                args = [slab[i] for i in arg_slots]
+                if item[2]:
+                    # py_func may retain its arguments; never hand it a
+                    # buffer the next native run will overwrite in place.
+                    args = [v.copy() if v.__class__ is np.ndarray
+                            and _derives_from(v, native_ids) else v
+                            for v in args]
+                slab[out_slot] = fwd(args, attrs)
+        return self._copy_fetches([slab[s] for s in compiled._fetch_slots],
+                                  native_ids)
+
+    def _copy_fetches(self, fetches, native_ids):
+        out = []
+        for v in fetches:
+            if v.__class__ is np.ndarray and (
+                    _derives_from(v, native_ids)
+                    or variables.aliases_state(v)):
+                v = v.copy()
+            out.append(v)
+        return out

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import context
 from repro.backend.compiler import OPTIMIZE_LEVELS, CompiledPlan, compile_plan
 from repro.backend.graph import Graph, Node, Placeholder
 from repro.backend.ops import OPS
@@ -34,6 +35,9 @@ class SessionStats:
         self.plan_builds = 0
         self.nodes_executed = 0
         # Compiler counters (aggregated over all compiled fetch-sets).
+        # ``compile_time`` covers the graph-compiler passes only; the
+        # native backend's C build is tracked separately below so the
+        # compile-vs-run breakdown stays honest.
         self.compile_time = 0.0
         self.plans_compiled = 0
         self.nodes_folded = 0
@@ -43,6 +47,18 @@ class SessionStats:
         self.fused_kernels = 0
         self.slab_slots = 0
         self.slab_slots_saved = 0
+        # Memory planning (buffer donation).
+        self.buffers_donated = 0
+        self.bytes_saved = 0
+        # Native codegen backend: C emit+compile wall time, shared-lib
+        # disk-cache hits, and lowering results (filled in lazily at
+        # first run of each native plan — the probe needs feed values).
+        self.native_compile_time = 0.0
+        self.native_cache_hits = 0
+        self.plans_native = 0
+        self.native_segments = 0
+        self.native_steps = 0
+        self.native_py_steps = 0
 
     def as_dict(self):
         return {
@@ -59,6 +75,14 @@ class SessionStats:
             "fused_kernels": self.fused_kernels,
             "slab_slots": self.slab_slots,
             "slab_slots_saved": self.slab_slots_saved,
+            "buffers_donated": self.buffers_donated,
+            "bytes_saved": self.bytes_saved,
+            "native_compile_time": self.native_compile_time,
+            "native_cache_hits": self.native_cache_hits,
+            "plans_native": self.plans_native,
+            "native_segments": self.native_segments,
+            "native_steps": self.native_steps,
+            "native_py_steps": self.native_py_steps,
         }
 
     def reset(self):
@@ -75,12 +99,21 @@ class Session:
         optimize: ``"none"`` replays the topological plan node by node
             (the seed behavior and the paper-faithful executor ablation),
             ``"basic"`` adds constant folding + CSE + dead-node
-            elimination with the slot executor, ``"fused"`` (default)
-            additionally fuses elementwise chains into single kernels.
+            elimination with the slot executor plus buffer donation,
+            ``"fused"`` (default) additionally fuses elementwise chains
+            into single kernels, ``"native"`` lowers the fused plan to C
+            segments (:mod:`repro.backend.native`) executed with zero
+            Python dispatch — degrading gracefully to ``"fused"`` with a
+            one-time warning when no C toolchain is present. A
+            ``context.optimize_level(...)`` scope overrides this
+            argument for ablation sweeps.
     """
 
     def __init__(self, graph: Graph, cache_plans: bool = True,
                  optimize: str = "fused"):
+        forced = context.current_optimize_level()
+        if forced is not None:
+            optimize = forced
         if optimize not in OPTIMIZE_LEVELS:
             raise RLGraphError(
                 f"Unknown optimize level {optimize!r}; use one of "
@@ -144,6 +177,15 @@ class Session:
             self.stats.fused_kernels += cs.fused_kernels
             self.stats.slab_slots += cs.slab_slots
             self.stats.slab_slots_saved += cs.slab_slots_saved
+            self.stats.buffers_donated += cs.buffers_donated
+            self.stats.bytes_saved += cs.bytes_saved
+            if self.optimize == "native":
+                from repro.backend import native
+                if native.toolchain_available():
+                    compiled = native.NativePlan(compiled,
+                                                 session_stats=self.stats)
+                else:
+                    native.warn_no_toolchain()
             if self.cache_plans:
                 self._compiled[key] = compiled
         return compiled

@@ -11,6 +11,7 @@ the raw array.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +21,46 @@ from repro.backend.eager import ETensor
 from repro.backend.graph import Node
 from repro.backend.ops import OPS, apply_op, register_op
 from repro.utils.errors import RLGraphError
+
+
+# -- state-buffer registry ---------------------------------------------------
+# Every array that backs live variable state registers here. The
+# compiler's buffer-donation pass and the native codegen backend consult
+# it before writing into (or caching a pointer to) a buffer: an array
+# that IS — or views into — variable storage must never be donated as a
+# scratch output, and native plans must refresh cached variable pointers
+# when storage is repointed (ParamSlab coalescing).
+_STATE_BUFFERS: "weakref.WeakValueDictionary[int, np.ndarray]" = \
+    weakref.WeakValueDictionary()
+
+# Bumped whenever an existing Variable's storage is REBOUND to a new
+# array (not merely written in place). Native plans cache raw data
+# pointers into variable storage and compare this epoch per run.
+_STORAGE_EPOCH = 0
+
+
+def register_state_buffer(arr: np.ndarray) -> None:
+    if isinstance(arr, np.ndarray):
+        _STATE_BUFFERS[id(arr)] = arr
+
+
+def bump_storage_epoch() -> None:
+    global _STORAGE_EPOCH
+    _STORAGE_EPOCH += 1
+
+
+def storage_epoch() -> int:
+    return _STORAGE_EPOCH
+
+
+def aliases_state(arr) -> bool:
+    """True if ``arr`` is (or views into) a registered state buffer."""
+    while isinstance(arr, np.ndarray):
+        hit = _STATE_BUFFERS.get(id(arr))
+        if hit is arr:
+            return True
+        arr = arr.base
+    return False
 
 
 # -- stateful op specs -------------------------------------------------------
@@ -77,6 +118,7 @@ class Variable:
             value = value.astype(np.float32)
         self.name = name
         self.value = value
+        register_state_buffer(value)
         self.trainable = bool(trainable)
         self.device = device or context.current_device()
         self.graph = graph
@@ -94,6 +136,7 @@ class Variable:
         var = cls.__new__(cls)
         var.name = name
         var.value = buffer
+        register_state_buffer(buffer)
         var.trainable = bool(trainable)
         var.device = context.current_device()
         var.graph = None
@@ -237,6 +280,7 @@ class ParamSlab:
             offset += size
         self.size = offset
         self.flat = np.empty(self.size, dtype=np.float32)
+        register_state_buffer(self.flat)
         self._offsets: Dict[str, int] = {}
         for var, (vname, off, shape) in zip(members, self.layout):
             size = int(np.prod(shape)) if shape else 1
@@ -244,6 +288,9 @@ class ParamSlab:
             var.value = self.flat[off:off + size].reshape(shape)
             var.slab = self
             self._offsets[vname] = off
+        # Member storage was repointed: native plans holding raw data
+        # pointers into the old buffers must re-resolve them.
+        bump_storage_epoch()
         self._flat_var: Optional[Variable] = None
 
     @classmethod

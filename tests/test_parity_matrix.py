@@ -5,7 +5,8 @@ test_graph_compiler.py locks the compiler passes, test_flat_params.py
 locks the fused optimizer lowering — each on its own toy problem.  This
 matrix locks all three layers *together* on the real agents: for every
 agent in {DQN, A2C, IMPALA, PPO}, every backend in {symbolic, eager} and
-every optimize level in {"none", "basic", "fused"}, N identical update
+every optimize level in {"none", "basic", "fused", "native"}, N identical
+update
 steps from identical initial weights must land on the same final
 weights as the paper-faithful reference (symbolic interpreter,
 ``optimize="none"``).
@@ -28,7 +29,15 @@ from repro.agents import (
     IMPALAAgent,
     PPOAgent,
 )
-from repro.backend import XGRAPH, XTAPE
+from repro.backend import (
+    XGRAPH,
+    XTAPE,
+    Graph,
+    Session,
+    Variable,
+    functional as F,
+    symbolic_mode,
+)
 from repro.spaces import FloatBox, IntBox
 
 NUM_UPDATES = 5
@@ -40,6 +49,9 @@ NET = [{"type": "dense", "units": 16, "activation": "tanh"}]
 # fused lowering call the registered op forwards), but global-norm
 # clipping and reduction reassociation can introduce one-ulp drift;
 # allclose at tight tolerance is the contract the layers guarantee.
+# "native" is held to the same allclose contract: its C loops accumulate
+# reductions in double and contract nothing (-ffp-contract=off), but
+# scalar-temp fusion reassociates relative to numpy's pairwise sums.
 TOL = dict(rtol=1e-5, atol=1e-6)
 
 
@@ -137,7 +149,7 @@ def references():
     return get
 
 
-@pytest.mark.parametrize("optimize", ["none", "basic", "fused"])
+@pytest.mark.parametrize("optimize", ["none", "basic", "fused", "native"])
 @pytest.mark.parametrize("backend", [XGRAPH, XTAPE])
 @pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
 def test_update_weight_parity(kind, backend, optimize, references):
@@ -156,8 +168,88 @@ def test_update_weight_parity(kind, backend, optimize, references):
 def test_symbolic_levels_bitwise(kind, references):
     """Within the symbolic backend, "basic" replays the exact same op
     forwards as the interpreter — parity there is bitwise, not just
-    allclose (the compiler's own correctness invariant)."""
+    allclose (the compiler's own correctness invariant). "fused" and
+    "native" intentionally stay out of this test: fusion and C codegen
+    reassociate float arithmetic, so their contract is the tight
+    allclose of the matrix above, never bitwise."""
     init, reference = references(kind)
     agent = _make_agent(kind, XGRAPH, "basic")
     final = _run_updates(kind, agent, init)
     np.testing.assert_array_equal(final, reference)
+
+
+# -- memory planning (buffer donation) ----------------------------------------
+class TestMemoryPlanning:
+    """The donation pass reuses dying intermediate buffers in place; these
+    tests pin down the safety contract that makes that invisible."""
+
+    def _chain_graph(self):
+        g = Graph(name="donation-test", seed=0)
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            a = F.mul(x, 2.0)
+            b = F.add(a, 1.0)
+            c = F.exp(b)
+            y = F.neg(c)
+        return g, x, y
+
+    def test_donation_fires_and_values_match_interpreter(self):
+        # At "basic" (no fusion) each elementwise link is a separate
+        # step, so the dying a/b/c intermediates are donation fodder.
+        g, x, y = self._chain_graph()
+        feed = np.arange(6, dtype=np.float32)
+        ref = Session(g, optimize="none").run(y, {x: feed})
+        sess = Session(g, optimize="basic")
+        out = sess.run(y, {x: feed})
+        np.testing.assert_array_equal(out, ref)
+        assert sess.stats.buffers_donated > 0
+        assert sess.stats.bytes_saved >= 0  # unknown shapes count as 0
+
+    def test_donation_guard_adapts_to_shape_changes(self):
+        # Dynamic-shape plans guard each donation per run: a feed whose
+        # intermediate no longer matches the dying buffer must fall back
+        # to a fresh allocation, not write through a stale buffer.
+        g, x, y = self._chain_graph()
+        sess = Session(g, optimize="basic")
+        ref_sess = Session(g, optimize="none")
+        for n in (4, 7, 1, 7):
+            feed = np.linspace(-1.0, 1.0, n).astype(np.float32)
+            np.testing.assert_array_equal(sess.run(y, {x: feed}),
+                                          ref_sess.run(y, {x: feed}))
+
+    @pytest.mark.parametrize("optimize", ["basic", "fused", "native"])
+    def test_fetched_value_never_aliases_variable_state(self, optimize):
+        # A fetch must hand back a buffer the caller may scribble on —
+        # donation (and the native backend's persistent out-buffers) may
+        # never alias live variable storage or a later run's result.
+        g = Graph(name="alias-test", seed=0)
+        with g.as_default(), symbolic_mode():
+            v = Variable("v", np.asarray([1.0, 2.0, 3.0], np.float32),
+                         trainable=False, graph=g)
+            read = v.read()
+            bump = v.assign_add(g.constant(
+                np.asarray([10.0, 10.0, 10.0], np.float32)))
+        sess = Session(g, optimize=optimize)
+        first = sess.run(read)
+        np.testing.assert_allclose(first, [1.0, 2.0, 3.0])
+        sess.run(bump)  # mutates variable storage in place
+        # The earlier fetch is a snapshot, not a window into v's storage.
+        np.testing.assert_allclose(first, [1.0, 2.0, 3.0])
+        first[:] = -99.0  # caller scribbles; variable must be unharmed
+        np.testing.assert_allclose(v.value, [11.0, 12.0, 13.0])
+        np.testing.assert_allclose(sess.run(read), [11.0, 12.0, 13.0])
+
+    def test_fetched_intermediate_not_donated_away(self):
+        # Fetching an intermediate keeps its buffer alive: the pass must
+        # not donate it into a downstream step of the same run.
+        g = Graph(name="fetch-intermediate", seed=0)
+        with g.as_default(), symbolic_mode():
+            x = g.placeholder((None,), np.float32)
+            mid = F.add(F.mul(x, 3.0), 1.0)
+            out = F.exp(F.neg(mid))
+        feed = np.asarray([0.0, 1.0, 2.0], np.float32)
+        for opt in ("basic", "fused", "native"):
+            mid_v, out_v = Session(g, optimize=opt).run([mid, out], {x: feed})
+            np.testing.assert_allclose(mid_v, [1.0, 4.0, 7.0], err_msg=opt)
+            np.testing.assert_allclose(out_v, np.exp(-mid_v), rtol=1e-6,
+                                       err_msg=opt)
