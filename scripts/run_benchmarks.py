@@ -18,7 +18,9 @@ Usage:
         [--output BENCH_compiler.json] \
         [--parallel-output BENCH_parallel.json] [--skip-parallel] \
         [--learner-output BENCH_learner.json] [--skip-learner] \
-        [--serving-output BENCH_serving.json] [--skip-serving]
+        [--serving-output BENCH_serving.json] [--skip-serving] \
+        [--multi-learner-output BENCH_multi_learner.json] \
+        [--skip-multi-learner]
 """
 
 from __future__ import annotations
@@ -364,6 +366,93 @@ def bench_serving(duration: float = 1.0, num_clients: int = 6) -> dict:
     return summary
 
 
+def bench_multi_learner(window: float = 0.5) -> dict:
+    """Learner-group snapshot (the E14 axis): single vs K-replica
+    update throughput on one total batch, plus the bare all-reduce
+    round time over a 1M-element slab (ring and tree).  Ratios are
+    recorded, not asserted — on a 1-core host the replicas serialize
+    (same gating note as E11/E12)."""
+    import numpy as np
+
+    from repro.agents import DQNAgent
+    from repro.execution.learner_group import LearnerGroup
+    from repro.raylite import collectives
+    from repro.raylite.shm import get_pool
+    from repro.spaces import FloatBox, IntBox
+
+    def agent_factory(worker_index=0):
+        return DQNAgent(
+            state_space=FloatBox(shape=(16,)), action_space=IntBox(4),
+            network_spec=[{"type": "dense", "units": 64,
+                           "activation": "relu"},
+                          {"type": "dense", "units": 64,
+                           "activation": "relu"}],
+            double_q=True, dueling=True, sync_interval=50, batch_size=32,
+            memory_capacity=512, seed=3)
+
+    rng = np.random.default_rng(0)
+    n = 256
+    batch = {
+        "states": rng.standard_normal((n, 16)).astype(np.float32),
+        "actions": rng.integers(0, 4, n),
+        "rewards": rng.standard_normal(n).astype(np.float32),
+        "terminals": rng.random(n) < 0.1,
+        "next_states": rng.standard_normal((n, 16)).astype(np.float32),
+    }
+
+    update_rates = {}
+    pool_misses = {}
+    single = agent_factory()
+    update_rates["single"] = round(
+        _measure(lambda: single.update(batch), window=window), 1)
+    for k in (2, 4):
+        group = LearnerGroup(agent_factory(), agent_factory, spec=k,
+                             parallel_spec="thread")
+        try:
+            group.update(batch)  # warm: ring members attach lazily
+            before = get_pool().stats()["misses"]
+            update_rates[f"k{k}"] = round(
+                _measure(lambda: group.update(batch), window=window), 1)
+            pool_misses[f"k{k}"] = get_pool().stats()["misses"] - before
+        finally:
+            group.shutdown()
+
+    slab = 1_000_000
+    allreduce_ms = {}
+    for algorithm, world in (("ring", 4), ("tree", 4), ("tree", 2)):
+        ring = collectives.SlabRing(world, slab)
+        if not ring.available:
+            allreduce_ms = {"unavailable": True}
+            break
+        members = [collectives.RingMember(r, world, ring.names(), slab, slab)
+                   for r in range(world)]
+        vec = np.ones(slab, np.float32)
+        steps = collectives.allreduce_steps(algorithm, world)
+
+        def round_trip():
+            for m in members:
+                m.write(vec)
+            for method, step in steps:
+                for m in members:
+                    getattr(m, method)(step)
+
+        rate = _measure(round_trip, window=window)
+        allreduce_ms[f"{algorithm}_k{world}"] = round(1e3 / rate, 3)
+        for m in members:
+            m.close()
+        ring.release()
+
+    summary = {
+        "group_update_per_s": update_rates,
+        "pool_misses_during_run": pool_misses,
+        "allreduce_round_ms_1m_slab": allreduce_ms,
+    }
+    base = update_rates["single"]
+    summary["k2_vs_single"] = round(update_rates["k2"] / base, 3) \
+        if base else None
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_compiler.json",
@@ -383,6 +472,12 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--skip-serving", action="store_true",
                         help="skip the policy-serving snapshot")
+    parser.add_argument("--multi-learner-output",
+                        default="BENCH_multi_learner.json",
+                        help="learner-group snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-multi-learner", action="store_true",
+                        help="skip the learner-group snapshot")
     args = parser.parse_args(argv)
 
     from repro.backend import native
@@ -423,6 +518,13 @@ def main(argv=None) -> int:
             json.dump(serving, f, indent=2)
             f.write("\n")
         json.dump(serving, sys.stdout, indent=2)
+        print()
+    if not args.skip_multi_learner:
+        multi = {**host, **bench_multi_learner()}
+        with open(args.multi_learner_output, "w") as f:
+            json.dump(multi, f, indent=2)
+            f.write("\n")
+        json.dump(multi, sys.stdout, indent=2)
         print()
     return 0
 

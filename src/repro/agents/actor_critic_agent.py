@@ -77,6 +77,20 @@ class ActorCriticRoot(Component):
         step_op = self.optimizer.step(total)
         return self._graph_fn_result(total, policy_loss, value_loss, step_op)
 
+    @rlgraph_api
+    def compute_gradients(self, next_states, actions, returns):
+        log_probs = self.policy.get_action_log_probs(next_states, actions)
+        values = self.policy.get_state_values(next_states)
+        entropies = self.policy.get_entropy(next_states)
+        total, policy_loss, value_loss = self.loss.get_loss(
+            log_probs, values, returns, entropies)
+        flat_grads = self.optimizer.compute_flat_grads(total)
+        return flat_grads, total, policy_loss, value_loss
+
+    @rlgraph_api
+    def apply_gradients(self, flat_grads):
+        return self.optimizer.apply_flat_grads(flat_grads)
+
     @graph_fn(returns=3, requires_variables=False)
     def _graph_fn_result(self, total, policy_loss, value_loss, step_op):
         if step_op is not None:
@@ -117,13 +131,16 @@ class ActorCriticAgent(Agent):
         return stack.transformed_space(self.state_space)
 
     def input_spaces(self) -> Dict[str, Any]:
-        return {
+        spaces = {
             "states": self.state_space.with_batch_rank(),
             "time_step": IntBox(low=0, high=_UINT31),
             "next_states": self.preprocessed_space().with_batch_rank(),
             "actions": self.action_space.with_batch_rank(),
             "returns": FloatBox(add_batch_rank=True),
         }
+        if self.optimize != "none":
+            spaces["flat_grads"] = FloatBox(add_batch_rank=True)
+        return spaces
 
     def get_actions(self, states, explore: bool = True, preprocess: bool = True):
         states, single = self._batch_states(states)
@@ -149,3 +166,14 @@ class ActorCriticAgent(Agent):
         self.updates += 1
         return (float(np.asarray(total)), float(np.asarray(policy_loss)),
                 float(np.asarray(value_loss)))
+
+    def _compute_gradients(self, batch: Dict):
+        flat_grads, total, policy_loss, value_loss = self.call_api(
+            "compute_gradients", np.asarray(batch["states"]),
+            np.asarray(batch["actions"]),
+            np.asarray(batch["returns"], np.float32))
+        return np.asarray(flat_grads), {
+            "losses": (float(np.asarray(total)),
+                       float(np.asarray(policy_loss)),
+                       float(np.asarray(value_loss))),
+        }

@@ -232,6 +232,73 @@ class Agent:
     def update(self, batch: Optional[Dict] = None):
         raise NotImplementedError
 
+    # -- gradient extraction (data-parallel learner groups) -------------------
+    def update_from_batch(self, batch: Dict, apply: bool = True):
+        """Update from an external batch, or — with ``apply=False`` —
+        run only the gradient half of the fused step and return
+        ``(flat_grads, stats)`` without touching any variable.
+
+        ``flat_grads`` is ONE contiguous float32 vector in the
+        optimizer's ParamSlab order (sorted by name), ready for a
+        shared-memory all-reduce; feeding the (averaged) vector back
+        through :meth:`apply_gradients` reuses the exact fused lowering
+        of the in-graph step, so extract-then-apply is
+        bitwise-comparable to a plain :meth:`update`.
+        """
+        if apply:
+            return self.update(batch)
+        return self.get_gradients(batch, flat=True)
+
+    def get_gradients(self, batch: Dict, flat: bool = True):
+        """Flat gradient slab for ``batch``: ``(flat_grads, stats)``.
+
+        ``stats`` carries the loss scalars (``stats["losses"]``, in the
+        same order the agent's :meth:`update` returns them) and, for
+        TD-based agents, the per-row TD errors (``stats["td"]``).
+        """
+        if not flat:
+            raise RLGraphError(
+                "get_gradients: only flat=True is supported — per-variable "
+                "gradient dicts never leave the graph (the flat slab is the "
+                "transport format)")
+        return self._compute_gradients(batch)
+
+    def _compute_gradients(self, batch: Dict):
+        raise NotImplementedError(
+            f"{type(self).__name__} has no gradient-extraction build path")
+
+    def apply_gradients(self, flat_grads: np.ndarray) -> bool:
+        """Apply a flat gradient vector through the fused optimizer step.
+
+        Advances :attr:`updates` exactly like :meth:`update` (including
+        any target-network sync cadence — see subclass overrides).
+        Returns True when the apply crossed a target-sync boundary, so
+        group drivers can mirror the sync on replicas.
+        """
+        self.call_api("apply_gradients",
+                      np.ascontiguousarray(flat_grads, dtype=np.float32))
+        self.updates += 1
+        return False
+
+    def flat_grad_size(self) -> int:
+        """Element count of the flat gradient vector (the optimizer's
+        ParamSlab size — policy trainables only, smaller than the
+        :meth:`flat_layout` weight vector whenever target networks
+        exist)."""
+        opt = getattr(self.root, "optimizer", None)
+        if opt is None:
+            raise RLGraphError(
+                f"{type(self).__name__} has no optimizer component")
+        return opt.flat_grad_size()
+
+    def shard_spec(self):
+        """How learner groups shard this agent's update batches:
+        ``(default_axis, per_key_axis_overrides)`` as consumed by
+        :func:`repro.components.common.batch_splitter.split_batch`.
+        Row-major agents shard every key on axis 0; time-major agents
+        (IMPALA) override this."""
+        return 0, {}
+
     # -- weights -----------------------------------------------------------------
     def flat_layout(self):
         """The cached flat packing of this agent's trainable variables —

@@ -195,6 +195,25 @@ class DQNRoot(Component):
     def _graph_fn_concat_tds(self, *tds):
         return F.concat(list(tds), axis=0)
 
+    # -- gradient extraction (learner groups) ---------------------------------
+    @rlgraph_api
+    def compute_gradients(self, preprocessed_states, actions, rewards,
+                          terminals, next_states, importance_weights):
+        """Same loss composition as ``update_from_external`` but the
+        optimizer only *extracts* the flat gradient slab — no step."""
+        q_values = self.policy.get_q_values(preprocessed_states)
+        q_next = self.policy.get_q_values(next_states)
+        q_next_target = self.target_policy.get_q_values(next_states)
+        loss, td = self.dqn_loss.get_loss(q_values, actions, rewards,
+                                          terminals, q_next, q_next_target,
+                                          importance_weights)
+        flat_grads = self.optimizer.compute_flat_grads(loss)
+        return flat_grads, loss, td
+
+    @rlgraph_api
+    def apply_gradients(self, flat_grads):
+        return self.optimizer.apply_flat_grads(flat_grads)
+
     def _loss_and_step(self, s, a, r, t, next_s, importance_weights):
         """Shared composition (plain helper called from API methods)."""
         q_values = self.policy.get_q_values(s)
@@ -297,7 +316,7 @@ class DQNAgent(Agent):
             next_states=preprocessed.strip_ranks(),
             add_batch_rank=True,
         )
-        return {
+        spaces = {
             "states": self.state_space.with_batch_rank(),
             "preprocessed_states": preprocessed,
             "time_step": IntBox(low=0, high=_UINT31),
@@ -309,6 +328,12 @@ class DQNAgent(Agent):
             "terminals": BoolBox(add_batch_rank=True),
             "next_states": preprocessed,
         }
+        if self.optimize != "none":
+            # Gradient-extraction/apply endpoints need the fused flat-slab
+            # construction; omitting the space skips their assembly in the
+            # per-variable ablation build.
+            spaces["flat_grads"] = FloatBox(add_batch_rank=True)
+        return spaces
 
     # -- API ----------------------------------------------------------------------
     def get_actions(self, states, explore: bool = True,
@@ -350,6 +375,31 @@ class DQNAgent(Agent):
                 self.updates % self.config["sync_interval"] == 0:
             self.sync_target()
         return float(np.asarray(loss)), np.asarray(td)
+
+    def _compute_gradients(self, batch: Dict):
+        weights = batch.get("importance_weights")
+        if weights is None:
+            weights = np.ones(len(batch["rewards"]), np.float32)
+        flat_grads, loss, td = self.call_api(
+            "compute_gradients", batch["states"], batch["actions"],
+            np.asarray(batch["rewards"], np.float32),
+            np.asarray(batch["terminals"], bool), batch["next_states"],
+            np.asarray(weights, np.float32))
+        return np.asarray(flat_grads), {
+            "losses": (float(np.asarray(loss)),),
+            "td": np.asarray(td),
+        }
+
+    def apply_gradients(self, flat_grads) -> bool:
+        """Fused apply + the same target-sync cadence as :meth:`update`."""
+        self.call_api("apply_gradients",
+                      np.ascontiguousarray(flat_grads, dtype=np.float32))
+        self.updates += 1
+        if self.config["sync_interval"] and \
+                self.updates % self.config["sync_interval"] == 0:
+            self.sync_target()
+            return True
+        return False
 
     def sync_target(self):
         self.call_api("sync_target")

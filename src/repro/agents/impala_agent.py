@@ -82,6 +82,31 @@ class IMPALARoot(Component):
         step_op = self.optimizer.step(total)
         return self._graph_fn_result(total, policy_loss, value_loss, step_op)
 
+    @rlgraph_api
+    def compute_gradients(self, rollout_states, rollout_actions,
+                          behaviour_log_probs, rewards, terminals,
+                          bootstrap_states):
+        """V-trace loss composition minus the step: extract the flat
+        gradient slab for a (time-major) rollout shard."""
+        flat_states, flat_actions = self._graph_fn_fold_time(
+            rollout_states, rollout_actions)
+        log_probs_flat = self.policy.get_action_log_probs(flat_states,
+                                                          flat_actions)
+        values_flat = self.policy.get_state_values(flat_states)
+        entropies_flat = self.policy.get_entropy(flat_states)
+        bootstrap_values = self.policy.get_state_values(bootstrap_states)
+        log_probs, values, entropies = self._graph_fn_unfold_time(
+            log_probs_flat, values_flat, entropies_flat, rewards)
+        total, policy_loss, value_loss = self.loss.get_loss(
+            log_probs, behaviour_log_probs, values, bootstrap_values,
+            rewards, terminals, entropies)
+        flat_grads = self.optimizer.compute_flat_grads(total)
+        return flat_grads, total, policy_loss, value_loss
+
+    @rlgraph_api
+    def apply_gradients(self, flat_grads):
+        return self.optimizer.apply_flat_grads(flat_grads)
+
     @graph_fn(returns=2, requires_variables=False)
     def _graph_fn_fold_time(self, states, actions):
         """(T, B, ...) -> (T*B, ...) for batched network evaluation."""
@@ -142,7 +167,7 @@ class IMPALAAgent(Agent):
     def input_spaces(self) -> Dict[str, Any]:
         preprocessed = self.preprocessed_space()
         tm = dict(add_batch_rank=True, add_time_rank=True, time_major=True)
-        return {
+        spaces = {
             "states": self.state_space.with_batch_rank(),
             "time_step": IntBox(low=0, high=_UINT31),
             "rollout_states": preprocessed.strip_ranks().with_extra_ranks(**tm),
@@ -153,6 +178,9 @@ class IMPALAAgent(Agent):
             "terminals": BoolBox(**tm),
             "bootstrap_states": preprocessed.with_batch_rank(),
         }
+        if self.optimize != "none":
+            spaces["flat_grads"] = FloatBox(add_batch_rank=True)
+        return spaces
 
     def get_actions(self, states, explore: bool = True, preprocess: bool = True):
         """Returns (actions, log_probs, preprocessed)."""
@@ -183,3 +211,26 @@ class IMPALAAgent(Agent):
         self.updates += 1
         return (float(np.asarray(total)), float(np.asarray(policy_loss)),
                 float(np.asarray(value_loss)))
+
+    def shard_spec(self):
+        """Rollout tensors are time-major (T, B, ...): learner groups
+        shard along axis 1; ``bootstrap_states`` is (B, ...) and shards
+        along axis 0 with the same boundaries."""
+        return 1, {"bootstrap_states": 0}
+
+    def _compute_gradients(self, batch: Dict):
+        """Gradient extraction for a time-major rollout dict (same keys
+        as :meth:`update`).  Learner groups shard rollouts along the
+        batch axis (axis 1 of the (T, B, ...) tensors)."""
+        flat_grads, total, policy_loss, value_loss = self.call_api(
+            "compute_gradients", np.asarray(batch["states"]),
+            np.asarray(batch["actions"]),
+            np.asarray(batch["behaviour_log_probs"], np.float32),
+            np.asarray(batch["rewards"], np.float32),
+            np.asarray(batch["terminals"], bool),
+            np.asarray(batch["bootstrap_states"]))
+        return np.asarray(flat_grads), {
+            "losses": (float(np.asarray(total)),
+                       float(np.asarray(policy_loss)),
+                       float(np.asarray(value_loss))),
+        }

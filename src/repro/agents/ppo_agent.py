@@ -65,6 +65,21 @@ class PPORoot(Component):
         step_op = self.optimizer.step(total)
         return self._graph_fn_result(total, policy_loss, step_op)
 
+    @rlgraph_api
+    def compute_gradients(self, next_states, actions, old_log_probs,
+                          advantages, returns):
+        log_probs = self.policy.get_action_log_probs(next_states, actions)
+        values = self.policy.get_state_values(next_states)
+        entropies = self.policy.get_entropy(next_states)
+        total, policy_loss = self.loss.get_loss(
+            log_probs, old_log_probs, advantages, values, returns, entropies)
+        flat_grads = self.optimizer.compute_flat_grads(total)
+        return flat_grads, total, policy_loss
+
+    @rlgraph_api
+    def apply_gradients(self, flat_grads):
+        return self.optimizer.apply_flat_grads(flat_grads)
+
     @graph_fn(returns=2, requires_variables=False)
     def _graph_fn_result(self, total, policy_loss, step_op):
         if step_op is not None:
@@ -108,7 +123,7 @@ class PPOAgent(Agent):
         return stack.transformed_space(self.state_space)
 
     def input_spaces(self) -> Dict[str, Any]:
-        return {
+        spaces = {
             "states": self.state_space.with_batch_rank(),
             "time_step": IntBox(low=0, high=_UINT31),
             "next_states": self.preprocessed_space().with_batch_rank(),
@@ -117,6 +132,9 @@ class PPOAgent(Agent):
             "advantages": FloatBox(add_batch_rank=True),
             "returns": FloatBox(add_batch_rank=True),
         }
+        if self.optimize != "none":
+            spaces["flat_grads"] = FloatBox(add_batch_rank=True)
+        return spaces
 
     def get_actions(self, states, explore: bool = True, preprocess: bool = True):
         """Returns (actions, log_probs, values, preprocessed)."""
@@ -168,3 +186,32 @@ class PPOAgent(Agent):
                 losses.append(float(np.asarray(total)))
         self.updates += 1
         return float(np.mean(losses))
+
+    def _compute_gradients(self, batch: Dict):
+        """Single-step gradient extraction (one pass over the batch — no
+        epoch/minibatch loop; learner groups shard the prepared batch
+        instead).  Advantage normalization mirrors :meth:`update` and is
+        therefore a statistic of *this* batch — when sharded across a
+        learner group it becomes per-shard (documented group semantics).
+        """
+        states = np.asarray(batch["states"])
+        actions = np.asarray(batch["actions"])
+        old_log_probs = np.asarray(batch["old_log_probs"], np.float32)
+        if "returns" in batch:
+            returns = np.asarray(batch["returns"], np.float32)
+        else:
+            returns = discounted_returns(batch["rewards"], batch["terminals"],
+                                          self.discount)
+        if "advantages" in batch:
+            advantages = np.asarray(batch["advantages"], np.float32)
+        else:
+            advantages = returns - np.asarray(batch["values"], np.float32)
+        advantages = ((advantages - advantages.mean())
+                      / (advantages.std() + 1e-8))
+        flat_grads, total, policy_loss = self.call_api(
+            "compute_gradients", states, actions, old_log_probs,
+            advantages, returns)
+        return np.asarray(flat_grads), {
+            "losses": (float(np.asarray(total)),
+                       float(np.asarray(policy_loss))),
+        }

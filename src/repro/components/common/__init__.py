@@ -4,7 +4,11 @@ from repro.components.common.splitters import ContainerSplitter, ContainerMerger
 from repro.components.common.synchronizer import Synchronizer
 from repro.components.common.fifo_queue import FIFOQueue
 from repro.components.common.staging_area import StagingArea
-from repro.components.common.batch_splitter import BatchSplitter
+from repro.components.common.batch_splitter import (
+    BatchSplitter,
+    shard_sizes,
+    split_batch,
+)
 
 __all__ = [
     "ContainerSplitter",
@@ -13,4 +17,6 @@ __all__ = [
     "FIFOQueue",
     "StagingArea",
     "BatchSplitter",
+    "shard_sizes",
+    "split_batch",
 ]

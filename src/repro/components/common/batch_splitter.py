@@ -3,9 +3,31 @@
 This is the generic input-space splitter the graph executor inserts when
 expanding the component graph for the synchronous multi-GPU strategy
 (paper §4.1): each replica trains on one shard, gradients are averaged.
+
+Two entry points share one remainder policy:
+
+* the :class:`BatchSplitter` component — the in-graph splitter used by
+  the multi-device tower construction;
+* :func:`split_batch` — the host-side splitter every executor-side
+  shard split routes through (learner groups, replay fan-out), so
+  K∤batch_size behavior is *one* documented decision instead of ad-hoc
+  slicing at each call site.
+
+Remainder policies (``B = batch size``, ``K = num shards``):
+
+* ``"last"`` (default) — contiguous shards of ``B // K`` rows, the last
+  shard absorbing the ``B % K`` remainder.  No row is ever dropped;
+  shard boundaries are a pure function of ``(B, K)`` so repeated runs
+  shard identically.
+* ``"drop"`` — the seed behavior: every shard gets exactly ``B // K``
+  rows and the trailing remainder is discarded.  Only for callers that
+  pad/trim upstream and want uniform shards.
+* ``"strict"`` — raise unless ``K`` divides ``B`` (host-side only).
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -13,22 +35,105 @@ from repro.backend import functional as F
 from repro.core import Component, graph_fn, rlgraph_api
 from repro.utils.errors import RLGraphError
 
+REMAINDER_POLICIES = ("last", "drop", "strict")
+
+
+def shard_sizes(batch_size: int, num_shards: int,
+                remainder: str = "last") -> List[int]:
+    """Deterministic shard sizes for ``batch_size`` rows over
+    ``num_shards`` shards under ``remainder`` (see module docstring)."""
+    if remainder not in REMAINDER_POLICIES:
+        raise RLGraphError(
+            f"Unknown remainder policy {remainder!r}; expected one of "
+            f"{REMAINDER_POLICIES}")
+    batch_size, num_shards = int(batch_size), int(num_shards)
+    if num_shards < 1:
+        raise RLGraphError("num_shards must be >= 1")
+    base, rem = divmod(batch_size, num_shards)
+    if base < 1:
+        raise RLGraphError(
+            f"Cannot split a batch of {batch_size} rows into {num_shards} "
+            f"non-empty shards")
+    if remainder == "strict" and rem:
+        raise RLGraphError(
+            f"remainder='strict': batch size {batch_size} is not divisible "
+            f"by num_shards {num_shards}")
+    sizes = [base] * num_shards
+    if remainder == "last":
+        sizes[-1] += rem
+    return sizes
+
+
+def split_batch(batch: Dict[str, np.ndarray], num_shards: int,
+                remainder: str = "last", axis: int = 0,
+                axes: Optional[Dict[str, int]] = None
+                ) -> List[Dict[str, np.ndarray]]:
+    """Split a dict-of-arrays batch into ``num_shards`` contiguous
+    shards along ``axis`` (per-key override via ``axes``; a key mapped
+    to ``None`` is replicated whole into every shard — e.g. IMPALA's
+    ``bootstrap_states`` ride along unsplit when rollouts shard on the
+    time-major batch axis).
+
+    Shards are contiguous slices in original row order, so
+    concatenating per-shard results (TD errors, priorities) restores
+    the input's row alignment exactly.
+    """
+    if not batch:
+        raise RLGraphError("split_batch: empty batch dict")
+    axes = axes or {}
+    split_keys = [k for k in batch if axes.get(k, axis) is not None]
+    if not split_keys:
+        raise RLGraphError("split_batch: every key is replicated; nothing "
+                           "determines the batch size")
+    first = split_keys[0]
+    batch_size = np.asarray(batch[first]).shape[axes.get(first, axis)]
+    sizes = shard_sizes(batch_size, num_shards, remainder=remainder)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    shards: List[Dict[str, np.ndarray]] = []
+    for i in range(num_shards):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        shard: Dict[str, np.ndarray] = {}
+        for key, value in batch.items():
+            ax = axes.get(key, axis)
+            if ax is None:
+                shard[key] = value
+                continue
+            arr = np.asarray(value)
+            if arr.shape[ax] != batch_size:
+                raise RLGraphError(
+                    f"split_batch: key {key!r} has {arr.shape[ax]} rows on "
+                    f"axis {ax}, expected {batch_size} (key {first!r})")
+            index = [slice(None)] * arr.ndim
+            index[ax] = slice(lo, hi)
+            shard[key] = arr[tuple(index)]
+        shards.append(shard)
+    return shards
+
 
 class BatchSplitter(Component):
-    """Splits the leading batch dim into ``num_shards`` equal slices.
+    """Splits the leading batch dim into ``num_shards`` slices.
 
-    Container records are split leaf-wise, preserving structure per shard.
-    The batch size must be divisible by ``num_shards`` (the executor pads
-    or trims update batches to guarantee this).
+    Container records are split leaf-wise, preserving structure per
+    shard.  ``remainder`` follows the module-level policy table
+    (``"strict"`` needs a host-side batch size and is therefore not
+    available in-graph): with the default ``"last"`` the final shard
+    absorbs the ``B % K`` rows; ``"drop"`` reproduces the seed behavior
+    of silently discarding them.
     """
 
-    def __init__(self, num_shards: int, scope: str = "batch-splitter", **kwargs):
+    def __init__(self, num_shards: int, remainder: str = "last",
+                 scope: str = "batch-splitter", **kwargs):
         super().__init__(scope=scope, **kwargs)
         if num_shards < 1:
             raise RLGraphError("num_shards must be >= 1")
         self.num_shards = int(num_shards)
+        self.remainder = remainder
 
-    def __new__(cls, num_shards, **kwargs):
+    def __new__(cls, num_shards, remainder: str = "last", **kwargs):
+        if remainder not in ("last", "drop"):
+            raise RLGraphError(
+                f"BatchSplitter remainder must be 'last' or 'drop', "
+                f"got {remainder!r}")
         instance = super().__new__(cls)
 
         @graph_fn(returns=num_shards, requires_variables=False)
@@ -43,7 +148,13 @@ class BatchSplitter(Component):
                                  float(self.num_shards)), np.int64)
             shards = []
             for i in range(self.num_shards):
-                idx = F.add(F.dyn_arange(shard), F.mul(shard, i))
+                if remainder == "last" and i == self.num_shards - 1:
+                    # Last shard absorbs the remainder: size = B - s*(K-1).
+                    size = F.sub(batch, F.mul(shard,
+                                              np.int64(self.num_shards - 1)))
+                else:
+                    size = shard
+                idx = F.add(F.dyn_arange(size), F.mul(shard, i))
                 piece = {k: F.gather(v, idx) for k, v in flat.items()}
                 shards.append(unflatten_value(piece) if is_container
                               else piece[""])

@@ -91,15 +91,18 @@ class Optimizer(Component):
     def step_towers(self, *losses):
         return self._graph_fn_step(*losses)
 
+    @rlgraph_api
+    def compute_flat_grads(self, loss):
+        return self._graph_fn_flat_grads(loss)
+
+    @rlgraph_api
+    def apply_flat_grads(self, flat_grads):
+        return self._graph_fn_apply_flat(flat_grads)
+
     # -- update construction ----------------------------------------------------
     @graph_fn
     def _graph_fn_step(self, *losses):
-        if not self._variables and self._variables_provider is not None:
-            self._variables = list(self._variables_provider())
-        if not self._variables:
-            raise RLGraphError(
-                f"Optimizer {self.global_scope}: set_variables() was never "
-                f"called")
+        self._resolve_variables()
         tower_grads = [grads_of(loss, self._variables) for loss in losses]
         graph = context.current_graph() if context.is_symbolic() else None
         base_nodes = len(graph.nodes) if graph is not None else 0
@@ -110,6 +113,69 @@ class Optimizer(Component):
         if graph is not None:
             self.update_node_count = len(graph.nodes) - base_nodes
         return out
+
+    @graph_fn
+    def _graph_fn_flat_grads(self, loss):
+        """The gradient half of the fused step: per-variable gradients
+        of ``loss`` collapse through ONE ``flatcat`` node into the flat
+        slab vector (members in slab order, i.e. sorted by name) —
+        *unclipped*, so a downstream all-reduce averages raw shard
+        gradients and clipping applies once to the averaged vector,
+        exactly as the single-learner in-graph step clips the full-batch
+        gradient."""
+        self._resolve_variables()
+        grads = grads_of(loss, self._variables)
+        by_var = {id(v): g for v, g in zip(self._variables, grads)}
+        members = self._flat_members()
+        return F.flatcat([by_var[id(m)] for m in members])
+
+    @graph_fn
+    def _graph_fn_apply_flat(self, flat_grads):
+        """Apply half: feed an externally produced flat gradient vector
+        through the exact fused lowering of :meth:`_graph_fn_step`
+        (clip → shared step bump → one multi-tensor op), so an
+        extract-then-apply round trip is bitwise-comparable to the
+        in-graph step."""
+        self._resolve_variables()
+        if not self._resolve_fused():
+            raise RLGraphError(
+                f"Optimizer {self.global_scope}: apply_flat_grads needs the "
+                f"fused construction (optimize != 'none' and a fused update "
+                f"rule); the per-variable ablation has no flat-slab layout "
+                f"to scatter into")
+        from repro.core.component import get_current_build
+        if (get_current_build() is not None
+                and isinstance(flat_grads, np.ndarray)
+                and flat_grads.size != self.flat_grad_size()):
+            # Eager (define-by-run) shape-inference build: the example
+            # pushed through the batch-ranked input space has an
+            # arbitrary length; substitute a slab-sized zero vector so
+            # the fused kernels see consistent shapes (any variable
+            # mutation is snapshot-restored by the builder afterwards).
+            flat_grads = np.zeros(self.flat_grad_size(), np.float32)
+        return self._apply_flat(flat_grads)
+
+    def _resolve_variables(self) -> None:
+        if not self._variables and self._variables_provider is not None:
+            self._variables = list(self._variables_provider())
+        if not self._variables:
+            raise RLGraphError(
+                f"Optimizer {self.global_scope}: set_variables() was never "
+                f"called")
+
+    def _flat_members(self) -> List[Variable]:
+        """Variables in flat-vector order: the slab's member order when
+        fused, the same sorted-by-name order (without claiming storage)
+        in the per-variable ablation."""
+        if self._resolve_fused():
+            return list(self._ensure_param_slab().members)
+        return sorted(self._variables, key=lambda v: v.name)
+
+    def flat_grad_size(self) -> int:
+        """Element count of the flat gradient vector (== ParamSlab size)."""
+        self._resolve_variables()
+        return int(sum(int(np.prod(v.shape, dtype=np.int64))
+                       for v in self._variables))
 
     def _resolve_fused(self) -> bool:
         """Decide (once) between the fused and per-variable paths.
@@ -149,8 +215,16 @@ class Optimizer(Component):
             flat = flats[0]
         else:
             flat = F.mul(1.0 / len(flats), _sum_handles(flats))
+        return self._apply_flat(flat)
+
+    def _apply_flat(self, flat):
+        """Everything past the flat gradient: clip (one squared-norm
+        reduction + one scale over the slab), the shared step bump, and
+        ONE multi-tensor update op. Shared by the in-graph fused step
+        and the external ``apply_flat_grads`` path — identical nodes,
+        identical arithmetic."""
+        slab = self._ensure_param_slab()
         if self.clip_grad_norm is not None:
-            # One squared-norm reduction + one scale over the slab.
             total = F.reduce_sum(F.square(flat))
             norm = F.sqrt(F.maximum(total, 1e-12))
             scale = F.minimum(1.0, F.div(float(self.clip_grad_norm), norm))

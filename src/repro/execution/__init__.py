@@ -27,6 +27,12 @@ from repro.execution.checkpointing import (
     ResumableTrainer,
     resolve_checkpoint_spec,
 )
+from repro.execution.learner_group import (
+    LearnerGroup,
+    LearnerReplicaActor,
+    LearnerSpec,
+    resolve_learner_spec,
+)
 
 __all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
            "A2CRolloutActor", "SyncBatchExecutor",
@@ -36,4 +42,6 @@ __all__ = ["NStepAccumulator", "SingleThreadedWorker", "WorkerStats",
            "SupervisionError", "SupervisionSpec", "Supervisor",
            "resolve_supervision_spec",
            "CheckpointManager", "CheckpointSpec", "ResumableTrainer",
-           "resolve_checkpoint_spec"]
+           "resolve_checkpoint_spec",
+           "LearnerGroup", "LearnerReplicaActor", "LearnerSpec",
+           "resolve_learner_spec"]

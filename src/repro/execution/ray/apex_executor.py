@@ -26,6 +26,7 @@ from repro.execution.checkpointing import (
     CheckpointManager,
     resolve_checkpoint_spec,
 )
+from repro.execution.learner_group import LearnerGroup, resolve_learner_spec
 from repro.execution.parallel import (
     notify_weight_listeners,
     resolve_parallel_spec,
@@ -78,7 +79,7 @@ class ApexExecutor:
                  frame_multiplier: int = 1,
                  seed: int = 0, vector_env_spec=None, parallel_spec=None,
                  weight_listeners=None, supervision_spec=None,
-                 checkpoint_spec=None):
+                 checkpoint_spec=None, learner_spec=None):
         if worker_mode not in ("rlgraph", "rllib_like"):
             raise RLGraphError(f"Unknown worker_mode {worker_mode!r}")
         self.learner = learner_agent
@@ -86,6 +87,17 @@ class ApexExecutor:
         # these listeners (e.g. a serving PolicyServer).
         self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
+        # Data-parallel learner group: replay-sampled batches shard over
+        # K replicas (same batch_splitter policy as everywhere else),
+        # gradients all-reduce over shared memory, and the group answers
+        # update/get_weights/full_state exactly like one learner —
+        # priorities and checkpoints flow through unchanged.
+        lspec = resolve_learner_spec(learner_spec)
+        if lspec is not None:
+            self.learner = LearnerGroup(
+                learner_agent, agent_factory=agent_factory, spec=lspec,
+                parallel_spec=self.parallel,
+                supervision_spec=supervision_spec)
         self.batch_size = int(batch_size)
         self.task_size = int(task_size)
         self.learning_starts = int(learning_starts)

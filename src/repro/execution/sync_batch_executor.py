@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import raylite
 from repro.agents.actor_critic_agent import discounted_returns
+from repro.execution.learner_group import LearnerGroup, resolve_learner_spec
 from repro.execution.parallel import (
     notify_weight_listeners,
     resolve_parallel_spec,
@@ -105,13 +106,22 @@ class SyncBatchExecutor:
                  envs_per_worker: int = 2, rollout_length: int = 32,
                  discount: float = 0.99, vector_env_spec=None,
                  parallel_spec=None, weight_listeners=None,
-                 supervision_spec=None):
+                 supervision_spec=None, learner_spec=None):
         self.learner = learner_agent
         self.discount = float(discount)
         # Eval-during-training hook: every published weight vector also
         # goes to these listeners (e.g. a serving PolicyServer).
         self.weight_listeners = list(weight_listeners or [])
         self.parallel = resolve_parallel_spec(parallel_spec)
+        # Data-parallel learner group: K replicas shard each merged
+        # batch, all-reduce flat gradient slabs over shared memory, and
+        # present the same update/get_weights interface as one agent.
+        lspec = resolve_learner_spec(learner_spec)
+        if lspec is not None:
+            self.learner = LearnerGroup(
+                learner_agent, agent_factory=agent_factory, spec=lspec,
+                parallel_spec=self.parallel,
+                supervision_spec=supervision_spec)
         factories = [
             ReplicaFactory(self.parallel, A2CRolloutActor,
                            agent_factory, env_factory,

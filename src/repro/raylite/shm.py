@@ -133,6 +133,101 @@ def _graft(node: Any, buf, views: List[np.ndarray]) -> Any:
     return node
 
 
+class BlockPool:
+    """Size-keyed free-list of *persistent* named shared-memory blocks.
+
+    The message codec above transfers block ownership with each message
+    (receiver unlinks), so its blocks cannot be reused across sends.
+    Long-lived, repeatedly rewritten buffers — learner-group gradient
+    rings, flat-weight broadcast slots — have the opposite lifecycle:
+    same size every round, same readers every round.  The pool serves
+    those: :meth:`acquire` hands out a block of at least ``nbytes``
+    (aligned), preferring a previously released block of the same size
+    key over creating a new one; :meth:`release` returns it to the
+    free-list without unlinking.  ``stats()`` exposes hit/miss counters
+    so tests can assert steady-state rounds allocate nothing.
+
+    Blocks stay owned by the creating process: peers attach by name and
+    must close their mappings but never unlink (:meth:`drain` — called
+    automatically at interpreter exit — unlinks everything the pool
+    ever created).
+    """
+
+    def __init__(self):
+        self._free: dict = {}
+        self._created: list = []
+        self._lock = threading.Lock()
+        self._stats = {"hits": 0, "misses": 0, "active": 0, "released": 0}
+
+    def acquire(self, nbytes: int):
+        """A block of at least ``nbytes`` (or None when shm is
+        unavailable — callers fall back to pipe transport)."""
+        if shared_memory is None:
+            return None
+        key = _aligned(max(int(nbytes), 1))
+        with self._lock:
+            bucket = self._free.get(key)
+            if bucket:
+                shm = bucket.pop()
+                self._stats["hits"] += 1
+                self._stats["active"] += 1
+                return shm
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=key)
+        except (OSError, ValueError):
+            return None
+        with self._lock:
+            self._stats["misses"] += 1
+            self._stats["active"] += 1
+            self._created.append(shm)
+        return shm
+
+    def release(self, shm) -> None:
+        """Return a block to its size bucket (no unlink, no close)."""
+        if shm is None:
+            return
+        key = _aligned(shm.size)
+        with self._lock:
+            self._free.setdefault(key, []).append(shm)
+            self._stats["released"] += 1
+            self._stats["active"] -= 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._stats)
+        out["free_blocks"] = sum(len(b) for b in self._free.values())
+        return out
+
+    def drain(self) -> None:
+        """Unlink every block this pool ever created (process exit)."""
+        with self._lock:
+            created, self._created = self._created, []
+            self._free.clear()
+            self._stats["active"] = 0
+        for shm in created:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+_pool: Optional[BlockPool] = None
+
+
+def get_pool() -> BlockPool:
+    """The process-wide block pool (created on first use)."""
+    global _pool
+    if _pool is None:
+        _pool = BlockPool()
+        import atexit
+        atexit.register(_pool.drain)
+    return _pool
+
+
 def disown(shm) -> None:
     """Transfer block ownership out of the resource tracker.
 
