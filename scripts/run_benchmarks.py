@@ -20,7 +20,8 @@ Usage:
         [--learner-output BENCH_learner.json] [--skip-learner] \
         [--serving-output BENCH_serving.json] [--skip-serving] \
         [--multi-learner-output BENCH_multi_learner.json] \
-        [--skip-multi-learner]
+        [--skip-multi-learner] \
+        [--gateway-output BENCH_gateway.json] [--skip-gateway]
 """
 
 from __future__ import annotations
@@ -366,6 +367,63 @@ def bench_serving(duration: float = 1.0, num_clients: int = 6) -> dict:
     return summary
 
 
+def bench_gateway(duration: float = 0.8) -> dict:
+    """HTTP gateway overload snapshot (the E15 axis): req/s, success
+    p50/p99 and shed rate at 1x/4x/16x client multiples against a
+    bounded-queue (reject) gateway, plus the unbounded ablation at 16x.
+    The contract the numbers should show: admitted p99 stays flat while
+    the shed rate absorbs the oversubscription; the ablation instead
+    converts the same load into queueing delay."""
+    import os
+
+    import numpy as np
+
+    from repro.agents import DQNAgent
+    from repro.serving import HttpGateway, PolicyServer, drive_http_load
+    from repro.spaces import FloatBox, IntBox
+
+    def agent():
+        return DQNAgent(state_space=FloatBox(shape=(8,)),
+                        action_space=IntBox(4),
+                        network_spec=[{"type": "dense", "units": 64,
+                                       "activation": "relu"}], seed=3)
+
+    rng = np.random.default_rng(0)
+    deadline_ms = 250.0
+    levels = {"1x": 2, "4x": 8, "16x": 32}
+
+    def drive(gateway, clients):
+        load = drive_http_load(
+            gateway, clients, duration, deadline_ms=deadline_ms,
+            observations=rng.standard_normal(
+                (clients, 8)).astype(np.float32))
+        return {"clients": clients,
+                "req_per_s": round(load["req_per_s"], 1),
+                "p50_ms": round(load["p50_ms"], 3),
+                "p99_ms": round(load["p99_ms"], 3),
+                "shed_rate": round(load["shed_rate"], 4),
+                "deadline_rate": round(load["deadline_rate"], 4),
+                "stragglers": load["stragglers"]}
+
+    summary = {"cores": os.cpu_count() or 1, "max_queue": 16,
+               "deadline_ms": deadline_ms}
+    server = PolicyServer(
+        agent(), max_batch_size=16, batch_window=0.0,
+        admission_spec={"max_queue": 16, "retry_after": 0.002})
+    with HttpGateway(server, default_deadline=deadline_ms / 1e3) as gateway:
+        for level, clients in levels.items():
+            summary[level] = drive(gateway, clients)
+    server.stop()
+    server = PolicyServer(agent(), max_batch_size=16, batch_window=0.0)
+    with HttpGateway(server, default_deadline=deadline_ms / 1e3) as gateway:
+        summary["16x_unbounded"] = drive(gateway, levels["16x"])
+    server.stop()
+    base = summary["1x"]["p99_ms"]
+    summary["p99_growth_16x_vs_1x"] = round(
+        summary["16x"]["p99_ms"] / base, 3) if base else None
+    return summary
+
+
 def bench_multi_learner(window: float = 0.5) -> dict:
     """Learner-group snapshot (the E14 axis): single vs K-replica
     update throughput on one total batch, plus the bare all-reduce
@@ -478,6 +536,11 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--skip-multi-learner", action="store_true",
                         help="skip the learner-group snapshot")
+    parser.add_argument("--gateway-output", default="BENCH_gateway.json",
+                        help="HTTP gateway overload snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-gateway", action="store_true",
+                        help="skip the HTTP gateway overload snapshot")
     args = parser.parse_args(argv)
 
     from repro.backend import native
@@ -525,6 +588,13 @@ def main(argv=None) -> int:
             json.dump(multi, f, indent=2)
             f.write("\n")
         json.dump(multi, sys.stdout, indent=2)
+        print()
+    if not args.skip_gateway:
+        gateway = {**host, **bench_gateway()}
+        with open(args.gateway_output, "w") as f:
+            json.dump(gateway, f, indent=2)
+            f.write("\n")
+        json.dump(gateway, sys.stdout, indent=2)
         print()
     return 0
 

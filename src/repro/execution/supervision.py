@@ -242,6 +242,9 @@ class Supervisor:
         # caller recovering from a stale handle (a failed ObjectRef of
         # the pre-restart incarnation) still lands on the right slot.
         self._slot_by_handle: Dict[int, str] = {}
+        # Restart events of slots since unregistered (autoscaler
+        # scale-downs): total_restarts must not forget them.
+        self._retired_history: List[RestartEvent] = []
         self._lock = threading.RLock()
 
     # -- registration -------------------------------------------------------
@@ -261,6 +264,32 @@ class Supervisor:
             self._slots[name] = slot
             self._slot_by_handle[id(handle)] = name
 
+    def unregister(self, name: str):
+        """Stop supervising a slot; returns its current handle.
+
+        The serving autoscaler scales a pool *down* by retiring one
+        replica: the slot must leave supervision first, or the next
+        probe would resurrect the deliberately-removed actor.  The
+        slot's restart history is retained (``total_restarts`` never
+        forgets), and killing/draining the returned handle stays the
+        caller's job.
+        """
+        with self._lock:
+            slot = self._slots.pop(name, None)
+            if slot is None:
+                raise RLGraphError(f"Slot {name!r} is not supervised")
+            self._retired_history.extend(slot.history)
+            self._slot_by_handle = {
+                key: value for key, value in self._slot_by_handle.items()
+                if value != name}
+            return slot.handle
+
+    def name_of(self, handle) -> Optional[str]:
+        """The slot name a handle belongs to (any incarnation), or
+        None for unsupervised handles."""
+        with self._lock:
+            return self._slot_by_handle.get(id(handle))
+
     def names(self) -> List[str]:
         with self._lock:
             return list(self._slots)
@@ -276,10 +305,11 @@ class Supervisor:
 
     @property
     def restart_history(self) -> List[RestartEvent]:
-        """All restarts across all slots, in restart order."""
+        """All restarts across all slots (including since-unregistered
+        ones), in restart order."""
         with self._lock:
             events = [e for slot in self._slots.values()
-                      for e in slot.history]
+                      for e in slot.history] + list(self._retired_history)
         return sorted(events, key=lambda e: e.at)
 
     @property

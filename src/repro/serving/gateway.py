@@ -1,0 +1,541 @@
+"""HTTP/JSON gateway in front of the micro-batching serving stack.
+
+The in-process serving surface (:class:`PolicyServer`,
+:class:`InferenceWorkerPool`) speaks python; real traffic speaks HTTP.
+:class:`HttpGateway` bridges the two with stdlib only — an ``asyncio``
+server on a background thread, no web framework:
+
+* ``POST /act`` — body ``{"obs": [...]}``; optional ``X-Deadline-Ms``
+  header carries the caller's remaining budget into the serving front
+  end (the batch loop skips the request once it expires — the deadline
+  is *propagated*, not merely enforced at the edge).
+* ``GET /metrics`` — JSON: per-route client-facing latency/status
+  counters plus the target's own ``metrics_snapshot()`` (queue depth,
+  shed/reject/expired counters, batch-size histogram, autoscaler
+  events).
+* ``GET /healthz`` — liveness: 200 while the target accepts work.
+
+Overload never looks like a hang: a bounded-queue rejection or CoDel
+shed maps to **503** with a ``Retry-After`` hint, an expired deadline
+to **504**, a malformed request to **400** — each with a typed JSON
+body.  Connections are keep-alive HTTP/1.1, one in-flight request per
+connection (the natural shape for a closed-loop policy client); the
+micro-batcher, not the socket layer, provides the cross-client
+parallelism.
+
+Every request is bridged from the serving stack's thread-settled
+``ObjectRef`` onto the event loop via ``call_soon_threadsafe`` — the
+gateway thread never blocks on a policy computation, so thousands of
+queued sockets cost one thread total.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.overload import (
+    DeadlineExceededError,
+    OverloadError,
+    RouteStats,
+    ServerClosedError,
+)
+from repro.utils.errors import RLGraphError
+
+_MAX_BODY = 8 * 1024 * 1024
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+class _BadRequest(RLGraphError):
+    """Maps to a 400 with the message in the JSON body."""
+
+
+class HttpGateway:
+    """Serve a batching front end (server or pool) over HTTP/JSON.
+
+    ``default_deadline`` (seconds) applies when a request carries no
+    ``X-Deadline-Ms`` header; it bounds end-to-end time in the serving
+    stack AND the gateway's own wait, so a wedged backend turns into a
+    504, never a silently parked socket.  ``port=0`` binds an ephemeral
+    port (read it from ``.address`` after ``start()``).
+    """
+
+    def __init__(self, target, host: str = "127.0.0.1", port: int = 0,
+                 default_deadline: float = 1.0, name: str = "gateway"):
+        if default_deadline <= 0:
+            raise RLGraphError("default_deadline must be > 0")
+        self.target = target
+        self.host = host
+        self.name = name
+        self.default_deadline = float(default_deadline)
+        self.routes: Dict[str, RouteStats] = {
+            "/act": RouteStats(), "/metrics": RouteStats(),
+            "/healthz": RouteStats(), "other": RouteStats()}
+        self._requested_port = int(port)
+        self._port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._shutdown: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "HttpGateway":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._ready.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=self.name)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RLGraphError(f"{self.name}: server failed to start "
+                               f"within 10s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise RLGraphError(
+                f"{self.name}: startup failed: {self._startup_error!r}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        thread, loop = self._thread, self._loop
+        if thread is None or loop is None:
+            return
+        shutdown = self._shutdown
+        if shutdown is not None:
+            try:
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._port is None:
+            raise RLGraphError(f"{self.name}: not started")
+        return (self.host, self._port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.host,
+            port=self._requested_port)
+        self._port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Idle keep-alive connections park their handler in a read;
+            # cancel them so the loop closes clean (no destroyed tasks).
+            tasks = [task for task in asyncio.all_tasks()
+                     if task is not asyncio.current_task()]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- HTTP plumbing -------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload, extra = await self._dispatch(
+                    method, path, headers, body)
+                keep_alive = headers.get("connection", "") != "close"
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Gateway shutdown cancelled this handler mid-read.  Exit
+            # normally instead of re-raising: 3.11's StreamReaderProtocol
+            # done-callback calls task.exception() without checking
+            # cancelled() first and would log spurious tracebacks.
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Minimal HTTP/1.1 request parser: request line, headers,
+        Content-Length body.  Returns None on a cleanly closed socket."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _BadRequest(f"body of {length} bytes exceeds the "
+                              f"{_MAX_BODY}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: Dict[str, Any],
+                              extra_headers: Dict[str, str],
+                              keep_alive: bool) -> None:
+        body = json.dumps(payload).encode()
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str], body: bytes):
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        stats = self.routes.get(path, self.routes["other"])
+        extra: Dict[str, str] = {}
+        try:
+            if path == "/act":
+                if method != "POST":
+                    status, payload = 405, {"error": "method_not_allowed"}
+                else:
+                    status, payload = await self._route_act(headers, body)
+            elif path == "/metrics":
+                status, payload = 200, self.metrics_snapshot()
+            elif path == "/healthz":
+                status, payload = self._route_healthz()
+            else:
+                status, payload = 404, {"error": "not_found", "path": path}
+        except OverloadError as exc:
+            status = 503
+            payload = {"error": "overload", "reason": exc.reason,
+                       "queue_depth": exc.queue_depth,
+                       "retry_after": exc.retry_after}
+            if exc.retry_after:
+                extra["Retry-After"] = f"{exc.retry_after:.3f}"
+        except ServerClosedError as exc:
+            status, payload = 503, {"error": "server_closed",
+                                    "detail": str(exc)}
+        except (DeadlineExceededError, asyncio.TimeoutError) as exc:
+            status, payload = 504, {"error": "deadline_exceeded",
+                                    "detail": str(exc)}
+        except _BadRequest as exc:
+            status, payload = 400, {"error": "bad_request",
+                                    "detail": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - must answer the socket
+            status, payload = 500, {"error": "internal",
+                                    "detail": f"{type(exc).__name__}: {exc}"}
+        stats.record(status, loop.time() - t0)
+        return status, payload, extra
+
+    def _route_healthz(self):
+        running = True
+        snapshot = getattr(self.target, "metrics_snapshot", None)
+        if callable(snapshot):
+            try:
+                running = bool(snapshot().get("running", True))
+            except Exception:  # noqa: BLE001
+                running = False
+        if running:
+            return 200, {"status": "ok"}
+        return 503, {"status": "stopped"}
+
+    async def _route_act(self, headers: Dict[str, str], body: bytes):
+        try:
+            doc = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "obs" not in doc:
+            raise _BadRequest('body must be a JSON object with an "obs" key')
+        try:
+            obs = np.asarray(doc["obs"], dtype=self.target.state_space.dtype)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f"obs is not a valid array: {exc}") from exc
+        budget = self.default_deadline
+        raw = headers.get("x-deadline-ms")
+        if raw is not None:
+            try:
+                budget = float(raw) / 1e3
+            except ValueError as exc:
+                raise _BadRequest(
+                    f"X-Deadline-Ms is not a number: {raw!r}") from exc
+            if budget <= 0:
+                raise _BadRequest("X-Deadline-Ms must be > 0")
+        try:
+            ref = self.target.submit(obs, deadline=budget)
+        except RLGraphError as exc:
+            if isinstance(exc, (OverloadError, ServerClosedError)):
+                raise
+            raise _BadRequest(str(exc)) from exc
+        action = await self._await_ref(ref, budget)
+        return 200, {"action": np.asarray(action).tolist()}
+
+    async def _await_ref(self, ref, budget: float):
+        """Bridge a thread-settled ObjectRef onto the event loop.
+
+        The serving front end owns the deadline (it fails the ref with
+        :class:`DeadlineExceededError` once expired); the small grace on
+        top of ``budget`` here is pure insurance against a wedged
+        backend — it converts a would-be socket hang into a 504.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(done_ref) -> None:
+            def transfer() -> None:
+                if future.done():
+                    return
+                try:
+                    future.set_result(done_ref.result(0))
+                except BaseException as exc:  # noqa: BLE001
+                    future.set_exception(exc)
+            loop.call_soon_threadsafe(transfer)
+
+        ref.add_done_callback(on_done)
+        return await asyncio.wait_for(future, timeout=budget + 1.0)
+
+    # -- observability -------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
+            "gateway": {route: stats.snapshot()
+                        for route, stats in self.routes.items()},
+        }
+        target_snapshot = getattr(self.target, "metrics_snapshot", None)
+        if callable(target_snapshot):
+            try:
+                snap["target"] = target_snapshot()
+            except Exception as exc:  # noqa: BLE001
+                snap["target"] = {"error": f"{type(exc).__name__}: {exc}"}
+        return snap
+
+
+class HttpPolicyClient:
+    """Minimal keep-alive HTTP client for an :class:`HttpGateway`.
+
+    Mirrors :class:`PolicyClient`'s act surface over the wire;
+    ``deadline_ms`` rides the ``X-Deadline-Ms`` header.  Raises the
+    same typed errors the in-process path raises, so tests and benches
+    can treat both paths uniformly.  Not thread-safe — one instance
+    per driving thread (exactly like an ``http.client`` connection).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 deadline_ms: Optional[float] = None):
+        self.host, self.port = host, int(port)
+        self.timeout = timeout
+        self.deadline_ms = deadline_ms
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    @classmethod
+    def for_gateway(cls, gateway: HttpGateway, **kwargs
+                    ) -> "HttpPolicyClient":
+        host, port = gateway.address
+        return cls(host, port, **kwargs)
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str, body=None, headers=None):
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode() or "{}")
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # One reconnect: the gateway may have closed an idle
+            # keep-alive socket between requests.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode() or "{}")
+        return response.status, dict(response.getheaders()), payload
+
+    def act(self, obs, deadline_ms: Optional[float] = None):
+        headers = {"Content-Type": "application/json"}
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            headers["X-Deadline-Ms"] = f"{budget:g}"
+        body = json.dumps({"obs": np.asarray(obs).tolist()})
+        status, resp_headers, payload = self._request(
+            "POST", "/act", body=body, headers=headers)
+        if status == 200:
+            return np.asarray(payload["action"])
+        if status == 503:
+            retry_after = payload.get("retry_after")
+            if retry_after is None:
+                header = resp_headers.get("Retry-After")
+                retry_after = float(header) if header else None
+            raise OverloadError(
+                f"gateway returned 503: {payload}",
+                queue_depth=payload.get("queue_depth", 0),
+                retry_after=retry_after,
+                reason=payload.get("reason", payload.get("error", "unknown")))
+        if status == 504:
+            raise DeadlineExceededError(
+                f"gateway returned 504: {payload.get('detail', '')}")
+        raise RLGraphError(f"gateway returned {status}: {payload}")
+
+    def metrics(self) -> Dict[str, Any]:
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise RLGraphError(f"/metrics returned {status}: {payload}")
+        return payload
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        status, _, payload = self._request("GET", "/healthz")
+        return status, payload
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def drive_http_load(gateway: HttpGateway, num_clients: int,
+                    duration: float, deadline_ms: Optional[float] = None,
+                    observations=None, join_timeout: float = 30.0
+                    ) -> Dict[str, Any]:
+    """Closed-loop HTTP load driver: the over-the-wire twin of
+    :func:`repro.serving.client.drive_concurrent_load`.
+
+    Spawns ``num_clients`` threads, each a keep-alive
+    :class:`HttpPolicyClient` looping ``act`` on its own observation.
+    Typed overload (503) and deadline (504) responses are counted, not
+    fatal — measuring behavior AT overload is the point.  Returns
+    ``requests`` (successes), ``attempts``, ``req_per_s``, ``p50_ms``/
+    ``p99_ms`` over successes, ``shed_rate`` (overload / attempts),
+    ``deadline_rate``, and ``stragglers``.  Any *untyped* client error
+    fails the run loudly.
+    """
+    import threading
+    import time as _time
+
+    if observations is None:
+        observations = gateway.target.state_space.sample(
+            size=max(num_clients, 1))
+    stop = threading.Event()
+    lock = threading.Lock()
+    latencies: list = []
+    counts = {"ok": 0, "overload": 0, "deadline": 0}
+    errors: list = []
+    host, port = gateway.address
+
+    def loop(index: int) -> None:
+        client = HttpPolicyClient(host, port, deadline_ms=deadline_ms)
+        obs = np.asarray(observations[index])
+        try:
+            while not stop.is_set():
+                t0 = _time.perf_counter()
+                try:
+                    client.act(obs)
+                    with lock:
+                        counts["ok"] += 1
+                        latencies.append(_time.perf_counter() - t0)
+                except OverloadError as exc:
+                    with lock:
+                        counts["overload"] += 1
+                    stop.wait(exc.retry_after or 0.002)
+                except DeadlineExceededError:
+                    with lock:
+                        counts["deadline"] += 1
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=loop, args=(i,), daemon=True)
+               for i in range(num_clients)]
+    t0 = _time.perf_counter()
+    for thread in threads:
+        thread.start()
+    _time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=join_timeout)
+    stragglers = sum(1 for thread in threads if thread.is_alive())
+    wall = _time.perf_counter() - t0
+    if errors:
+        raise RLGraphError(
+            f"drive_http_load: {len(errors)}/{num_clients} clients "
+            f"failed with untyped errors; first: {errors[0]!r}"
+        ) from errors[0]
+    attempts = counts["ok"] + counts["overload"] + counts["deadline"]
+    arr = np.asarray(latencies) if latencies else np.asarray([float("nan")])
+    return {
+        "requests": counts["ok"],
+        "attempts": attempts,
+        "wall_time": wall,
+        "req_per_s": counts["ok"] / wall,
+        "p50_ms": float(np.percentile(arr, 50)) * 1e3,
+        "p99_ms": float(np.percentile(arr, 99)) * 1e3,
+        "overload": counts["overload"],
+        "deadline_expired": counts["deadline"],
+        "shed_rate": counts["overload"] / attempts if attempts else 0.0,
+        "deadline_rate": counts["deadline"] / attempts if attempts else 0.0,
+        "stragglers": stragglers,
+    }

@@ -40,6 +40,13 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.raylite import ObjectRef
+from repro.serving.overload import (
+    DeadlineExceededError,
+    OverloadError,
+    ServerClosedError,
+    deadline_from_budget,
+    resolve_admission_spec,
+)
 from repro.utils.errors import RLGraphError
 
 
@@ -56,7 +63,12 @@ class ServerStats:
         self.weight_swaps = 0
         self.weight_swap_failures = 0
         self.max_batch = 0
+        self.rejected = 0
+        self.shed = 0
+        self.expired = 0
+        self.retries = 0
         self._batched_requests = 0
+        self._batch_hist: Dict[int, int] = {}
         self._latencies: List[float] = []
 
     def record_batch(self, size: int, latencies) -> None:
@@ -64,6 +76,7 @@ class ServerStats:
             self.batches += 1
             self._batched_requests += size
             self.max_batch = max(self.max_batch, size)
+            self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
             if len(self._latencies) < self.MAX_LATENCY_SAMPLES:
                 self._latencies.extend(latencies)
 
@@ -74,6 +87,27 @@ class ServerStats:
     def record_error(self, count: int = 1) -> None:
         with self._lock:
             self.errors += count
+
+    def record_reject(self, count: int = 1) -> None:
+        with self._lock:
+            self.rejected += count
+
+    def record_shed(self, count: int = 1) -> None:
+        with self._lock:
+            self.shed += count
+
+    def record_expired(self, count: int = 1) -> None:
+        with self._lock:
+            self.expired += count
+
+    def record_retry(self, count: int = 1) -> None:
+        with self._lock:
+            self.retries += count
+
+    @property
+    def batch_size_histogram(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._batch_hist.items()))
 
     def record_swap(self) -> None:
         with self._lock:
@@ -103,24 +137,33 @@ class ServerStats:
                 "requests": self.requests,
                 "batches": self.batches,
                 "errors": self.errors,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "expired": self.expired,
+                "retries": self.retries,
                 "weight_swaps": self.weight_swaps,
                 "weight_swap_failures": self.weight_swap_failures,
                 "mean_batch_size": round(
                     self._batched_requests / self.batches, 2)
                     if self.batches else 0.0,
                 "max_batch_size": self.max_batch,
+                "batch_size_histogram": dict(sorted(self._batch_hist.items())),
                 "p50_latency_ms": round(p50 * 1e3, 3) if p50 else None,
                 "p99_latency_ms": round(p99 * 1e3, 3) if p99 else None,
             }
 
 
 class _Request:
-    __slots__ = ("obs", "ref", "t_submit", "attempts")
+    __slots__ = ("obs", "ref", "t_submit", "attempts", "deadline")
 
-    def __init__(self, obs, ref: ObjectRef, t_submit: float):
+    def __init__(self, obs, ref: ObjectRef, t_submit: float,
+                 deadline: Optional[float] = None):
         self.obs = obs
         self.ref = ref
         self.t_submit = t_submit
+        # Absolute (perf_counter) expiry, or None: the batch loop skips
+        # expired requests instead of wasting a batch slot on them.
+        self.deadline = deadline
         # Dispatch attempts so far: a supervised worker pool re-queues
         # the requests of a batch lost to a replica crash (bounded — see
         # InferenceWorkerPool._on_batch_done) instead of failing them.
@@ -170,17 +213,33 @@ class _BatchingFrontEnd:
 
     def __init__(self, state_space, max_batch_size: int = 32,
                  batch_window: float = 0.002, name: str = "policy-server",
-                 auto_start: bool = True):
+                 auto_start: bool = True, admission_spec=None,
+                 default_deadline: Optional[float] = None,
+                 tick: Optional[float] = None):
         if max_batch_size < 1:
             raise RLGraphError("max_batch_size must be >= 1")
         if batch_window < 0:
             raise RLGraphError("batch_window must be >= 0")
+        if default_deadline is not None and default_deadline <= 0:
+            raise RLGraphError("default_deadline must be > 0 (or None)")
         self.state_space = state_space
         self.max_batch_size = int(max_batch_size)
         self.batch_window = float(batch_window)
         self.name = name
+        self.admission = resolve_admission_spec(admission_spec)
+        self.default_deadline = default_deadline
         self.stats = ServerStats()
+        self._shedder = self.admission.make_shedder()
         self._mailbox: "queue.Queue" = queue.Queue()
+        # Queued *request* count (controls excluded): the admission /
+        # shedding / autoscaling signal.  Tracked explicitly because
+        # Queue.qsize() would count control items too.
+        self._depth = 0
+        self._depth_lock = threading.Lock()
+        # Collector wake-up period with an empty mailbox: None blocks
+        # forever (the plain-server default); the pool sets it so the
+        # autoscaler can act on *silence* (shrink-when-idle).
+        self._tick = tick
         self._thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
         if auto_start:
@@ -199,10 +258,12 @@ class _BatchingFrontEnd:
 
     def stop(self) -> None:
         """Drain-and-stop: requests already queued are still served (the
-        sentinel sits behind them in the mailbox), new submits fail.
-        A request that raced past the submit-time check while stop ran
-        is failed here with the clear not-running error rather than
-        left to hang its caller until timeout."""
+        sentinel sits behind them in the mailbox), new submits fail with
+        a typed :class:`ServerClosedError` *synchronously*.  A request
+        that raced past the submit-time check while stop ran is failed
+        here with the same typed error immediately — its caller's
+        ``ref.result()`` raises right away rather than hanging until
+        the client timeout."""
         if self._thread is None:
             return
         self._stopped.set()
@@ -214,8 +275,10 @@ class _BatchingFrontEnd:
                 item = self._mailbox.get_nowait()
             except queue.Empty:
                 break
+            if isinstance(item, _Request):
+                self._depth_dec()
             if isinstance(item, (_Request, _Control)):
-                item.ref._fail(RLGraphError(
+                item.ref._fail(ServerClosedError(
                     f"{self.name}: server is not running"))
 
     def __enter__(self):
@@ -227,13 +290,81 @@ class _BatchingFrontEnd:
     def _warm_up(self) -> None:  # pragma: no cover - overridden
         pass
 
+    # -- queue-depth accounting ----------------------------------------------
+    def _depth_inc(self) -> None:
+        with self._depth_lock:
+            self._depth += 1
+
+    def _depth_dec(self) -> None:
+        with self._depth_lock:
+            self._depth -= 1
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the mailbox (the overload
+        signal: admission, CoDel and the autoscaler all read it)."""
+        with self._depth_lock:
+            return self._depth
+
+    def _admit(self) -> None:
+        """Bounded-queue admission: runs synchronously in ``submit``.
+
+        ``reject`` raises the typed :class:`OverloadError` to the caller
+        (queue depth + retry-after attached); ``drop-oldest`` fails the
+        oldest *queued* request instead and admits the new one.
+        """
+        max_queue = self.admission.max_queue
+        if max_queue is None:
+            return
+        depth = self.queue_depth()
+        if depth < max_queue:
+            return
+        if self.admission.policy == "reject":
+            self.stats.record_reject()
+            raise OverloadError(
+                f"{self.name}: request queue is full "
+                f"({depth}/{max_queue}); retry after "
+                f"{self.admission.retry_after:.3f}s",
+                queue_depth=depth, retry_after=self.admission.retry_after,
+                reason="queue_full")
+        # drop-oldest: pop queued items until a request surfaces;
+        # controls (weight swaps) are order-insensitive between batches
+        # and are simply re-enqueued.
+        requeue = []
+        victim = None
+        while True:
+            try:
+                item = self._mailbox.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Request):
+                victim = item
+                break
+            requeue.append(item)
+        for item in requeue:
+            self._mailbox.put(item)
+        if victim is not None:
+            self._depth_dec()
+            self.stats.record_shed()
+            victim.ref._fail(OverloadError(
+                f"{self.name}: dropped as oldest queued request under "
+                f"overload (queue {depth}/{max_queue})",
+                queue_depth=depth, retry_after=self.admission.retry_after,
+                reason="dropped_oldest"))
+
     # -- client surface ------------------------------------------------------
-    def submit(self, obs) -> ObjectRef:
+    def submit(self, obs, deadline: Optional[float] = None) -> ObjectRef:
         """Enqueue one observation; returns a raylite-style future for
         its action.  Shape problems fail *here*, synchronously, with the
-        expected shapes spelled out — they never poison a batch."""
+        expected shapes spelled out — they never poison a batch.
+
+        ``deadline`` is a seconds budget for this request; once it
+        expires while queued the batch loop fails the future with
+        :class:`DeadlineExceededError` instead of executing it.  A full
+        bounded queue raises :class:`OverloadError` here (``reject``
+        policy) or sheds the oldest queued request (``drop-oldest``).
+        """
         if self._stopped.is_set() or self._thread is None:
-            raise RLGraphError(f"{self.name}: server is not running")
+            raise ServerClosedError(f"{self.name}: server is not running")
         obs = np.asarray(obs)
         expected = self.state_space.shape
         if obs.shape != expected:
@@ -241,9 +372,15 @@ class _BatchingFrontEnd:
                 f"{self.name}: observation of shape {obs.shape} does not "
                 f"match the state space shape {expected} — submit exactly "
                 f"one unbatched observation per request")
+        self._admit()
+        now = time.perf_counter()
+        if deadline is None:
+            deadline = self.default_deadline
         ref = ObjectRef()
         self.stats.record_submit()
-        self._mailbox.put(_Request(obs, ref, time.perf_counter()))
+        self._depth_inc()
+        self._mailbox.put(_Request(
+            obs, ref, now, deadline_from_budget(deadline, now)))
         # Re-check after the put: a stop() racing this submit may have
         # already drained the mailbox, leaving the request unread.
         # Settle-once semantics make this safe — if the loop (or the
@@ -251,12 +388,14 @@ class _BatchingFrontEnd:
         thread = self._thread
         if self._stopped.is_set() and (thread is None
                                        or not thread.is_alive()):
-            ref._fail(RLGraphError(f"{self.name}: server is not running"))
+            ref._fail(ServerClosedError(
+                f"{self.name}: server is not running"))
         return ref
 
-    def act(self, obs, timeout: Optional[float] = None):
+    def act(self, obs, timeout: Optional[float] = None,
+            deadline: Optional[float] = None):
         """Synchronous single-observation act."""
-        return self.submit(obs).result(timeout)
+        return self.submit(obs, deadline=deadline).result(timeout)
 
     def set_weights(self, weights, wait: bool = False) -> ObjectRef:
         """Hot-swap policy weights mid-traffic.
@@ -278,7 +417,16 @@ class _BatchingFrontEnd:
     # -- the batching loop ---------------------------------------------------
     def _loop(self) -> None:
         while True:
-            item = self._mailbox.get()
+            try:
+                if self._tick is None:
+                    item = self._mailbox.get()
+                else:
+                    item = self._mailbox.get(timeout=self._tick)
+            except queue.Empty:
+                # Idle tick: no traffic — let subclasses evaluate
+                # time-driven policy (autoscaler shrink-when-idle).
+                self._on_idle_tick()
+                continue
             if item is _STOP:
                 return
             requests: List[_Request] = []
@@ -286,6 +434,7 @@ class _BatchingFrontEnd:
             if isinstance(item, _Control):
                 controls.append(item)
             else:
+                self._depth_dec()
                 requests.append(item)
                 deadline = time.perf_counter() + self.batch_window
                 while len(requests) < self.max_batch_size:
@@ -306,7 +455,9 @@ class _BatchingFrontEnd:
                     if isinstance(nxt, _Control):
                         controls.append(nxt)
                     else:
+                        self._depth_dec()
                         requests.append(nxt)
+            requests = self._filter_admitted(requests)
             if requests:
                 try:
                     self._dispatch(requests)
@@ -333,12 +484,68 @@ class _BatchingFrontEnd:
                           file=sys.stderr)
                     control.ref._fail(exc)
 
+    def _filter_admitted(self, requests: List[_Request]) -> List[_Request]:
+        """Drop expired and CoDel-shed requests from a collected batch.
+
+        Runs on the collector thread just before dispatch.  An expired
+        request is *never executed* — its slot is simply not wasted —
+        and its future fails with the typed deadline error.  When CoDel
+        detects a standing queue (sojourn above target for a full
+        interval), requests shed here fail with :class:`OverloadError`
+        so clients back off instead of piling on.
+        """
+        now = time.perf_counter()
+        depth = self.queue_depth()
+        admitted: List[_Request] = []
+        for req in requests:
+            if req.deadline is not None and now >= req.deadline:
+                self.stats.record_expired()
+                req.ref._fail(DeadlineExceededError(
+                    f"{self.name}: deadline expired after "
+                    f"{now - req.t_submit:.4f}s in queue (budget "
+                    f"{req.deadline - req.t_submit:.4f}s) — request was "
+                    f"never executed",
+                    waited=now - req.t_submit,
+                    budget=req.deadline - req.t_submit))
+                continue
+            if self._shedder is not None and self._shedder.on_dequeue(
+                    now - req.t_submit, now=now,
+                    queue_depth=depth + len(requests)):
+                self.stats.record_shed()
+                req.ref._fail(OverloadError(
+                    f"{self.name}: shed after {now - req.t_submit:.4f}s "
+                    f"queueing delay (CoDel target "
+                    f"{self._shedder.target:.4f}s)",
+                    queue_depth=depth,
+                    retry_after=self.admission.retry_after, reason="shed"))
+                continue
+            admitted.append(req)
+        return admitted
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One scrapeable snapshot: counters, percentiles, queue depth,
+        batch-size histogram, admission configuration.  The HTTP
+        gateway serves this (plus its per-route layer) at /metrics."""
+        snap = self.stats.as_dict()
+        snap["queue_depth"] = self.queue_depth()
+        snap["max_queue"] = self.admission.max_queue
+        snap["admission_policy"] = (self.admission.policy
+                                    if self.admission.enabled else None)
+        snap["codel_target"] = self.admission.codel_target
+        snap["running"] = (self._thread is not None
+                           and self._thread.is_alive())
+        return snap
+
     # -- to be implemented ---------------------------------------------------
     def _dispatch(self, requests: List[_Request]) -> None:
         raise NotImplementedError
 
     def _apply_weights(self, weights) -> None:
         raise NotImplementedError
+
+    def _on_idle_tick(self) -> None:
+        """Called when a tick elapses with no mailbox traffic (only when
+        ``tick`` is set).  Subclasses hook time-driven policy here."""
 
     # -- shared batch helpers ------------------------------------------------
     def _stack(self, requests: List[_Request]):
@@ -384,7 +591,8 @@ class PolicyServer(_BatchingFrontEnd):
     def __init__(self, agent, max_batch_size: int = 32,
                  batch_window: float = 0.002, explore: bool = False,
                  pad_batches: bool = True, name: str = "policy-server",
-                 auto_start: bool = True):
+                 auto_start: bool = True, admission_spec=None,
+                 default_deadline: Optional[float] = None):
         if agent.graph is None:
             raise RLGraphError("PolicyServer needs a built agent")
         self.agent = agent
@@ -397,7 +605,8 @@ class PolicyServer(_BatchingFrontEnd):
         self._act = agent.serving_act_fn(explore=explore)
         super().__init__(agent.state_space, max_batch_size=max_batch_size,
                          batch_window=batch_window, name=name,
-                         auto_start=auto_start)
+                         auto_start=auto_start, admission_spec=admission_spec,
+                         default_deadline=default_deadline)
 
     def _warm_up(self) -> None:
         """Prime the compiled act plan and its allocations for every

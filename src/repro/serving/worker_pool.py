@@ -37,6 +37,10 @@ from repro.execution.supervision import (
     Supervisor,
     resolve_supervision_spec,
 )
+from repro.serving.overload import (
+    QueueDepthAutoscaler,
+    resolve_autoscale_spec,
+)
 from repro.serving.policy_server import (
     _BatchingFrontEnd,
     _Request,
@@ -114,18 +118,24 @@ class InferenceWorkerPool(_BatchingFrontEnd):
                  batch_window: float = 0.002, explore: bool = False,
                  pad_batches: bool = True, parallel_spec=None,
                  name: str = "inference-pool", auto_start: bool = True,
-                 supervision_spec=None):
+                 supervision_spec=None, admission_spec=None,
+                 default_deadline=None, autoscale_spec=None):
         if num_replicas < 1:
             raise RLGraphError("num_replicas must be >= 1")
         from repro.spaces.space_utils import space_from_spec
         self.pad_batches = pad_batches
         self.parallel = resolve_parallel_spec(parallel_spec)
+        self._agent_factory = agent_factory
+        self._explore = explore
         factories = [
             ReplicaFactory(self.parallel, PolicyServerActor,
                            agent_factory, explore, i)
             for i in range(num_replicas)
         ]
         self.replicas = [factory() for factory in factories]
+        # Monotonic replica index: autoscaled replicas get fresh slot
+        # names even after earlier ones were retired.
+        self._next_replica_index = num_replicas
         # The last hot-swapped weight vector: a restarted replica must
         # rejoin at the CURRENT version, not its factory-fresh init.
         self._current_weights = None
@@ -138,14 +148,28 @@ class InferenceWorkerPool(_BatchingFrontEnd):
                 self.supervisor.register(
                     f"{name}-replica-{i}", replica, factory,
                     on_restart=self._sync_restarted_replica)
+        self.autoscale = resolve_autoscale_spec(autoscale_spec)
+        self.autoscaler = (QueueDepthAutoscaler(self.autoscale)
+                           if self.autoscale is not None else None)
         self._inflight: set = set()
         self._inflight_lock = threading.Lock()
         self._inflight_drained = threading.Event()
         self._inflight_drained.set()
+        # Requests routed but not yet resolved.  The autoscaling signal
+        # is mailbox depth PLUS this: the collector routes batches
+        # without blocking, so under overload the backlog sits in
+        # replica mailboxes, not ours.
+        self._inflight_requests = 0
         super().__init__(space_from_spec(state_space),
                          max_batch_size=max_batch_size,
                          batch_window=batch_window, name=name,
-                         auto_start=auto_start)
+                         auto_start=auto_start,
+                         admission_spec=admission_spec,
+                         default_deadline=default_deadline,
+                         # The collector must wake on silence so the
+                         # autoscaler can shrink an idle pool.
+                         tick=(self.autoscale.tick_interval
+                               if self.autoscale is not None else None))
 
     # -- batching hooks ------------------------------------------------------
     def _warm_up(self) -> None:
@@ -173,6 +197,91 @@ class InferenceWorkerPool(_BatchingFrontEnd):
             live = [h for h in self.replicas if h.is_alive()]
         return live
 
+    # -- autoscaling ---------------------------------------------------------
+    def outstanding(self) -> int:
+        """Requests somewhere inside the pool: queued in the mailbox or
+        routed to a replica and awaiting its result.  This — not bare
+        mailbox depth — is the overload signal the autoscaler watches:
+        the collector routes without blocking, so a saturated pool shows
+        up as in-flight backlog, not as mailbox depth."""
+        with self._inflight_lock:
+            inflight = self._inflight_requests
+        return self.queue_depth() + inflight
+
+    def _maybe_autoscale(self) -> None:
+        """Evaluate the queue-depth controller between batches (and on
+        idle ticks).  Runs on the collector thread, so replica-list
+        mutation never races dispatch."""
+        if self.autoscaler is None or self._stopped.is_set():
+            return
+        decision = self.autoscaler.decide(self.outstanding(),
+                                          len(self.replicas))
+        if decision > 0:
+            self._scale_up()
+        elif decision < 0:
+            self._scale_down()
+
+    def _scale_up(self) -> None:
+        """Add one replica, fully warmed, at the current weight version.
+
+        The new replica only joins the routing set once its compiled
+        act plans are primed and the current flat weights applied —
+        scale events must preserve bitwise action parity, so a cold or
+        stale replica never sees a batch.
+        """
+        index = self._next_replica_index
+        self._next_replica_index += 1
+        factory = ReplicaFactory(self.parallel, PolicyServerActor,
+                                 self._agent_factory, self._explore, index)
+        try:
+            handle = factory()
+            refs = [handle.warm_up.remote(
+                bucket_sizes(self.max_batch_size))]
+            if self._current_weights is not None:
+                refs.append(handle.set_weights.remote(self._current_weights))
+            raylite.get(refs, timeout=60.0)
+        except Exception as exc:
+            # A failed grow is a missed opportunity, not an outage:
+            # existing replicas keep serving; the controller's cooldown
+            # already spaces out the next attempt.
+            import sys
+            print(f"{self.name}: scale-up failed, staying at "
+                  f"{len(self.replicas)} replicas: {exc}", file=sys.stderr)
+            return
+        if self.supervisor is not None:
+            self.supervisor.register(
+                f"{self.name}-replica-{index}", handle, factory,
+                on_restart=self._sync_restarted_replica)
+        self.replicas.append(handle)
+
+    def _scale_down(self) -> None:
+        """Retire one idle replica (newest first).
+
+        Only a replica with an empty mailbox (``num_pending() == 0``)
+        is eligible — since this runs on the collector thread, nothing
+        can route to it concurrently, so the kill drops zero requests.
+        A busy pool simply defers the shrink to a later tick.
+        """
+        for handle in reversed(self.replicas):
+            try:
+                if handle.num_pending() != 0:
+                    continue
+            except Exception:
+                continue
+            self.replicas.remove(handle)
+            if self.supervisor is not None:
+                slot_name = self.supervisor.name_of(handle)
+                if slot_name is not None:
+                    self.supervisor.unregister(slot_name)
+            try:
+                raylite.kill(handle)
+            except Exception:
+                pass
+            return
+
+    def _on_idle_tick(self) -> None:
+        self._maybe_autoscale()
+
     def _dispatch(self, requests: List[_Request]) -> None:
         """Route to the least-loaded LIVE replica; scatter on completion.
 
@@ -180,6 +289,7 @@ class InferenceWorkerPool(_BatchingFrontEnd):
         result path) distributes actions, so the collector immediately
         returns to assembling the next batch for the next replica.
         """
+        self._maybe_autoscale()
         live = self._live_replicas()
         if not live:
             raise RLGraphError(
@@ -191,6 +301,7 @@ class InferenceWorkerPool(_BatchingFrontEnd):
         ref = replica.act_batch.remote(obs)
         with self._inflight_lock:
             self._inflight.add(ref.id)
+            self._inflight_requests += len(requests)
             self._inflight_drained.clear()
         ref.add_done_callback(
             functools.partial(self._on_batch_done, requests))
@@ -199,6 +310,7 @@ class InferenceWorkerPool(_BatchingFrontEnd):
                        ref: raylite.ObjectRef) -> None:
         with self._inflight_lock:
             self._inflight.discard(ref.id)
+            self._inflight_requests -= len(requests)
             if not self._inflight:
                 self._inflight_drained.set()
         try:
@@ -222,6 +334,11 @@ class InferenceWorkerPool(_BatchingFrontEnd):
         for req in requests:
             if req.attempts < _MAX_DISPATCH_ATTEMPTS:
                 # No record_submit: the request was already counted.
+                # It does count as a retry (and re-enters the queue
+                # depth) — the metrics must show crash-induced
+                # re-dispatches.
+                self.stats.record_retry()
+                self._depth_inc()
                 self._mailbox.put(req)
             else:
                 self.stats.record_error(1)
@@ -266,13 +383,33 @@ class InferenceWorkerPool(_BatchingFrontEnd):
 
     def replica_stats(self) -> List[dict]:
         stats = []
-        for replica in self.replicas:
+        for replica in list(self.replicas):
             try:
                 stats.append(raylite.get(replica.get_stats.remote()))
             except Exception:
                 if self.supervisor is None:
                     raise
         return stats
+
+    def metrics_snapshot(self) -> dict:
+        """The front-end snapshot plus pool-level state: replica count,
+        per-replica served counters, autoscale event log."""
+        snap = super().metrics_snapshot()
+        snap["replicas"] = len(self.replicas)
+        snap["outstanding"] = self.outstanding()
+        try:
+            snap["replica_stats"] = self.replica_stats()
+        except Exception:
+            snap["replica_stats"] = []
+        if self.autoscaler is not None:
+            snap["autoscale"] = {
+                "min_replicas": self.autoscale.min_replicas,
+                "max_replicas": self.autoscale.max_replicas,
+                "events": list(self.autoscaler.events),
+            }
+        if self.supervisor is not None:
+            snap["restarts"] = self.supervisor.total_restarts
+        return snap
 
     def __repr__(self):
         return (f"InferenceWorkerPool(replicas={len(self.replicas)}, "

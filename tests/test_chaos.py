@@ -166,3 +166,113 @@ class TestLearnerGroupChaos:
         finally:
             group.shutdown()
             raylite.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Serving gateway under overload + replica death
+# ---------------------------------------------------------------------------
+class TestGatewayChaos:
+    def test_sigkill_replica_while_gateway_sheds(self):
+        """SIGKILL one process replica while the HTTP gateway is
+        rejecting excess load behind a tiny bounded queue.
+
+        The contract under simultaneous overload + failure: zero hung
+        requests — every single request resolves, within its deadline,
+        to a success (200), a typed overload rejection (503), or a
+        deadline expiry (504); nothing else, and nothing blocks past
+        the budget.  After the supervisor heals the slot, the pool
+        serves the exact reference policy again over HTTP.
+        """
+        from repro.agents import DQNAgent
+        from repro.serving import (
+            DeadlineExceededError,
+            HttpGateway,
+            HttpPolicyClient,
+            InferenceWorkerPool,
+            OverloadError,
+        )
+        from repro.spaces import FloatBox
+
+        def dqn_factory():
+            return DQNAgent(state_space=FloatBox(shape=(8,)),
+                            action_space=IntBox(4),
+                            network_spec=[{"type": "dense", "units": 16,
+                                           "activation": "relu"}],
+                            seed=5)
+
+        pool = InferenceWorkerPool(
+            dqn_factory, FloatBox(shape=(8,)), num_replicas=2,
+            max_batch_size=8, batch_window=0.002, parallel_spec="process",
+            supervision_spec=SUPERVISION,
+            admission_spec={"max_queue": 4, "retry_after": 0.01})
+        gateway = HttpGateway(pool, default_deadline=2.0)
+        try:
+            gateway.start()
+            obs = np.random.default_rng(9).standard_normal(
+                (8, 8)).astype(np.float32)
+            timer = _sigkill_later(lambda: pool.replicas[0].pid, 1.0)
+            stop_at = time.perf_counter() + 3.0
+            counts = {"ok": 0, "overload": 0, "deadline": 0}
+            unexpected = []
+            over_deadline = []
+            lock = threading.Lock()
+
+            def client_loop(index):
+                client = HttpPolicyClient.for_gateway(
+                    gateway, deadline_ms=2000)
+                try:
+                    while time.perf_counter() < stop_at:
+                        t0 = time.perf_counter()
+                        try:
+                            client.act(obs[index])
+                            key = "ok"
+                        except OverloadError:
+                            key = "overload"
+                        except DeadlineExceededError:
+                            key = "deadline"
+                        except BaseException as exc:  # noqa: BLE001
+                            with lock:
+                                unexpected.append(exc)
+                            return
+                        elapsed = time.perf_counter() - t0
+                        with lock:
+                            counts[key] += 1
+                            # 2s budget + generous loaded-CI slack; a
+                            # hang would blow far past this.
+                            if elapsed > 3.5:
+                                over_deadline.append(elapsed)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=client_loop, args=(i,),
+                                        daemon=True)
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            timer.join()
+            stragglers = sum(1 for t in threads if t.is_alive())
+            assert stragglers == 0, f"{stragglers} clients hung"
+            assert not unexpected, f"untyped failures: {unexpected[:3]}"
+            assert not over_deadline, (
+                f"requests blocked past deadline: {over_deadline[:5]}")
+            assert counts["ok"] > 0
+            # The tiny queue under 8 concurrent clients guarantees the
+            # gateway was actively load-shedding during the run.
+            assert counts["overload"] > 0, counts
+            assert pool.supervisor.total_restarts >= 1
+            assert all(h.is_alive() for h in pool.replicas)
+            # Post-restart parity over the HTTP path.
+            reference = dqn_factory()
+            expected = [int(reference.get_actions(o, explore=False)[0])
+                        for o in obs]
+            with HttpPolicyClient.for_gateway(gateway,
+                                              timeout=30.0) as client:
+                served = [int(client.act(o, deadline_ms=30000))
+                          for o in obs]
+            assert served == expected
+        finally:
+            gateway.stop()
+            pool.stop()
+            raylite.shutdown()

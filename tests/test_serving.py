@@ -444,3 +444,72 @@ class TestThroughput:
             assert ratio >= 2.0, (
                 f"batched serving only {ratio:.2f}x unbatched on "
                 f"{CORES} cores")
+
+
+# ---------------------------------------------------------------------------
+# Overload integration on real agents (mechanics live in test_overload.py)
+# ---------------------------------------------------------------------------
+class TestServingOverloadIntegration:
+    def test_pool_with_bounded_queue_rejects_then_recovers(self):
+        from repro.serving import OverloadError
+
+        pool = InferenceWorkerPool(
+            _dqn_factory, FloatBox(shape=(STATE_DIM,)), num_replicas=2,
+            max_batch_size=8, batch_window=0.002, parallel_spec="thread",
+            admission_spec={"max_queue": 16, "retry_after": 0.01})
+        try:
+            obs = _obs_stream(64, seed=5)
+            admitted, rejected = [], 0
+            for o in obs:
+                for _ in range(8):   # 8x the queue bound, instantly
+                    try:
+                        admitted.append(pool.submit(o))
+                    except OverloadError as exc:
+                        assert exc.reason == "queue_full"
+                        rejected += 1
+            for ref in admitted:
+                ref.result(30.0)
+            assert rejected > 0
+            assert pool.stats.as_dict()["rejected"] == rejected
+            # Back under load: normal requests flow with exact parity.
+            probe = _obs_stream(10, seed=23)
+            assert [int(pool.act(o, timeout=30.0)) for o in probe] == \
+                _greedy_reference(_dqn(), probe)
+        finally:
+            pool.stop()
+
+    def test_metrics_snapshot_contract(self):
+        server = PolicyServer(_dqn(), max_batch_size=8, batch_window=0.001,
+                              admission_spec={"max_queue": 32})
+        try:
+            client = PolicyClient(server)
+            for o in _obs_stream(12, seed=3):
+                client.act(o)
+            snap = server.metrics_snapshot()
+            assert snap["requests"] == 12
+            assert snap["queue_depth"] == 0
+            assert snap["max_queue"] == 32
+            assert snap["admission_policy"] == "reject"
+            assert snap["running"] is True
+            hist = snap["batch_size_histogram"]
+            assert sum(k * v for k, v in hist.items()) == 12
+            for key in ("rejected", "shed", "expired", "retries"):
+                assert snap[key] == 0
+        finally:
+            server.stop()
+        assert server.metrics_snapshot()["running"] is False
+
+    def test_client_deadline_reaches_inprocess_server(self):
+        from repro.serving import DeadlineExceededError
+
+        server = PolicyServer(_dqn(), max_batch_size=4, batch_window=0.0)
+        try:
+            client = PolicyClient(server, timeout=5.0)
+            # A pre-expired budget fails typed BEFORE any batch slot is
+            # spent — proving the deadline rode submit() end to end.
+            ref = client.submit(_obs_stream(1)[0], deadline=0.0)
+            with pytest.raises(DeadlineExceededError):
+                ref.result(5.0)
+            assert server.stats.as_dict()["expired"] == 1
+        finally:
+            server.stop()
