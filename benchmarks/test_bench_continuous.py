@@ -1,0 +1,184 @@
+"""E16 — continuous control: SAC update throughput across optimize
+levels, plus pendulum env stepping.
+
+The continuous-action path stresses the compiler differently from the
+discrete agents: one SAC update evaluates the policy network twice
+(current and next states, reparameterized through the squashed
+Gaussian), four critic towers plus two target towers, and steps the
+policy / twin-critic / temperature variables from a single grouped
+gradient extraction.  That is a much larger fetch-set than the DQN
+update E10 tracks, with the same tiny-batch regime where per-node
+interpreter overhead dominates — so the fused/native lowering should
+carry over to it rather than being a DQN-shaped special case.
+
+The bench sweeps ``optimize`` in {"none", "basic", "fused"} (+
+``"native"`` when a C toolchain is present) on an identical external
+update batch (same seed keys the host-side noise stream, so every level
+does the same arithmetic — parity is locked by
+tests/test_parity_matrix.py), and separately measures raw Pendulum
+stepping plus the act+step loop that feeds SAC training.
+
+Acceptance:
+
+* ``fused`` beats ``none`` on the SAC update fetch-set (the E10 claim,
+  transplanted to the continuous path);
+* ``native``, when available, is no slower than ``fused``;
+* raw pendulum stepping clears 2k steps/s (it is ~20 numpy scalar ops
+  per step; anything slower means the env grew accidental overhead).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.agents import SACAgent
+from repro.backend import native
+from repro.environments import Pendulum
+from repro.spaces import FloatBox
+
+pytestmark = pytest.mark.mp_timeout(300)
+
+CORES = os.cpu_count() or 1
+LEVELS = ("none", "basic", "fused") + (
+    ("native",) if native.toolchain_available() else ())
+STATE_DIM = 3
+ACTION_DIM = 1
+BATCH = 32
+
+
+def _sac(optimize):
+    return SACAgent(
+        state_space=FloatBox(shape=(STATE_DIM,)),
+        action_space=FloatBox(low=-2.0 * np.ones(ACTION_DIM, np.float32),
+                              high=2.0 * np.ones(ACTION_DIM, np.float32)),
+        network_spec=[{"type": "dense", "units": 64, "activation": "relu"},
+                      {"type": "dense", "units": 64, "activation": "relu"}],
+        batch_size=BATCH, memory_capacity=1024, seed=11, optimize=optimize)
+
+
+def _update_batch():
+    rng = np.random.default_rng(0)
+    return {
+        "states": rng.standard_normal((BATCH, STATE_DIM)).astype(np.float32),
+        "actions": rng.uniform(-2.0, 2.0, (BATCH, ACTION_DIM))
+        .astype(np.float32),
+        "rewards": rng.standard_normal(BATCH).astype(np.float32),
+        "terminals": rng.random(BATCH) < 0.1,
+        "next_states": rng.standard_normal((BATCH, STATE_DIM))
+        .astype(np.float32),
+    }
+
+
+def _time_interleaved(fns, rounds=6, window=0.3):
+    """Best-of-``rounds`` calls/s per label, levels interleaved
+    round-robin so CPU-clock drift hits all of them equally."""
+    best = {label: 0.0 for label in fns}
+    for fn in fns.values():
+        fn()  # warm: build + plan + compile
+    for _ in range(rounds):
+        for label, fn in fns.items():
+            n, t0 = 0, time.perf_counter()
+            while time.perf_counter() - t0 < window:
+                fn()
+                n += 1
+            best[label] = max(best[label], n / (time.perf_counter() - t0))
+    return best
+
+
+def test_sac_update_throughput_across_levels(benchmark, table):
+    rates = {}
+
+    def sweep():
+        batch = _update_batch()
+        fns = {}
+        for opt in LEVELS:
+            agent = _sac(opt)
+            fns[opt] = (lambda a=agent: a.update(batch))
+        rates.update(_time_interleaved(fns))
+        return rates
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base = rates["none"]
+    rows = [[opt, f"{rate:.1f}", f"{rate / base:.2f}x"]
+            for opt, rate in rates.items()]
+    table(f"E16 — SAC update throughput, batch {BATCH} ({CORES} cores)",
+          ["optimize", "updates/s", "vs none"], rows)
+    benchmark.extra_info.update(
+        cores=CORES, batch=BATCH,
+        results={opt: round(rate, 1) for opt, rate in rates.items()})
+
+    assert rates["fused"] > rates["none"], (
+        "fused SAC update slower than the per-node interpreter "
+        f"({rates['fused']:.1f} vs {rates['none']:.1f}/s): the compiler "
+        "win did not carry over to the continuous path")
+    if "native" in rates:
+        assert rates["native"] >= 0.9 * rates["fused"], (
+            f"native SAC update regressed vs fused ({rates['native']:.1f} "
+            f"vs {rates['fused']:.1f}/s)")
+
+
+def test_pendulum_step_throughput(benchmark, table):
+    results = {}
+
+    def sweep():
+        # Raw env stepping: numpy dynamics only.
+        env = Pendulum(max_steps=200, seed=0)
+        env.reset()
+        rng = np.random.default_rng(1)
+        torques = rng.uniform(-2.0, 2.0, 4096).astype(np.float32)
+        idx = [0]
+
+        def raw_step():
+            _, _, terminal, _ = env.step(torques[idx[0] % 4096])
+            idx[0] += 1
+            if terminal:
+                env.reset()
+
+        raw_step()
+        n, t0 = 0, time.perf_counter()
+        while time.perf_counter() - t0 < 1.0:
+            raw_step()
+            n += 1
+        results["raw_steps_per_s"] = n / (time.perf_counter() - t0)
+
+        # Act+step loop: the single-row SAC inference path that feeds
+        # training (greedy serving callable, one obs per call).
+        agent = _sac("fused")
+        act = agent.serving_act_fn()
+        env.reset()
+        state = env.reset()
+
+        def act_step():
+            nonlocal state
+            action = act(state[None])[0]
+            state, _, terminal, _ = env.step(action)
+            if terminal:
+                state = env.reset()
+
+        act_step()
+        n, t0 = 0, time.perf_counter()
+        while time.perf_counter() - t0 < 1.0:
+            act_step()
+            n += 1
+        results["act_steps_per_s"] = n / (time.perf_counter() - t0)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table(f"E16 — pendulum stepping ({CORES} cores)",
+          ["loop", "steps/s"],
+          [["raw env", f"{results['raw_steps_per_s']:.0f}"],
+           ["act + step", f"{results['act_steps_per_s']:.0f}"]])
+    benchmark.extra_info.update(
+        cores=CORES,
+        results={k: round(v, 1) for k, v in results.items()})
+
+    assert results["raw_steps_per_s"] > 2000, (
+        "raw pendulum stepping below 2k steps/s — the env dynamics "
+        "grew accidental overhead")
+    assert results["act_steps_per_s"] > 0

@@ -21,7 +21,8 @@ Usage:
         [--serving-output BENCH_serving.json] [--skip-serving] \
         [--multi-learner-output BENCH_multi_learner.json] \
         [--skip-multi-learner] \
-        [--gateway-output BENCH_gateway.json] [--skip-gateway]
+        [--gateway-output BENCH_gateway.json] [--skip-gateway] \
+        [--continuous-output BENCH_continuous.json] [--skip-continuous]
 """
 
 from __future__ import annotations
@@ -511,6 +512,77 @@ def bench_multi_learner(window: float = 0.5) -> dict:
     return summary
 
 
+def bench_continuous(window: float = 0.3) -> dict:
+    """Continuous-control snapshot (the E16 axis): SAC update
+    throughput per optimize level on an identical external batch, plus
+    raw pendulum stepping.  The SAC update fetch-set is the largest in
+    the suite (two policy evaluations, six critic towers, grouped
+    gradient step), so its fused/native speedups track whether the
+    compiler win generalizes beyond the DQN-shaped updates of E10."""
+    import numpy as np
+
+    from repro.agents import SACAgent
+    from repro.environments import Pendulum
+    from repro.spaces import FloatBox
+
+    state_dim, action_dim, batch_size = 3, 1, 32
+
+    def agent(optimize):
+        return SACAgent(
+            state_space=FloatBox(shape=(state_dim,)),
+            action_space=FloatBox(
+                low=-2.0 * np.ones(action_dim, np.float32),
+                high=2.0 * np.ones(action_dim, np.float32)),
+            network_spec=[{"type": "dense", "units": 64,
+                           "activation": "relu"},
+                          {"type": "dense", "units": 64,
+                           "activation": "relu"}],
+            batch_size=batch_size, memory_capacity=1024, seed=11,
+            optimize=optimize)
+
+    rng = np.random.default_rng(0)
+    batch = {
+        "states": rng.standard_normal(
+            (batch_size, state_dim)).astype(np.float32),
+        "actions": rng.uniform(
+            -2.0, 2.0, (batch_size, action_dim)).astype(np.float32),
+        "rewards": rng.standard_normal(batch_size).astype(np.float32),
+        "terminals": rng.random(batch_size) < 0.1,
+        "next_states": rng.standard_normal(
+            (batch_size, state_dim)).astype(np.float32),
+    }
+
+    update_rates = {}
+    for optimize in _optimize_levels():
+        sac = agent(optimize)
+        update_rates[optimize] = round(
+            _measure(lambda: sac.update(batch), window=window), 1)
+
+    env = Pendulum(max_steps=200, seed=0)
+    env.reset()
+    torques = rng.uniform(-2.0, 2.0, 4096).astype(np.float32)
+    idx = [0]
+
+    def step():
+        _, _, terminal, _ = env.step(torques[idx[0] % 4096])
+        idx[0] += 1
+        if terminal:
+            env.reset()
+
+    summary = {
+        "sac_update_per_s": update_rates,
+        "pendulum_steps_per_s": round(_measure(step, window=window), 1),
+    }
+    summary["fused_update_speedup"] = round(
+        update_rates["fused"] / update_rates["none"], 3) \
+        if update_rates["none"] else None
+    if "native" in update_rates:
+        summary["native_update_speedup_vs_fused"] = round(
+            update_rates["native"] / update_rates["fused"], 3) \
+            if update_rates["fused"] else None
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_compiler.json",
@@ -541,6 +613,12 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--skip-gateway", action="store_true",
                         help="skip the HTTP gateway overload snapshot")
+    parser.add_argument("--continuous-output",
+                        default="BENCH_continuous.json",
+                        help="continuous-control snapshot path "
+                             "(default: %(default)s)")
+    parser.add_argument("--skip-continuous", action="store_true",
+                        help="skip the continuous-control snapshot")
     args = parser.parse_args(argv)
 
     from repro.backend import native
@@ -595,6 +673,13 @@ def main(argv=None) -> int:
             json.dump(gateway, f, indent=2)
             f.write("\n")
         json.dump(gateway, sys.stdout, indent=2)
+        print()
+    if not args.skip_continuous:
+        continuous = {**host, **bench_continuous()}
+        with open(args.continuous_output, "w") as f:
+            json.dump(continuous, f, indent=2)
+            f.write("\n")
+        json.dump(continuous, sys.stdout, indent=2)
         print()
     return 0
 

@@ -5,6 +5,7 @@ from repro.agents.dqn_agent import ApexAgent, DQNAgent
 from repro.agents.actor_critic_agent import ActorCriticAgent
 from repro.agents.ppo_agent import PPOAgent
 from repro.agents.impala_agent import IMPALAAgent
+from repro.agents.sac_agent import SACAgent
 
 __all__ = [
     "AGENTS",
@@ -14,4 +15,5 @@ __all__ = [
     "ActorCriticAgent",
     "PPOAgent",
     "IMPALAAgent",
+    "SACAgent",
 ]

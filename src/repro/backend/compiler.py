@@ -74,7 +74,7 @@ FUSABLE_OPS = frozenset({
     "add", "sub", "mul", "div", "neg", "mod", "power",
     "exp", "log", "sqrt", "square", "abs", "sign", "floor",
     "maximum", "minimum", "clip",
-    "relu", "tanh", "sigmoid", "softplus",
+    "relu", "tanh", "sigmoid", "softplus", "atanh",
     "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
     "logical_and", "logical_or", "logical_not",
     "cast", "where", "identity", "stop_gradient", "ones_like",
@@ -108,7 +108,7 @@ _FRESH_OUTPUT_OPS = frozenset({
     "add", "sub", "mul", "div", "neg", "mod", "power",
     "exp", "log", "sqrt", "square", "abs", "sign", "floor",
     "maximum", "minimum", "clip",
-    "relu", "tanh", "sigmoid", "softplus",
+    "relu", "tanh", "sigmoid", "softplus", "atanh",
     "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
     "logical_and", "logical_or", "logical_not",
     "cast", "where", "ones_like",

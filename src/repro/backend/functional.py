@@ -107,6 +107,10 @@ def softplus(x):
     return _op("softplus", [x])
 
 
+def atanh(x):
+    return _op("atanh", [x])
+
+
 # -- comparisons ------------------------------------------------------------------
 def equal(x, y):
     return _op("equal", [x, y])

@@ -299,6 +299,7 @@ OUT_KERNELS = {
     "tanh": lambda i, a, out: np.tanh(i[0], out=out),
     "sigmoid": _sigmoid_out,
     "softplus": lambda i, a, out: np.logaddexp(0.0, i[0], out=out),
+    "atanh": lambda i, a, out: np.arctanh(i[0], out=out),
     "equal": lambda i, a, out: np.equal(i[0], i[1], out=out),
     "not_equal": lambda i, a, out: np.not_equal(i[0], i[1], out=out),
     "greater": lambda i, a, out: np.greater(i[0], i[1], out=out),

@@ -307,7 +307,7 @@ def _label(name: str) -> str:
 _EW_OPS = frozenset({
     "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt",
     "square", "abs", "sign", "floor", "maximum", "minimum", "clip",
-    "relu", "tanh", "sigmoid", "softplus",
+    "relu", "tanh", "sigmoid", "softplus", "atanh",
     "equal", "not_equal", "greater", "greater_equal", "less", "less_equal",
     "logical_and", "logical_or", "logical_not",
     "cast", "where", "identity", "stop_gradient", "ones_like",
@@ -356,7 +356,7 @@ def _member_expr(op: str, attrs: Dict[str, Any], args: List[str],
         if ct not in _FLOAT_CTS:
             return None
         return f"{_math('pow', ct)}({c(args[0])}, {_lit(p, ct)})"
-    if op in ("exp", "log", "sqrt", "tanh"):
+    if op in ("exp", "log", "sqrt", "tanh", "atanh"):
         if ct not in _FLOAT_CTS:
             return None
         return f"{_math(op, ct)}({c(args[0])})"

@@ -326,6 +326,10 @@ register_op("sigmoid", lambda i, a: 1.0 / (1.0 + np.exp(-i[0])),
 register_op("softplus", lambda i, a: np.logaddexp(0.0, i[0]),
             lambda inp, out, g, a: (_F().mul(g, _F().sigmoid(inp[0])),),
             _first_shape, dtype_fn=_float_dtype)
+register_op("atanh", lambda i, a: np.arctanh(i[0]),
+            lambda inp, out, g, a: (
+                _F().div(g, _F().sub(1.0, _F().square(inp[0]))),),
+            _first_shape, dtype_fn=_float_dtype)
 
 # ======================= comparisons / logic =================================
 for _name, _fn in [("equal", np.equal), ("not_equal", np.not_equal),

@@ -41,11 +41,19 @@ class Synchronizer(Component):
     """Assigns every trainable variable of ``source`` onto ``target``.
 
     Optionally performs a soft (Polyak) update with rate ``tau``.
+
+    ``flat=False`` pins the per-variable construction even at optimized
+    levels. This is required when the source's variables are a strict
+    subset of a larger optimizer slab (e.g. SAC's per-critic syncs under
+    a joint policy+critics+temperature optimizer): a subset cannot
+    re-coalesce into its own slab, and forcing the per-variable path
+    avoids depending on which side claims storage first. The blend
+    arithmetic is elementwise-identical on both paths.
     """
 
     def __init__(self, source: Component, target: Component,
-                 tau: Optional[float] = None, scope: str = "synchronizer",
-                 **kwargs):
+                 tau: Optional[float] = None, flat: Optional[bool] = None,
+                 scope: str = "synchronizer", **kwargs):
         super().__init__(scope=scope, **kwargs)
         self.source = source
         self.target = target
@@ -56,7 +64,8 @@ class Synchronizer(Component):
         # on the flat path, the two coalesced slabs.
         self._pairs: Optional[List[Tuple[Variable, Variable]]] = None
         self._slabs: Optional[Tuple[ParamSlab, ParamSlab]] = None
-        self._use_flat: Optional[bool] = None
+        # flat=False forces per-variable; None resolves from the build.
+        self._use_flat: Optional[bool] = False if flat is False else None
 
     @rlgraph_api
     def sync(self):

@@ -155,6 +155,45 @@ class Optimizer(Component):
             flat_grads = np.zeros(self.flat_grad_size(), np.float32)
         return self._apply_flat(flat_grads)
 
+    # -- precomputed-gradient entry points ---------------------------------------
+    # Some agents (SAC) cannot express their update as gradients of one
+    # scalar loss over the full variable list: the actor loss must not
+    # touch critic weights and vice versa, so the root computes each
+    # group's gradients itself (``grads_of(actor_loss, policy_vars)``,
+    # ...) and hands the assembled per-variable list here. These helpers
+    # are called from inside the agent's graph functions (like
+    # ``grads_of``), not as API methods.
+
+    def step_from_grads(self, grads):
+        """Apply ONE update from precomputed per-variable gradients
+        (ordered like ``self._variables``), routed through the exact
+        fused or per-variable lowering :meth:`step` would build."""
+        self._resolve_variables()
+        grads = list(grads)
+        if len(grads) != len(self._variables):
+            raise RLGraphError(
+                f"Optimizer {self.global_scope}: step_from_grads got "
+                f"{len(grads)} gradients for {len(self._variables)} "
+                f"variables")
+        if self._resolve_fused():
+            return self._fused_step([grads])
+        return self._per_variable_step([grads])
+
+    def flatcat_grads(self, grads):
+        """Collapse precomputed per-variable gradients into the flat
+        slab vector (members sorted by name), *unclipped* — the
+        extraction half for precomputed-grad agents, mirroring
+        :meth:`compute_flat_grads`."""
+        self._resolve_variables()
+        grads = list(grads)
+        if len(grads) != len(self._variables):
+            raise RLGraphError(
+                f"Optimizer {self.global_scope}: flatcat_grads got "
+                f"{len(grads)} gradients for {len(self._variables)} "
+                f"variables")
+        by_var = {id(v): g for v, g in zip(self._variables, grads)}
+        return F.flatcat([by_var[id(m)] for m in self._flat_members()])
+
     def _resolve_variables(self) -> None:
         if not self._variables and self._variables_provider is not None:
             self._variables = list(self._variables_provider())

@@ -5,6 +5,7 @@ from repro.components.policies.distributions import (
     Categorical,
     Distribution,
     Gaussian,
+    SquashedGaussian,
     distribution_for_space,
 )
 from repro.components.policies.action_adapter import ActionAdapter
@@ -14,6 +15,7 @@ __all__ = [
     "Distribution",
     "Categorical",
     "Gaussian",
+    "SquashedGaussian",
     "Bernoulli",
     "distribution_for_space",
     "ActionAdapter",

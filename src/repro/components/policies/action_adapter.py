@@ -16,10 +16,12 @@ from repro.spaces.space_utils import space_from_spec
 class ActionAdapter(Component):
     """A final linear layer sized by the action space."""
 
-    def __init__(self, action_space, scope: str = "action-adapter", **kwargs):
+    def __init__(self, action_space, distribution=None,
+                 scope: str = "action-adapter", **kwargs):
         super().__init__(scope=scope, **kwargs)
         self.action_space: Space = space_from_spec(action_space)
-        self.distribution = distribution_for_space(self.action_space)
+        self.distribution = (distribution if distribution is not None
+                             else distribution_for_space(self.action_space))
         self.units = self.distribution.param_units(self.action_space)
 
     def create_variables(self, input_spaces):

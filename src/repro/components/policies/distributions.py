@@ -56,9 +56,23 @@ class Categorical(Distribution):
 
 
 class Gaussian(Distribution):
-    """Diagonal Gaussian; params (B, 2D) = [mean, log_std]."""
+    """Diagonal Gaussian; params (B, 2D) = [mean, log_std].
+
+    ``log_std`` is clamped to ``[LOG_STD_MIN, LOG_STD_MAX]`` = (-10, 2)
+    before every use, so ``exp(log_std)`` stays inside float32 range
+    (std in [4.5e-5, 7.39]) even when the adapter emits extreme values
+    early in training. Without the clamp a fused/native ``exp`` kernel
+    can overflow to inf and poison the whole update. The bounds are
+    part of the distribution's contract: external log-prob references
+    must apply the same clamp to match.
+    """
+
+    LOG_STD_MIN = -10.0
+    LOG_STD_MAX = 2.0
 
     def __init__(self, dim: int):
+        if int(dim) <= 0:
+            raise RLGraphError(f"Gaussian dim must be positive, got {dim}")
         self.dim = int(dim)
 
     def param_units(self, space: Space) -> int:
@@ -67,7 +81,7 @@ class Gaussian(Distribution):
     def _split(self, params):
         mean = F.getitem(params, (slice(None), slice(0, self.dim)))
         log_std = F.getitem(params, (slice(None), slice(self.dim, 2 * self.dim)))
-        log_std = F.clip(log_std, -10.0, 2.0)
+        log_std = F.clip(log_std, self.LOG_STD_MIN, self.LOG_STD_MAX)
         return mean, log_std
 
     def sample(self, params, deterministic=False):
@@ -89,6 +103,106 @@ class Gaussian(Distribution):
         _, log_std = self._split(params)
         per_dim = F.add(log_std, 0.5 * float(np.log(2 * np.pi * np.e)))
         return F.reduce_sum(per_dim, axis=-1)
+
+
+class SquashedGaussian(Gaussian):
+    """Tanh-squashed diagonal Gaussian over a bounded ``FloatBox``.
+
+    Actions are ``a = mid + scale * tanh(u)`` with ``u ~ N(mean, std)``,
+    where ``scale = (high - low) / 2`` and ``mid = (high + low) / 2``, so
+    every sample lands strictly inside the box. The log-prob applies the
+    change-of-variables correction per dimension using the numerically
+    stable identity
+
+        log(1 - tanh²(u)) = 2 * (log 2 - u - softplus(-2u))
+
+    which stays finite for large ``|u|`` where the naive form underflows
+    to ``log(0)``. ``log_std`` inherits the clamp documented on
+    :class:`Gaussian`.
+    """
+
+    _LOG2 = float(np.log(2.0))
+    _HALF_LOG_2PI = 0.5 * float(np.log(2.0 * np.pi))
+
+    def __init__(self, dim: int, low=-1.0, high=1.0):
+        super().__init__(dim)
+        low = np.broadcast_to(
+            np.asarray(low, np.float32), (self.dim,)).copy()
+        high = np.broadcast_to(
+            np.asarray(high, np.float32), (self.dim,)).copy()
+        if not (np.all(np.isfinite(low)) and np.all(np.isfinite(high))):
+            raise RLGraphError(
+                "SquashedGaussian needs finite action bounds, got "
+                f"low={low!r} high={high!r}")
+        if not np.all(high > low):
+            raise RLGraphError(
+                f"SquashedGaussian needs high > low, got low={low!r} "
+                f"high={high!r}")
+        self.low = low
+        self.high = high
+        self.scale = ((high - low) / 2.0).astype(np.float32)
+        self.mid = ((high + low) / 2.0).astype(np.float32)
+        # Constant sum over dims of log|scale|, folded host-side.
+        self._log_scale_sum = float(np.sum(np.log(self.scale)))
+
+    def _squash(self, u):
+        return F.add(F.mul(F.tanh(u), self.scale), self.mid)
+
+    def _squash_correction(self, u):
+        """Per-dim log|da/du| = log(scale) + log(1 - tanh²(u)), summed."""
+        per_dim = F.mul(2.0, F.sub(self._LOG2,
+                                   F.add(u, F.softplus(F.mul(-2.0, u)))))
+        return F.add(F.reduce_sum(per_dim, axis=-1), self._log_scale_sum)
+
+    def _base_log_prob(self, u, mean, log_std):
+        z = F.div(F.sub(u, mean), F.exp(log_std))
+        per_dim = F.add(F.add(F.mul(0.5, F.square(z)), log_std),
+                        self._HALF_LOG_2PI)
+        return F.neg(F.reduce_sum(per_dim, axis=-1))
+
+    def sample(self, params, deterministic=False):
+        mean, log_std = self._split(params)
+        if deterministic:
+            return self._squash(mean)
+        noise = F.random_normal(like=mean)
+        u = F.add(mean, F.mul(F.exp(log_std), noise))
+        return self._squash(u)
+
+    def sample_with_log_prob(self, params, noise):
+        """Reparameterized sample plus its log-prob from external noise.
+
+        ``noise`` is standard-normal (B, D) — supplied by the caller so
+        updates are deterministic across backends and optimize levels.
+        Returns ``(actions, log_prob)`` with gradients flowing through
+        both via the reparameterization ``u = mean + std * noise``.
+        """
+        mean, log_std = self._split(params)
+        u = F.add(mean, F.mul(F.exp(log_std), noise))
+        # (u - mean)/std == noise exactly, so feed noise straight into
+        # the base log-density instead of re-dividing (better numerics,
+        # same gradient through log_std).
+        per_dim = F.add(F.add(F.mul(0.5, F.square(noise)), log_std),
+                        self._HALF_LOG_2PI)
+        base = F.neg(F.reduce_sum(per_dim, axis=-1))
+        log_prob = F.sub(base, self._squash_correction(u))
+        return self._squash(u), log_prob
+
+    def log_prob(self, params, actions):
+        mean, log_std = self._split(params)
+        z = F.div(F.sub(actions, self.mid), self.scale)
+        u = F.atanh(F.clip(z, -1.0 + 1e-6, 1.0 - 1e-6))
+        base = self._base_log_prob(u, mean, log_std)
+        return F.sub(base, self._squash_correction(u))
+
+    def entropy(self, params):
+        """Upper bound: base-Gaussian entropy plus the constant
+        ``sum(log scale)``. The tanh squash only removes entropy
+        (E[log(1-tanh²u)] ≤ 0), so the true value is below this; SAC
+        estimates the exact entropy as ``-log_prob`` of fresh samples
+        instead of calling this.
+        """
+        base = super().entropy(params)
+        return F.add(base, self._log_scale_sum)
 
 
 class Bernoulli(Distribution):

@@ -30,13 +30,17 @@ class Policy(Component):
         action_space: the action Space (spec forms accepted).
         dueling: use a dueling Q head (discrete spaces only).
         value_head: add a state-value output (actor-critic/IMPALA/PPO).
+        distribution: override the canonical distribution for the action
+            space (e.g. ``SquashedGaussian`` for SAC's bounded actions).
     """
 
     def __init__(self, network_spec: Any, action_space, dueling: bool = False,
-                 value_head: bool = False, scope: str = "policy", **kwargs):
+                 value_head: bool = False, distribution=None,
+                 scope: str = "policy", **kwargs):
         super().__init__(scope=scope, **kwargs)
         self.action_space = space_from_spec(action_space)
-        self.distribution = distribution_for_space(self.action_space)
+        self.distribution = (distribution if distribution is not None
+                             else distribution_for_space(self.action_space))
         self.network = (network_spec if isinstance(network_spec, NeuralNetwork)
                         else NeuralNetwork(network_spec))
         self.dueling = bool(dueling)
@@ -49,7 +53,8 @@ class Policy(Component):
             components.append(self.dueling_head)
             self.action_adapter = None
         else:
-            self.action_adapter = ActionAdapter(self.action_space)
+            self.action_adapter = ActionAdapter(
+                self.action_space, distribution=self.distribution)
             components.append(self.action_adapter)
         if self.value_head:
             self.value_adapter = ValueHead()

@@ -13,6 +13,7 @@ behind the paper's batched sample-collection interface.
 from repro.environments.environment import ENVIRONMENTS, Environment
 from repro.environments.grid_world import GridWorld
 from repro.environments.cart_pole import CartPole
+from repro.environments.pendulum import Pendulum
 from repro.environments.sim_pong import SimPong
 from repro.environments.seek_avoid import SeekAvoid
 from repro.environments.random_env import RandomEnv
@@ -31,6 +32,7 @@ __all__ = [
     "Environment",
     "GridWorld",
     "CartPole",
+    "Pendulum",
     "SimPong",
     "SeekAvoid",
     "RandomEnv",

@@ -1,0 +1,71 @@
+"""Pendulum swing-up: the classic continuous-control task (NumPy port of
+the standard gym dynamics). The only env in the suite with a ``FloatBox``
+action space — torque in [-2, 2] — so it exercises the continuous-action
+path end to end (SAC, squashed Gaussian policies, vector-action serving).
+
+Episodes are fixed-length (never terminate early); reward is the negative
+cost ``-(θ² + 0.1·θ̇² + 0.001·u²)`` with the angle normalized to [-π, π],
+so returns rise toward 0 as the pendulum learns to balance upright.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.environment import ENVIRONMENTS, Environment
+from repro.spaces import FloatBox
+
+
+@ENVIRONMENTS.register("pendulum")
+class Pendulum(Environment):
+    """Swing a pendulum upright; state [cos θ, sin θ, θ̇], action torque."""
+
+    GRAVITY = 10.0
+    MASS = 1.0
+    LENGTH = 1.0
+    DT = 0.05
+    MAX_SPEED = 8.0
+    MAX_TORQUE = 2.0
+
+    def __init__(self, max_steps: int = 200, seed: Optional[int] = None):
+        super().__init__(seed=seed)
+        self.max_steps = int(max_steps)
+        high = np.asarray([1.0, 1.0, self.MAX_SPEED], dtype=np.float32)
+        self.state_space = FloatBox(low=-high, high=high)
+        self.action_space = FloatBox(low=np.asarray([-self.MAX_TORQUE],
+                                                    dtype=np.float32),
+                                     high=np.asarray([self.MAX_TORQUE],
+                                                     dtype=np.float32))
+        self.theta = 0.0
+        self.theta_dot = 0.0
+
+    def _obs(self) -> np.ndarray:
+        return np.asarray([np.cos(self.theta), np.sin(self.theta),
+                           self.theta_dot], dtype=np.float32)
+
+    def reset(self) -> np.ndarray:
+        self._track_reset()
+        self.theta = float(self.rng.uniform(-np.pi, np.pi))
+        self.theta_dot = float(self.rng.uniform(-1.0, 1.0))
+        return self._obs()
+
+    def step(self, action):
+        u = float(np.clip(np.asarray(action, dtype=np.float32).reshape(-1)[0],
+                          -self.MAX_TORQUE, self.MAX_TORQUE))
+        theta, theta_dot = self.theta, self.theta_dot
+        # Normalize to [-pi, pi) so the cost is smallest upright.
+        norm = ((theta + np.pi) % (2 * np.pi)) - np.pi
+        cost = norm ** 2 + 0.1 * theta_dot ** 2 + 0.001 * u ** 2
+        g, m, length, dt = self.GRAVITY, self.MASS, self.LENGTH, self.DT
+        theta_dot = theta_dot + dt * (
+            3.0 * g / (2.0 * length) * np.sin(theta)
+            + 3.0 / (m * length ** 2) * u)
+        theta_dot = float(np.clip(theta_dot, -self.MAX_SPEED, self.MAX_SPEED))
+        theta = theta + dt * theta_dot
+        self.theta, self.theta_dot = float(theta), theta_dot
+        reward = -float(cost)
+        self._track_step(reward)
+        terminal = self.episode_steps >= self.max_steps
+        return self._obs(), reward, terminal, {}

@@ -13,12 +13,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents import ActorCriticAgent, DQNAgent, IMPALAAgent, PPOAgent
+from repro.agents import (
+    ActorCriticAgent,
+    DQNAgent,
+    IMPALAAgent,
+    PPOAgent,
+    SACAgent,
+)
 from repro.backend import XGRAPH, XTAPE
 from repro.spaces import FloatBox, IntBox
 
 STATE_DIM = 4
 NUM_ACTIONS = 3
+ACTION_DIM = 2
 NET = [{"type": "dense", "units": 12, "activation": "tanh"}]
 
 
@@ -34,10 +41,15 @@ def _make(kind: str, seed: int, backend: str = XGRAPH):
         return IMPALAAgent(**common)
     if kind == "ppo":
         return PPOAgent(**common)
+    if kind == "sac":
+        common["action_space"] = FloatBox(
+            low=-np.ones(ACTION_DIM, np.float32),
+            high=np.ones(ACTION_DIM, np.float32))
+        return SACAgent(memory_capacity=32, batch_size=4, **common)
     raise ValueError(kind)
 
 
-@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo", "sac"])
 def test_export_import_flat_parity(kind, tmp_path):
     source = _make(kind, seed=1)
     source.timesteps, source.updates = 123, 7
@@ -57,7 +69,7 @@ def test_export_import_flat_parity(kind, tmp_path):
     assert target.timesteps == 123 and target.updates == 7
 
 
-@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo", "sac"])
 def test_dict_to_flat_push_roundtrip(kind, tmp_path):
     """dict -> save -> load -> set_weights -> flat push -> scatter into
     a third agent: every hop preserves the weights bitwise."""
@@ -82,7 +94,7 @@ def test_dict_to_flat_push_roundtrip(kind, tmp_path):
                                       err_msg=f"{kind}:{name}")
 
 
-@pytest.mark.parametrize("kind", ["dqn", "a2c"])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "sac"])
 def test_cross_backend_restore(kind, tmp_path):
     """A checkpoint written by the symbolic backend restores into the
     eager backend (and vice versa) — layouts are name-sorted, not
@@ -216,3 +228,66 @@ def test_resume_is_bitwise_identical_to_uninterrupted(tmp_path):
 def test_resume_from_nothing_returns_false(tmp_path):
     trainer = _resume_trainer(str(tmp_path / "empty"))
     assert trainer.resume() is False
+
+
+# ---------------------------------------------------------------------------
+# SAC full-state resume: twin critics, targets, temperature, optimizer slabs
+# ---------------------------------------------------------------------------
+def _sac_batches(n_batches: int):
+    rng = np.random.default_rng(42)
+    out = []
+    for _ in range(n_batches):
+        n = 4
+        out.append({
+            "states": rng.standard_normal((n, STATE_DIM)).astype(np.float32),
+            "actions": rng.uniform(-1, 1, (n, ACTION_DIM)).astype(np.float32),
+            "rewards": rng.standard_normal(n).astype(np.float32),
+            "terminals": rng.random(n) < 0.2,
+            "next_states": rng.standard_normal((n, STATE_DIM))
+            .astype(np.float32),
+        })
+    return out
+
+
+@pytest.mark.parametrize("backend", [XGRAPH, XTAPE])
+def test_sac_full_state_resume_bitwise(backend):
+    """full_state after K updates -> restore into a fresh same-config
+    agent -> K more updates lands bitwise on an uninterrupted 2K run.
+    The snapshot must carry the twin-critic and target-critic variables,
+    the temperature, and the optimizer slot slabs — and the update
+    counter it restores re-keys the host-side noise stream, so the
+    resumed run draws the exact same reparameterization noise."""
+    batches = _sac_batches(6)
+
+    full = _make("sac", seed=11, backend=backend)
+    for batch in batches:
+        full.update(batch)
+
+    part = _make("sac", seed=11, backend=backend)
+    for batch in batches[:3]:
+        part.update(batch)
+    snapshot = part.full_state()
+
+    # The snapshot reaches every layer of SAC state, not just the policy.
+    names = set(snapshot["variables"])
+    for fragment in ("q1/", "q2/", "target-q1/", "target-q2/",
+                     "temperature/log-alpha"):
+        assert any(fragment in name for name in names), fragment
+
+    # Same config INCLUDING seed (the restore contract): the seed keys
+    # the host-side noise stream. Perturb the fresh weights so the
+    # restore demonstrably wins over local state.
+    resumed = _make("sac", seed=11, backend=backend)
+    resumed.set_weights(resumed.get_weights(flat=True) + 1.0)
+    resumed.restore_full_state(snapshot)
+    assert resumed.updates == 3
+    for batch in batches[3:]:
+        resumed.update(batch)
+
+    np.testing.assert_array_equal(resumed.get_weights(flat=True),
+                                  full.get_weights(flat=True))
+    state_a, state_b = resumed.full_state(), full.full_state()
+    assert sorted(state_a["variables"]) == sorted(state_b["variables"])
+    for name, value in state_b["variables"].items():
+        np.testing.assert_array_equal(state_a["variables"][name], value,
+                                      err_msg=name)

@@ -17,7 +17,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.agents import ActorCriticAgent, DQNAgent, IMPALAAgent, PPOAgent
+from repro.agents import (
+    ActorCriticAgent,
+    DQNAgent,
+    IMPALAAgent,
+    PPOAgent,
+    SACAgent,
+)
 from repro.backend import native
 from repro.components.common.batch_splitter import shard_sizes, split_batch
 from repro.execution.learner_group import (
@@ -32,6 +38,7 @@ from repro.utils.errors import RLGraphError
 
 STATE_DIM = 4
 NUM_ACTIONS = 3
+ACTION_DIM = 2  # SAC: continuous actions in [-1, 1]^2
 NET = [{"type": "dense", "units": 16, "activation": "tanh"}]
 NUM_UPDATES = 5
 TOL = dict(rtol=1e-5, atol=1e-6)
@@ -53,6 +60,11 @@ def make_agent(kind: str, optimize: str = "basic", backend: str = "xgraph",
         return IMPALAAgent(**common)
     if kind == "ppo":
         return PPOAgent(epochs=2, minibatch_size=8, **common)
+    if kind == "sac":
+        common["action_space"] = FloatBox(
+            low=-np.ones(ACTION_DIM, np.float32),
+            high=np.ones(ACTION_DIM, np.float32))
+        return SACAgent(memory_capacity=64, batch_size=8, **common)
     raise ValueError(kind)
 
 
@@ -92,6 +104,24 @@ def batches(kind: str, n_updates: int = NUM_UPDATES, rows: int = 12):
                 "returns": rng.standard_normal(rows).astype(np.float32),
                 "advantages": rng.standard_normal(rows).astype(np.float32),
             })
+        elif kind == "sac":
+            out.append({
+                "states": rng.standard_normal(
+                    (rows, STATE_DIM)).astype(np.float32),
+                "actions": rng.uniform(-1, 1, (rows, ACTION_DIM))
+                .astype(np.float32),
+                "rewards": rng.standard_normal(rows).astype(np.float32),
+                "terminals": rng.random(rows) < 0.2,
+                "next_states": rng.standard_normal(
+                    (rows, STATE_DIM)).astype(np.float32),
+                # Explicit reparameterization noise rides along with the
+                # rows (shard_spec axis 0), so sharded extraction sees
+                # the same per-row noise as the single learner.
+                "noise": rng.standard_normal(
+                    (rows, ACTION_DIM)).astype(np.float32),
+                "next_noise": rng.standard_normal(
+                    (rows, ACTION_DIM)).astype(np.float32),
+            })
         elif kind == "impala":
             t, b = 4, rows
             out.append({
@@ -109,7 +139,7 @@ def batches(kind: str, n_updates: int = NUM_UPDATES, rows: int = 12):
             raise ValueError(kind)
     return out
 
-KINDS = ["dqn", "a2c", "impala", "ppo"]
+KINDS = ["dqn", "a2c", "impala", "ppo", "sac"]
 
 
 def _run_updates(agent, kind):
@@ -338,6 +368,30 @@ class TestLearnerGroupParity:
             assert all(np.isfinite(v) for v in out)
             np.testing.assert_allclose(group.get_weights(flat=True),
                                        reference, rtol=1e-4, atol=1e-5)
+        finally:
+            group.shutdown()
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_sac_group_continuous_batch(self, k):
+        """Continuous-action batches through the group machinery: the
+        FloatBox action columns and the noise columns shard row-major
+        alongside the states (base shard_spec), so K=1 is bitwise and
+        K=2's shard-mean reassociation stays inside the allclose
+        contract."""
+        reference = self._single_weights("sac")
+        group = LearnerGroup(make_agent("sac"),
+                             lambda worker_index=0: make_agent("sac"),
+                             spec=k, parallel_spec="thread")
+        try:
+            for batch in batches("sac"):
+                loss, td = group.update(batch)
+            assert np.isfinite(loss) and np.all(np.isfinite(td))
+            weights = group.get_weights(flat=True)
+            if k == 1:
+                assert np.array_equal(weights, reference)
+            else:
+                np.testing.assert_allclose(weights, reference, **TOL)
+            assert group.updates == NUM_UPDATES
         finally:
             group.shutdown()
 

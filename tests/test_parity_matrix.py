@@ -28,6 +28,7 @@ from repro.agents import (
     DQNAgent,
     IMPALAAgent,
     PPOAgent,
+    SACAgent,
 )
 from repro.backend import (
     XGRAPH,
@@ -43,6 +44,7 @@ from repro.spaces import FloatBox, IntBox
 NUM_UPDATES = 5
 STATE_DIM = 4
 NUM_ACTIONS = 3
+ACTION_DIM = 2  # SAC: continuous torque vector in [-2, 2]^2
 NET = [{"type": "dense", "units": 16, "activation": "tanh"}]
 
 # Bitwise parity holds for most of the matrix (the compiler and the
@@ -68,6 +70,14 @@ def _make_agent(kind: str, backend: str, optimize: str):
         return IMPALAAgent(**common)
     if kind == "ppo":
         return PPOAgent(epochs=2, minibatch_size=8, **common)
+    if kind == "sac":
+        # Continuous actions: same seed in every cell keys the host-side
+        # reparameterization noise stream, so updates are comparable.
+        common["action_space"] = FloatBox(
+            low=-2.0 * np.ones(ACTION_DIM, np.float32),
+            high=2.0 * np.ones(ACTION_DIM, np.float32))
+        return SACAgent(memory_capacity=64, batch_size=8, sync_interval=1,
+                        **common)
     raise ValueError(kind)
 
 
@@ -105,6 +115,18 @@ def _batches(kind: str):
                     rng.standard_normal(n)).astype(np.float32),
                 "returns": rng.standard_normal(n).astype(np.float32),
                 "advantages": rng.standard_normal(n).astype(np.float32),
+            })
+        elif kind == "sac":
+            n = 8
+            batches.append({
+                "states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
+                "actions": rng.uniform(-2.0, 2.0, (n, ACTION_DIM))
+                .astype(np.float32),
+                "rewards": rng.standard_normal(n).astype(np.float32),
+                "terminals": rng.random(n) < 0.2,
+                "next_states": rng.standard_normal((n, STATE_DIM))
+                .astype(np.float32),
             })
         elif kind == "impala":
             t, b = 4, 3
@@ -151,7 +173,7 @@ def references():
 
 @pytest.mark.parametrize("optimize", ["none", "basic", "fused", "native"])
 @pytest.mark.parametrize("backend", [XGRAPH, XTAPE])
-@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo", "sac"])
 def test_update_weight_parity(kind, backend, optimize, references):
     if backend == XGRAPH and optimize == "none":
         pytest.skip("reference cell")
@@ -164,7 +186,7 @@ def test_update_weight_parity(kind, backend, optimize, references):
         f"interpreter reference after {NUM_UPDATES} updates"))
 
 
-@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo"])
+@pytest.mark.parametrize("kind", ["dqn", "a2c", "impala", "ppo", "sac"])
 def test_symbolic_levels_bitwise(kind, references):
     """Within the symbolic backend, "basic" replays the exact same op
     forwards as the interpreter — parity there is bitwise, not just
